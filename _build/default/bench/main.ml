@@ -1,0 +1,206 @@
+(* The benchmark harness, in two parts.
+
+   Part 1 — Bechamel micro-benchmarks: one [Test.make] per table/figure of
+   the paper, each exercising the hot library operation that experiment
+   leans on (snapshot capture, pagemap scan, restore, layout diff, fork,
+   FAASM reset, strategy invocations, the DES). These measure {e this
+   implementation's} real CPU cost per operation.
+
+   Part 2 — regenerate every table and figure of the paper's evaluation via
+   the experiment harness (the same thing `gh-bench run all` does).
+
+   Run with: dune exec bench/main.exe
+   Pass `--quick` to shrink part 2's request counts (CI), or
+   `--bechamel-only` / `--figures-only` to run one part. *)
+
+open Bechamel
+open Toolkit
+
+module As = Gh_mem.Address_space
+module Vma = Gh_mem.Vma
+module Prot = Gh_mem.Prot
+module Process = Gh_proc.Process
+module Procfs = Gh_proc.Procfs
+module Account = Gh_sim.Account
+module Rng = Gh_sim.Rng
+module Fm = Gh_faas.Function_model
+module Intf = Gh_faas.Strategy_intf
+module Registry = Gh_isolation.Registry
+open Groundhog_core
+
+let cost = Gh_kernel.Cost.default
+
+let alice = Gh_faas.Principal.make ~id:1 ~name:"alice"
+let bob = Gh_faas.Principal.make ~id:2 ~name:"bob"
+
+(* A mid-size warmed process shared by the substrate benchmarks. *)
+let bench_process () =
+  let mem = As.create ~heap_pages:2048 ~cost () in
+  let p = Process.create ~mem ~n_threads:2 () in
+  let a = Account.create () in
+  As.dirty_range mem a (As.heap mem) ~pos:0 ~len:1024 ~value:7;
+  p
+
+let bench_strategy id spec =
+  match Registry.make id ~rng:(Rng.create 17) spec with
+  | Ok s -> s
+  | Error msg -> failwith msg
+
+let small_python_spec =
+  {
+    Fm.default_spec with
+    Fm.name = "bench-fn";
+    lang = Gh_faas.Runtime.Python;
+    exec_ns = 0;  (* measure the machinery, not the modelled compute *)
+    mapped_pages = 4_000;
+    dirtied_pages = 300;
+    read_pages = 400;
+  }
+
+(* fig3: one full GH microbenchmark cycle (invoke + restore). *)
+let test_fig3 =
+  let spec = Gh_workloads.Microbench.spec ~mapped_pages:5_000 ~dirtied_pages:500 in
+  let spec = { spec with Fm.exec_ns = 0 } in
+  let strat = bench_strategy Registry.Gh spec in
+  let i = ref 0 in
+  Test.make ~name:"fig3/gh-microbench-cycle"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (strat.Intf.invoke (Gh_faas.Request.make ~id:!i ~principal:alice ()))))
+
+(* fig4: the latency experiment's unit of work — one GH invocation. *)
+let test_fig4 =
+  let strat = bench_strategy Registry.Gh small_python_spec in
+  let i = ref 0 in
+  Test.make ~name:"fig4/gh-invoke"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (strat.Intf.invoke (Gh_faas.Request.make ~id:!i ~principal:bob ()))))
+
+(* fig5: a slice of the saturation DES (submit + drain a window). *)
+let test_fig5 =
+  Test.make ~name:"fig5/des-saturation-slice"
+    (Staged.stage (fun () ->
+         let engine = Gh_sim.Engine.create () in
+         let strat = bench_strategy Registry.Base small_python_spec in
+         let invoker =
+           Gh_faas.Invoker.create engine ~n_containers:2 ~dispatch_ns:1000
+             ~make_strategy:(fun _ -> strat)
+         in
+         for i = 1 to 16 do
+           Gh_faas.Invoker.submit invoker
+             (Gh_faas.Request.make ~id:i ~principal:alice ())
+             ~on_response:(fun _ _ -> ())
+         done;
+         Gh_sim.Engine.run_all engine))
+
+(* fig6: the FAASM reset path. *)
+let test_fig6 =
+  let strat = bench_strategy Registry.Faasm small_python_spec in
+  let i = ref 0 in
+  Test.make ~name:"fig6/faasm-reset-cycle"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (strat.Intf.invoke (Gh_faas.Request.make ~id:!i ~principal:alice ()))))
+
+(* fig7: multi-container scaling — four independent managers restoring. *)
+let test_fig7 =
+  let strats = Array.init 4 (fun _ -> bench_strategy Registry.Gh small_python_spec) in
+  let i = ref 0 in
+  Test.make ~name:"fig7/four-containers-round"
+    (Staged.stage (fun () ->
+         incr i;
+         Array.iter
+           (fun s -> ignore (s.Intf.invoke (Gh_faas.Request.make ~id:!i ~principal:alice ())))
+           strats))
+
+(* fig8: the restore engine alone, on a dirtied process. *)
+let test_fig8 =
+  let p = bench_process () in
+  let snap = Snapshot.capture (Account.create ()) p in
+  let scratch = Account.create () in
+  Test.make ~name:"fig8/restore-run"
+    (Staged.stage (fun () ->
+         As.dirty_range p.Process.mem scratch (As.heap p.Process.mem) ~pos:0 ~len:256 ~value:3;
+         ignore (Restore.run scratch snap p)))
+
+(* table1: snapshot capture (the one-time cost column). *)
+let test_table1 =
+  Test.make ~name:"table1/snapshot-capture"
+    (Staged.stage (fun () ->
+         let p = bench_process () in
+         ignore (Snapshot.capture (Account.create ()) p)))
+
+(* table2: the soft-dirty pagemap scan (the per-request tracking cost). *)
+let test_table2 =
+  let p = bench_process () in
+  let scratch = Account.create () in
+  Test.make ~name:"table2/pagemap-scan"
+    (Staged.stage (fun () -> ignore (Procfs.scan_soft_dirty scratch p)))
+
+(* table3: layout diffing plus fork cloning (restore-vs-fork economics). *)
+let test_table3 =
+  let p = bench_process () in
+  let snap = Snapshot.capture (Account.create ()) p in
+  let scratch = Account.create () in
+  Test.make ~name:"table3/layout-diff+fork"
+    (Staged.stage (fun () ->
+         let maps = Procfs.read_maps scratch p in
+         ignore (Layout_diff.diff scratch ~cost snap maps);
+         ignore (Process.fork p scratch)))
+
+let bechamel_tests =
+  [
+    test_fig3;
+    test_fig4;
+    test_fig5;
+    test_fig6;
+    test_fig7;
+    test_fig8;
+    test_table1;
+    test_table2;
+    test_table3;
+  ]
+
+let run_bechamel () =
+  print_endline "== Bechamel micro-benchmarks (one per table/figure) ==";
+  Printf.printf "%-32s %14s\n" "benchmark" "time/run";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:(Some 100) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let ols =
+            Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+          in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] ->
+              let time_str =
+                if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+                else if t > 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
+                else Printf.sprintf "%.1f ns" t
+              in
+              Printf.printf "%-32s %14s\n" name time_str
+          | _ -> Printf.printf "%-32s %14s\n" name "n/a")
+        results)
+    bechamel_tests;
+  print_newline ()
+
+let run_figures profile =
+  print_endline "== Regenerating every table and figure of the evaluation ==";
+  Gh_harness.Experiments.run_all profile Format.std_formatter;
+  print_endline "";
+  print_endline "== Ablations and extensions (beyond the paper's configurations) ==";
+  Gh_harness.Experiments.run_extras profile Format.std_formatter
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let bechamel_only = List.mem "--bechamel-only" args in
+  let figures_only = List.mem "--figures-only" args in
+  let profile = if quick then Gh_harness.Config.quick else Gh_harness.Config.default in
+  if not figures_only then run_bechamel ();
+  if not bechamel_only then run_figures profile

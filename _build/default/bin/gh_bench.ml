@@ -1,0 +1,326 @@
+(* gh-bench: regenerate the paper's tables and figures, inspect the
+   benchmark catalog, or run a single benchmark under one isolation
+   strategy. *)
+
+open Cmdliner
+
+let profile_conv =
+  let parse = function
+    | "quick" -> Ok Gh_harness.Config.quick
+    | "default" -> Ok Gh_harness.Config.default
+    | "full" -> Ok Gh_harness.Config.full
+    | s -> Error (`Msg (Printf.sprintf "unknown profile %S (quick|default|full)" s))
+  in
+  let print ppf _ = Format.pp_print_string ppf "<profile>" in
+  Arg.conv (parse, print)
+
+let profile_arg =
+  let doc = "Measurement profile: quick, default or full (paper-sized runs)." in
+  Arg.(value & opt profile_conv Gh_harness.Config.default & info [ "profile"; "p" ] ~doc)
+
+let seed_arg =
+  let doc = "Root random seed (experiments are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let with_seed cfg seed = { cfg with Gh_harness.Config.seed = seed }
+
+(* -- run -- *)
+
+let experiments_arg =
+  let doc = "Experiments to run (see `gh-bench list'), or 'all' (the paper set) / 'extras' (ablations and extensions)." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let output_arg =
+  let doc = "Write each experiment's report into $(docv)/<experiment>.txt instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"DIR" ~doc)
+
+let run_cmd =
+  let run profile seed output names =
+    let cfg = with_seed profile seed in
+    let with_ppf id k =
+      match output with
+      | None -> k Format.std_formatter
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path = Filename.concat dir (id ^ ".txt") in
+          let oc = open_out path in
+          let ppf = Format.formatter_of_out_channel oc in
+          Fun.protect
+            ~finally:(fun () ->
+              Format.pp_print_flush ppf ();
+              close_out oc;
+              Printf.printf "wrote %s\n%!" path)
+            (fun () -> k ppf)
+    in
+    let results =
+      List.map
+        (fun name ->
+          if String.lowercase_ascii name = "all" then begin
+            with_ppf "all" (fun ppf -> Gh_harness.Experiments.run_all cfg ppf);
+            Ok ()
+          end
+          else if String.lowercase_ascii name = "extras" then begin
+            with_ppf "extras" (fun ppf -> Gh_harness.Experiments.run_extras cfg ppf);
+            Ok ()
+          end
+          else
+            match Gh_harness.Experiments.of_string name with
+            | Ok id ->
+                with_ppf
+                  (Gh_harness.Experiments.to_string id)
+                  (fun ppf ->
+                    Format.fprintf ppf "@.#### %s: %s@."
+                      (Gh_harness.Experiments.to_string id)
+                      (Gh_harness.Experiments.describe id);
+                    Gh_harness.Experiments.run id cfg ppf);
+                Ok ()
+            | Error msg -> Error msg)
+        names
+    in
+    match List.find_opt Result.is_error results with
+    | Some (Error msg) -> `Error (false, msg)
+    | _ -> `Ok ()
+  in
+  let doc = "Regenerate one or more of the paper's tables/figures." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret (const run $ profile_arg $ seed_arg $ output_arg $ experiments_arg))
+
+(* -- list -- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Paper tables/figures ('all'):";
+    List.iter
+      (fun id ->
+        Printf.printf "  %-20s %s\n"
+          (Gh_harness.Experiments.to_string id)
+          (Gh_harness.Experiments.describe id))
+      Gh_harness.Experiments.all;
+    print_endline "Ablations and extensions ('extras'):";
+    List.iter
+      (fun id ->
+        Printf.printf "  %-20s %s\n"
+          (Gh_harness.Experiments.to_string id)
+          (Gh_harness.Experiments.describe id))
+      Gh_harness.Experiments.extras
+  in
+  let doc = "List the available experiments." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* -- catalog -- *)
+
+let catalog_cmd =
+  let run () =
+    let open Gh_workloads in
+    Printf.printf "%-18s %-14s %12s %10s %10s %8s\n" "benchmark" "suite" "base inv ms"
+      "pages K" "restored K" "wasm";
+    List.iter
+      (fun (e : Catalog.entry) ->
+        let r = e.Catalog.reference in
+        Printf.printf "%-18s %-14s %12.1f %10.2f %10.2f %8s\n" e.Catalog.display
+          (Catalog.suite_to_string e.Catalog.suite)
+          r.Paper_ref.base_invoker_ms r.Paper_ref.pages_k r.Paper_ref.restored_k
+          (if r.Paper_ref.faasm_invoker_ms <> None then "yes" else "no"))
+      Catalog.all
+  in
+  let doc = "List the 58-benchmark catalog with its paper-reference parameters." in
+  Cmd.v (Cmd.info "catalog" ~doc) Term.(const run $ const ())
+
+(* -- invoke: run one benchmark under one strategy -- *)
+
+let invoke_cmd =
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name, e.g. 'json (n)' or json.")
+  in
+  let strat_arg =
+    Arg.(value & opt string "gh" & info [ "strategy"; "s" ] ~doc:"Isolation strategy: base, gh, gh-nop, fork, faasm, coldstart, criu.")
+  in
+  let n_arg = Arg.(value & opt int 20 & info [ "n" ] ~doc:"Number of requests.") in
+  let run profile seed bench strat n =
+    let cfg = with_seed profile seed in
+    match Gh_workloads.Catalog.find bench with
+    | None -> `Error (false, Printf.sprintf "benchmark %S not in catalog (see gh-bench catalog)" bench)
+    | Some entry -> begin
+        match Gh_isolation.Registry.of_string strat with
+        | Error msg -> `Error (false, msg)
+        | Ok id -> begin
+            let cfg = { cfg with Gh_harness.Config.latency_requests = n; latency_requests_medium = n; latency_requests_long = n } in
+            match Gh_harness.Latency_exp.run_one cfg id entry with
+            | None -> `Error (false, Printf.sprintf "strategy %s does not support %s" strat bench)
+            | Some m ->
+                let open Gh_sim in
+                Format.printf "%s under %s (%d requests)@." entry.Gh_workloads.Catalog.display
+                  strat n;
+                Format.printf "  invoker latency: %a (ms)@." Stats.pp_summary
+                  m.Gh_harness.Latency_exp.invoker;
+                Format.printf "  e2e latency:     %a (ms)@." Stats.pp_summary
+                  m.Gh_harness.Latency_exp.e2e;
+                `Ok ()
+          end
+      end
+  in
+  let doc = "Measure one benchmark under one isolation strategy." in
+  Cmd.v (Cmd.info "invoke" ~doc)
+    Term.(ret (const run $ profile_arg $ seed_arg $ bench_arg $ strat_arg $ n_arg))
+
+(* -- trace: a container timeline for one benchmark -- *)
+
+let trace_cmd =
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name.")
+  in
+  let n_arg = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Requests to trace.") in
+  let run seed bench n =
+    match Gh_workloads.Catalog.find bench with
+    | None -> `Error (false, Printf.sprintf "benchmark %S not in catalog" bench)
+    | Some entry ->
+        let trace = Gh_sim.Trace.create () in
+        let root = Gh_sim.Rng.create seed in
+        let deployment =
+          Gh_faas.Openwhisk.deploy ~trace
+            { Gh_faas.Openwhisk.default_config with Gh_faas.Openwhisk.n_cores = 1; seed }
+            ~make_strategy:(fun i ->
+              match
+                Gh_isolation.Registry.make Gh_isolation.Registry.Gh
+                  ~rng:(Gh_sim.Rng.named_split root (string_of_int i))
+                  entry.Gh_workloads.Catalog.spec
+              with
+              | Ok s -> s
+              | Error msg -> failwith msg)
+        in
+        let principals =
+          [|
+            Gh_faas.Principal.make ~id:1 ~name:"alice";
+            Gh_faas.Principal.make ~id:2 ~name:"bob";
+          |]
+        in
+        ignore
+          (Gh_faas.Client.closed_loop deployment.Gh_faas.Openwhisk.engine
+             deployment.Gh_faas.Openwhisk.controller ~n_requests:n
+             ~think_ns:(Gh_sim.Time_ns.of_ms 20.0) ~principals
+             ~input_kb:entry.Gh_workloads.Catalog.spec.Gh_faas.Function_model.input_kb);
+        Format.printf "Container timeline for %s under Groundhog (%d requests):@."
+          entry.Gh_workloads.Catalog.display n;
+        Gh_sim.Trace.render Format.std_formatter trace;
+        `Ok ()
+  in
+  let doc = "Print a traced container timeline (serve/respond/restore/idle) for one benchmark." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(ret (const run $ seed_arg $ bench_arg $ n_arg))
+
+(* -- compare: all strategies side by side on one benchmark -- *)
+
+let compare_cmd =
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name.")
+  in
+  let n_arg = Arg.(value & opt int 20 & info [ "n" ] ~doc:"Requests per strategy.") in
+  let run profile seed bench n =
+    let cfg = with_seed profile seed in
+    match Gh_workloads.Catalog.find bench with
+    | None -> `Error (false, Printf.sprintf "benchmark %S not in catalog" bench)
+    | Some entry ->
+        let cfg =
+          {
+            cfg with
+            Gh_harness.Config.latency_requests = n;
+            latency_requests_medium = n;
+            latency_requests_long = max 3 (n / 4);
+          }
+        in
+        Format.printf "%s — all isolation strategies (%d requests each)@."
+          entry.Gh_workloads.Catalog.display n;
+        Format.printf "%-10s %14s %14s %14s@." "strategy" "invoker ms" "e2e ms" "deferred ms";
+        List.iter
+          (fun id ->
+            match Gh_harness.Latency_exp.run_one cfg id entry with
+            | None -> Format.printf "%-10s %14s@." (Gh_isolation.Registry.to_string id) "unsupported"
+            | Some m ->
+                (* Mean deferred (off-path) work per request. *)
+                let deferred =
+                  match
+                    Gh_isolation.Registry.make id
+                      ~rng:(Gh_sim.Rng.create (seed + 1))
+                      entry.Gh_workloads.Catalog.spec
+                  with
+                  | Error _ -> Float.nan
+                  | Ok strat ->
+                      let total = ref 0 in
+                      for i = 1 to 5 do
+                        let req =
+                          Gh_faas.Request.make ~id:i
+                            ~principal:(Gh_faas.Principal.make ~id:1 ~name:"a")
+                            ()
+                        in
+                        total := !total + (strat.Gh_faas.Strategy_intf.invoke req).Gh_faas.Strategy_intf.post_ns
+                      done;
+                      Gh_sim.Time_ns.to_ms (!total / 5)
+                in
+                Format.printf "%-10s %14.2f %14.1f %14.2f@."
+                  (Gh_isolation.Registry.to_string id)
+                  m.Gh_harness.Latency_exp.invoker.Gh_sim.Stats.mean
+                  m.Gh_harness.Latency_exp.e2e.Gh_sim.Stats.mean deferred)
+          Gh_isolation.Registry.all;
+        `Ok ()
+  in
+  let doc = "Compare every isolation strategy on one benchmark." in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(ret (const run $ profile_arg $ seed_arg $ bench_arg $ n_arg))
+
+(* -- security-check: who leaks? -- *)
+
+let security_cmd =
+  let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~doc:"Alternating requests per strategy.") in
+  let run seed n =
+    let alice = Gh_faas.Principal.make ~id:1 ~name:"alice" in
+    let bob = Gh_faas.Principal.make ~id:2 ~name:"bob" in
+    (* A buggy, residue-exfiltrating variant of a small catalog function. *)
+    let base_spec =
+      match Gh_workloads.Catalog.find "deltablue (p)" with
+      | Some e -> e.Gh_workloads.Catalog.spec
+      | None -> Gh_faas.Function_model.default_spec
+    in
+    let spec =
+      {
+        base_spec with
+        Gh_faas.Function_model.buggy_residue_leak = true;
+        read_pages = base_spec.Gh_faas.Function_model.mapped_pages;
+      }
+    in
+    Format.printf
+      "Buggy %s: does a residue-copying bug leak one caller's data to the next?@."
+      spec.Gh_faas.Function_model.name;
+    Format.printf "%-10s %-10s %s@." "strategy" "verdict" "foreign words observed";
+    List.iter
+      (fun id ->
+        match Gh_isolation.Registry.make id ~rng:(Gh_sim.Rng.create seed) spec with
+        | Error msg -> Format.printf "%-10s %-10s (%s)@." (Gh_isolation.Registry.to_string id) "n/a" msg
+        | Ok strat ->
+            let leaked = ref 0 in
+            for i = 1 to n do
+              let principal = if i mod 2 = 1 then alice else bob in
+              let inv =
+                strat.Gh_faas.Strategy_intf.invoke (Gh_faas.Request.make ~id:i ~principal ())
+              in
+              leaked :=
+                !leaked
+                + List.length
+                    (List.filter
+                       (fun w -> not (Gh_faas.Principal.owns_word principal w))
+                       inv.Gh_faas.Strategy_intf.response.Gh_faas.Function_model.residue)
+            done;
+            Format.printf "%-10s %-10s %d@."
+              (Gh_isolation.Registry.to_string id)
+              (if !leaked > 0 then "LEAKS" else "isolated")
+              !leaked)
+      Gh_isolation.Registry.all;
+    `Ok ()
+  in
+  let doc = "Demonstrate which isolation strategies stop a residue-leaking bug." in
+  Cmd.v (Cmd.info "security-check" ~doc) Term.(ret (const run $ seed_arg $ n_arg))
+
+let main =
+  let doc = "Groundhog reproduction: regenerate the paper's evaluation." in
+  Cmd.group (Cmd.info "gh-bench" ~version:"1.0.0" ~doc)
+    [ run_cmd; list_cmd; catalog_cmd; invoke_cmd; compare_cmd; security_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main)

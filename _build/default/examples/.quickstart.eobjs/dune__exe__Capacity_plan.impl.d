@@ -1,0 +1,1 @@
+examples/capacity_plan.ml: Float Format Gh_faas Gh_isolation Gh_sim Gh_workloads List

@@ -1,0 +1,1 @@
+examples/incremental_snapshots.ml: Float Format Gh_faas Gh_sim Gh_workloads Groundhog_core

@@ -1,0 +1,1 @@
+examples/leak_demo.ml: Format Gh_faas Gh_isolation Gh_sim List

@@ -1,0 +1,1 @@
+examples/leak_demo.mli:

@@ -1,0 +1,1 @@
+examples/microbench_explore.ml: Array Format Gh_faas Gh_isolation Gh_kernel Gh_sim Gh_workloads Groundhog_core List Printf

@@ -1,0 +1,1 @@
+examples/microbench_explore.mli:

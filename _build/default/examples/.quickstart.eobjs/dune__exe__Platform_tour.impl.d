@@ -1,0 +1,1 @@
+examples/platform_tour.ml: Array Float Format Gh_faas Gh_isolation Gh_sim Gh_workloads List

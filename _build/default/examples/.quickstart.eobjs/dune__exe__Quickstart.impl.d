@@ -1,0 +1,1 @@
+examples/quickstart.ml: Breakdown Format Gh_kernel Gh_mem Gh_proc Gh_sim Groundhog_core List Manager Snapshot Verify

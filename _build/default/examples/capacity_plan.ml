@@ -1,0 +1,81 @@
+(* Capacity planning with synthetic workloads: how many cores does a fleet
+   need to hit a target request rate, with and without request isolation?
+
+   Groundhog's restoration consumes container time off each request's
+   critical path — invisible in latency at low load, but it is real CPU:
+   a saturated fleet needs proportionally more cores. This example draws a
+   random-but-plausible fleet of functions, measures each one's per-request
+   container occupancy under BASE and GH, and prices the isolation in
+   cores.
+
+   Run with: dune exec examples/capacity_plan.exe *)
+
+module Synthetic = Gh_workloads.Synthetic
+module Registry = Gh_isolation.Registry
+module Intf = Gh_faas.Strategy_intf
+module Fm = Gh_faas.Function_model
+module Rng = Gh_sim.Rng
+module Time_ns = Gh_sim.Time_ns
+
+let fleet_size = 8
+let target_rps_per_function = 25.0
+
+let alice = Gh_faas.Principal.make ~id:1 ~name:"alice"
+let bob = Gh_faas.Principal.make ~id:2 ~name:"bob"
+
+(* Mean container occupancy (on-path + deferred) per request. *)
+let occupancy_ms strategy spec =
+  match Registry.make strategy ~rng:(Rng.create 31) spec with
+  | Error _ -> Float.nan
+  | Ok strat ->
+      let n = 10 in
+      let total = ref 0 in
+      for i = -2 to n - 1 do
+        let principal = if i land 1 = 0 then alice else bob in
+        let inv =
+          strat.Intf.invoke
+            (Gh_faas.Request.make ~id:(i + 3) ~principal ~input_kb:spec.Fm.input_kb ())
+        in
+        if i >= 0 then total := !total + inv.Intf.on_path_ns + inv.Intf.post_ns
+      done;
+      Time_ns.to_ms (!total / n)
+
+let cores_needed occupancy_ms rps = rps *. occupancy_ms /. 1000.0
+
+let () =
+  let rng = Rng.create 2026 in
+  let profile =
+    {
+      Synthetic.default_profile with
+      Synthetic.max_exec_ms = 80.0;
+      (* The catalog's §3.1 observation: invocations modify a small
+         fraction of the mapped address space (mean 8.5 %). *)
+      max_dirty_fraction = 0.09;
+      allow_pathologies = false;
+    }
+  in
+  let fleet = Synthetic.draw_many ~profile rng fleet_size in
+  Format.printf
+    "Fleet of %d synthetic functions, each targeting %.0f req/s. Cores = rate x occupancy.@.@."
+    fleet_size target_rps_per_function;
+  Format.printf "%-18s %-7s %11s %11s %10s %10s@." "function" "lang" "BASE ms/req"
+    "GH ms/req" "BASE cores" "GH cores";
+  let base_total = ref 0.0 and gh_total = ref 0.0 in
+  List.iter
+    (fun (spec : Fm.spec) ->
+      let base = occupancy_ms Registry.Base spec in
+      let gh = occupancy_ms Registry.Gh spec in
+      let base_cores = cores_needed base target_rps_per_function in
+      let gh_cores = cores_needed gh target_rps_per_function in
+      base_total := !base_total +. base_cores;
+      gh_total := !gh_total +. gh_cores;
+      Format.printf "%-18s %-7s %11.2f %11.2f %10.2f %10.2f@." spec.Fm.name
+        (Gh_faas.Runtime.lang_to_string spec.Fm.lang)
+        base gh base_cores gh_cores)
+    fleet;
+  Format.printf "@.fleet total: %.2f cores insecure vs %.2f cores with Groundhog (+%.1f%%)@."
+    !base_total !gh_total
+    (100.0 *. (!gh_total -. !base_total) /. !base_total);
+  Format.printf
+    "The premium is the price of sequential request isolation at full utilization;@.\
+     at typical (partial) utilization the same fleet absorbs it for free (§4).@."

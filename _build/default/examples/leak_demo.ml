@@ -1,0 +1,94 @@
+(* The paper's §1 motivation, end to end: Alice and Bob call the same
+   deployed function; the function (or a library it uses) is buggy and
+   copies residual memory into its response.
+
+   Under BASE (warm container reuse, no isolation) Bob's response carries
+   Alice's secret. Under Groundhog the same buggy function leaks nothing,
+   because the process is rolled back between the two activations. The
+   demo also shows the platform-services side: per-caller ACLs stop Bob
+   from reading Alice's records directly.
+
+   Run with: dune exec examples/leak_demo.exe *)
+
+module Fm = Gh_faas.Function_model
+module Intf = Gh_faas.Strategy_intf
+module Principal = Gh_faas.Principal
+module Request = Gh_faas.Request
+module Services = Gh_faas.Services
+module Rng = Gh_sim.Rng
+
+let alice = Principal.make ~id:1 ~name:"alice"
+let bob = Principal.make ~id:2 ~name:"bob"
+
+(* A sentiment-analysis-style function with a nasty bug: it scans its
+   working buffers and includes whatever it finds in the response. *)
+let buggy_function =
+  {
+    Fm.default_spec with
+    Fm.name = "sentiment-buggy";
+    lang = Gh_faas.Runtime.Python;
+    exec_ns = Gh_sim.Time_ns.of_ms 6.5;
+    mapped_pages = 16_000;
+    dirtied_pages = 570;
+    read_pages = 8_000;
+    buggy_residue_leak = true;
+  }
+
+let serve strategy label =
+  Format.printf "@.--- %s ---@." label;
+  (* Alice's request carries her secret; Bob calls right after. *)
+  let requests =
+    [
+      Request.make ~id:101 ~principal:alice ();
+      Request.make ~id:102 ~principal:bob ();
+      Request.make ~id:103 ~principal:alice ();
+      Request.make ~id:104 ~principal:bob ();
+    ]
+  in
+  List.iter
+    (fun req ->
+      let inv = strategy.Intf.invoke req in
+      let foreign =
+        List.filter
+          (fun w -> not (Principal.owns_word req.Request.principal w))
+          inv.Intf.response.Fm.residue
+      in
+      Format.printf "%-6s request #%d -> response"
+        req.Request.principal.Principal.name req.Request.id;
+      (match foreign with
+      | [] -> Format.printf " (no foreign data)"
+      | words ->
+          Format.printf " LEAKED %d foreign word(s):" (List.length words);
+          List.iter
+            (fun w ->
+              let owner = if Principal.owns_word alice w then "alice" else "other" in
+              Format.printf " %#x(owner:%s)" w owner)
+            words);
+      Format.printf "@.")
+    requests
+
+let () =
+  Format.printf "One buggy function, two mutually distrusting callers.@.";
+
+  (* Insecure baseline: plain warm-container reuse. *)
+  serve (Gh_isolation.Base.make ~rng:(Rng.create 42) buggy_function)
+    "BASE: container reuse, no request isolation";
+
+  (* Groundhog: same function, same bug — restored between activations. *)
+  serve
+    (Gh_isolation.Gh.make ~paranoid:true ~rng:(Rng.create 42) buggy_function)
+    "GROUNDHOG: snapshot/restore between activations";
+
+  (* Platform services enforce per-caller access control independently:
+     even a correct function cannot move data across callers this way. *)
+  Format.printf "@.--- platform services (per-caller credentials) ---@.";
+  let kv = Services.create () in
+  Services.grant kv alice ~key:"alice/notes";
+  (match Services.put kv alice ~key:"alice/notes" 0xA11CE with
+  | Ok () -> Format.printf "alice stored her record@."
+  | Error e -> Format.printf "unexpected: %a@." Services.pp_error e);
+  (match Services.get kv bob ~key:"alice/notes" with
+  | Error e -> Format.printf "bob's read rejected: %a@." Services.pp_error e
+  | Ok _ -> Format.printf "BUG: bob read alice's record@.");
+  Format.printf
+    "@.Groundhog closes the remaining channel: function-process memory reused across callers.@."

@@ -1,0 +1,1 @@
+lib/core/breakdown.ml: Format Gh_sim List

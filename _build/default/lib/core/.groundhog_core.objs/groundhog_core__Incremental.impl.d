@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Array Gh_kernel Gh_mem Gh_proc Gh_sim Hashtbl List Restore Snapshot

@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Breakdown Gh_proc Gh_sim Snapshot

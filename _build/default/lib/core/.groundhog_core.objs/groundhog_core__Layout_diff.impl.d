@@ -1,0 +1,1 @@
+lib/core/layout_diff.ml: Gh_kernel Gh_mem Gh_proc Gh_sim Hashtbl List Snapshot

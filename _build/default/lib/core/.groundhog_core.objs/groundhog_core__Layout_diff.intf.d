@@ -1,0 +1,1 @@
+lib/core/layout_diff.mli: Gh_kernel Gh_proc Gh_sim Snapshot

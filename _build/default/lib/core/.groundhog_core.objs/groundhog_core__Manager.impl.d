@@ -1,0 +1,1 @@
+lib/core/manager.ml: Format Gh_proc Gh_sim Incremental Restore Snapshot Verify

@@ -1,0 +1,1 @@
+lib/core/manager.mli: Breakdown Gh_proc Gh_sim Snapshot

@@ -1,0 +1,1 @@
+lib/core/restore.ml: Array Breakdown Gh_kernel Gh_mem Gh_proc Gh_sim Hashtbl Layout_diff List Option Snapshot

@@ -1,0 +1,1 @@
+lib/core/restore.mli: Breakdown Gh_proc Gh_sim Snapshot

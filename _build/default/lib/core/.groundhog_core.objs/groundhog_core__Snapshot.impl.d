@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array Format Gh_kernel Gh_mem Gh_proc Gh_sim List

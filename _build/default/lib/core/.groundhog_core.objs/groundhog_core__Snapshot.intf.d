@@ -1,0 +1,1 @@
+lib/core/snapshot.mli: Format Gh_mem Gh_proc Gh_sim

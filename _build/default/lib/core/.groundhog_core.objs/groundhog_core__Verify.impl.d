@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Format Gh_mem Gh_proc List Printf Snapshot

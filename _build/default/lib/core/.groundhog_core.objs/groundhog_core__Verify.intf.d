@@ -1,0 +1,1 @@
+lib/core/verify.mli: Format Gh_proc Snapshot

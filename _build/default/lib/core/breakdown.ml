@@ -1,0 +1,99 @@
+type t = {
+  interrupt_ns : int;
+  read_maps_ns : int;
+  scan_ns : int;
+  diff_ns : int;
+  syscalls_ns : int;
+  copy_ns : int;
+  regs_ns : int;
+  reset_ns : int;
+  detach_ns : int;
+  total_ns : int;
+  pages_scanned : int;
+  pages_restored : int;
+  pages_madvised : int;
+  syscalls_injected : int;
+  threads : int;
+}
+
+let zero =
+  {
+    interrupt_ns = 0;
+    read_maps_ns = 0;
+    scan_ns = 0;
+    diff_ns = 0;
+    syscalls_ns = 0;
+    copy_ns = 0;
+    regs_ns = 0;
+    reset_ns = 0;
+    detach_ns = 0;
+    total_ns = 0;
+    pages_scanned = 0;
+    pages_restored = 0;
+    pages_madvised = 0;
+    syscalls_injected = 0;
+    threads = 0;
+  }
+
+let add a b =
+  {
+    interrupt_ns = a.interrupt_ns + b.interrupt_ns;
+    read_maps_ns = a.read_maps_ns + b.read_maps_ns;
+    scan_ns = a.scan_ns + b.scan_ns;
+    diff_ns = a.diff_ns + b.diff_ns;
+    syscalls_ns = a.syscalls_ns + b.syscalls_ns;
+    copy_ns = a.copy_ns + b.copy_ns;
+    regs_ns = a.regs_ns + b.regs_ns;
+    reset_ns = a.reset_ns + b.reset_ns;
+    detach_ns = a.detach_ns + b.detach_ns;
+    total_ns = a.total_ns + b.total_ns;
+    pages_scanned = a.pages_scanned + b.pages_scanned;
+    pages_restored = a.pages_restored + b.pages_restored;
+    pages_madvised = a.pages_madvised + b.pages_madvised;
+    syscalls_injected = a.syscalls_injected + b.syscalls_injected;
+    threads = a.threads + b.threads;
+  }
+
+let scale a k =
+  let s x = int_of_float ((float_of_int x *. k) +. 0.5) in
+  {
+    interrupt_ns = s a.interrupt_ns;
+    read_maps_ns = s a.read_maps_ns;
+    scan_ns = s a.scan_ns;
+    diff_ns = s a.diff_ns;
+    syscalls_ns = s a.syscalls_ns;
+    copy_ns = s a.copy_ns;
+    regs_ns = s a.regs_ns;
+    reset_ns = s a.reset_ns;
+    detach_ns = s a.detach_ns;
+    total_ns = s a.total_ns;
+    pages_scanned = s a.pages_scanned;
+    pages_restored = s a.pages_restored;
+    pages_madvised = s a.pages_madvised;
+    syscalls_injected = s a.syscalls_injected;
+    threads = s a.threads;
+  }
+
+let steps t =
+  [
+    ("interrupt", t.interrupt_ns);
+    ("read-maps", t.read_maps_ns);
+    ("scan-pages", t.scan_ns);
+    ("diff-layout", t.diff_ns);
+    ("inject-syscalls", t.syscalls_ns);
+    ("restore-memory", t.copy_ns);
+    ("restore-registers", t.regs_ns);
+    ("reset-SD-bits", t.reset_ns);
+    ("detach", t.detach_ns);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>restore total %a (%d pages restored, %d madvised, %d syscalls)@ "
+    Gh_sim.Time_ns.pp t.total_ns t.pages_restored t.pages_madvised t.syscalls_injected;
+  List.iter
+    (fun (label, ns) ->
+      if ns > 0 then
+        Format.fprintf ppf "%-18s %a (%4.1f%%)@ " label Gh_sim.Time_ns.pp ns
+          (100.0 *. float_of_int ns /. float_of_int (max 1 t.total_ns)))
+    (steps t);
+  Format.fprintf ppf "@]"

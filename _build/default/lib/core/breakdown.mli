@@ -1,0 +1,31 @@
+(** Per-step cost breakdown of one restoration (§5.4, Fig. 8). *)
+
+type t = {
+  interrupt_ns : int;  (** ptrace attach + stopping every thread. *)
+  read_maps_ns : int;  (** Reading /proc/pid/maps. *)
+  scan_ns : int;  (** Scanning pagemap for soft-dirty bits. *)
+  diff_ns : int;  (** Diffing the memory layout against the snapshot. *)
+  syscalls_ns : int;  (** Injected syscalls reversing layout changes. *)
+  copy_ns : int;  (** Restoring page contents (and zeroing the stack). *)
+  regs_ns : int;  (** Restoring registers of all threads. *)
+  reset_ns : int;  (** Resetting soft-dirty bits. *)
+  detach_ns : int;
+  total_ns : int;
+  pages_scanned : int;  (** Mapped pages whose pagemap entry was read. *)
+  pages_restored : int;  (** Pages whose contents were written back. *)
+  pages_madvised : int;  (** Newly paged pages returned to lazy state. *)
+  syscalls_injected : int;
+  threads : int;
+}
+
+val zero : t
+
+val add : t -> t -> t
+(** Field-wise sum (for averaging across invocations). *)
+
+val scale : t -> float -> t
+
+val steps : t -> (string * int) list
+(** Ordered (label, ns) pairs of the nine steps — Fig. 8's stack. *)
+
+val pp : Format.formatter -> t -> unit

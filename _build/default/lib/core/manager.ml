@@ -1,0 +1,76 @@
+module Account = Gh_sim.Account
+module Process = Gh_proc.Process
+
+type mode = Eager | Incremental
+
+type t = {
+  proc : Process.t;
+  acct : Account.t;
+  paranoid : bool;
+  mode : mode;
+  mutable snap : Snapshot.t option;
+  mutable incr : Incremental.t option;
+  mutable clean : bool;
+  mutable restores : int;
+}
+
+let create ?(paranoid = false) ?(mode = Eager) proc =
+  if paranoid && mode = Incremental then
+    invalid_arg "Manager.create: paranoid verification requires eager snapshots";
+  {
+    proc;
+    acct = Account.create ();
+    paranoid;
+    mode;
+    snap = None;
+    incr = None;
+    clean = false;
+    restores = 0;
+  }
+
+let process t = t.proc
+let account t = t.acct
+
+let take_snapshot t =
+  (match t.snap with
+  | Some _ -> failwith "Groundhog manager: snapshot already taken"
+  | None -> ());
+  let snap =
+    match t.mode with
+    | Eager -> Snapshot.capture t.acct t.proc
+    | Incremental ->
+        let incr = Incremental.capture t.acct t.proc in
+        t.incr <- Some incr;
+        Incremental.snapshot incr
+  in
+  t.snap <- Some snap;
+  t.clean <- true;
+  snap.Snapshot.capture_ns
+
+let snapshot t = t.snap
+let mark_dirty t = t.clean <- false
+let is_clean t = t.clean
+
+let restore t =
+  match t.snap with
+  | None -> failwith "Groundhog manager: restore before snapshot"
+  | Some snap ->
+      let breakdown = Restore.run t.acct snap t.proc in
+      if t.paranoid then begin
+        match Verify.state_matches snap t.proc with
+        | Ok () -> ()
+        | Error m -> failwith (Format.asprintf "restore verification failed: %a" Verify.pp_mismatch m)
+      end;
+      t.clean <- true;
+      t.restores <- t.restores + 1;
+      breakdown
+
+let skip_restore t = t.clean <- true
+let restores_performed t = t.restores
+let total_manager_ns t = Account.total t.acct
+
+let buffer_pages t =
+  match (t.mode, t.incr, t.snap) with
+  | Incremental, Some incr, _ -> Incremental.saved_pages incr
+  | _, _, Some snap -> snap.Snapshot.present_pages
+  | _ -> 0

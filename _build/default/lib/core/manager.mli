@@ -1,0 +1,67 @@
+(** The Groundhog manager (§4, Fig. 2): the per-container process that
+    interposes between the FaaS platform and the function process.
+
+    Lifecycle: the manager is created around a freshly exec'd function
+    process; after the runtime has served a dummy request (triggering lazy
+    paging, class loading and global-state initialization), the manager
+    takes the snapshot; thereafter each completed invocation is followed by
+    a {!restore} before the next request may be forwarded ({!is_clean}
+    gates request delivery — Groundhog buffers inputs until the process is
+    clean, §4.5).
+
+    The manager's CPU time accumulates on its own {!account}: this work is
+    off the request's critical path, which is why it only shows up in
+    throughput (high-load) measurements. *)
+
+type t
+
+type mode =
+  | Eager  (** Copy every present page at snapshot time (the paper's
+               evaluated configuration). *)
+  | Incremental
+      (** §5.5's optimization: arm copy-on-write at snapshot time and
+          salvage originals on first modification — manager memory then
+          grows with the pages ever modified, at the price of a one-time
+          on-critical-path CoW fault per unique page. *)
+
+val create : ?paranoid:bool -> ?mode:mode -> Gh_proc.Process.t -> t
+(** [paranoid] makes every {!restore} verify the result against the
+    snapshot and raise [Failure] on any mismatch (testing aid; off by
+    default; incompatible with [Incremental]). [mode] defaults to
+    [Eager]. *)
+
+val process : t -> Gh_proc.Process.t
+val account : t -> Gh_sim.Account.t
+
+val take_snapshot : t -> Gh_sim.Time_ns.t
+(** Capture the clean state; returns the capture cost. Must be called
+    exactly once, before the first {!restore}.
+    @raise Failure if a snapshot was already taken. *)
+
+val snapshot : t -> Snapshot.t option
+
+val mark_dirty : t -> unit
+(** Note that a request reached the function process: the container is no
+    longer clean and the next request must wait for a restore. *)
+
+val is_clean : t -> bool
+(** True when the process provably holds no residue of a previous request:
+    right after the snapshot, or right after a restore. *)
+
+val restore : t -> Breakdown.t
+(** Revert to the snapshot (§4.4). @raise Failure if no snapshot exists. *)
+
+val skip_restore : t -> unit
+(** The same-security-domain optimization (§4.4): consecutive requests from
+    mutually trusting callers may skip the rollback. Marks the container
+    clean {e without} restoring — the caller is responsible for the policy
+    decision (see [Gh_isolation.Policy]). *)
+
+val restores_performed : t -> int
+
+val total_manager_ns : t -> Gh_sim.Time_ns.t
+(** All manager CPU time so far: snapshot + every restore. *)
+
+val buffer_pages : t -> int
+(** Pages of function memory held in the manager: the whole present
+    footprint for [Eager], only the salvaged pages for [Incremental]. *)

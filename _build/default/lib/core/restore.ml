@@ -1,0 +1,240 @@
+module Account = Gh_sim.Account
+module Cost = Gh_kernel.Cost
+module As = Gh_mem.Address_space
+module Vma = Gh_mem.Vma
+module Bitmap = Gh_mem.Bitmap
+module Process = Gh_proc.Process
+module Ptrace = Gh_proc.Ptrace
+module Procfs = Gh_proc.Procfs
+module Thread = Gh_proc.Thread
+module Registers = Gh_proc.Registers
+
+(* What to do with one page of a matched region. *)
+type action =
+  | Keep  (* clean and presence unchanged *)
+  | Copy  (* write the snapshot's content back *)
+  | Zero  (* stack page whose snapshot content is zero: memset, no source read *)
+  | Madvise  (* newly paged during the invocation: return to lazy *)
+
+let classify (snap : Snapshot.region) (vma : Vma.t) dirty i =
+  let snap_present = Bitmap.get snap.Snapshot.present i in
+  let now_present = Bitmap.get vma.Vma.present i in
+  let was_dirty = i < Bitmap.length dirty && Bitmap.get dirty i in
+  if snap_present then
+    if was_dirty || not now_present then
+      if snap.Snapshot.kind = Vma.Stack && snap.Snapshot.data.(i) = 0 then Zero else Copy
+    else Keep
+  else if now_present then Madvise
+  else Keep
+
+(* Apply [f pos len action] to each maximal run of equal non-Keep actions. *)
+let iter_action_runs snap vma dirty f =
+  let n = snap.Snapshot.n_pages in
+  let i = ref 0 in
+  while !i < n do
+    let a = classify snap vma dirty !i in
+    if a = Keep then incr i
+    else begin
+      let start = !i in
+      while !i < n && classify snap vma dirty !i = a do
+        incr i
+      done;
+      f start (!i - start) a
+    end
+  done
+
+(* Returns (pages copied/zeroed, pages madvised, madvise syscall count,
+   time spent in madvise injections) — the injections are part of the
+   layout-reversal budget, not the memory-copy budget. *)
+let restore_region session acct (snap : Snapshot.region) (vma : Vma.t) dirty =
+  let restored = ref 0 and madvised = ref 0 and injected = ref 0 in
+  let inject_ns = ref 0 in
+  iter_action_runs snap vma dirty (fun pos len action ->
+      match action with
+      | Copy ->
+          Ptrace.write_pages session acct vma ~pos ~len ~src:snap.Snapshot.data ~src_pos:pos;
+          restored := !restored + len
+      | Zero ->
+          Ptrace.zero_pages session acct vma ~pos ~len;
+          restored := !restored + len
+      | Madvise ->
+          let m = Account.mark acct in
+          ignore (Ptrace.inject_syscall session acct (Ptrace.Madvise_dontneed { vma; pos; len }));
+          inject_ns := !inject_ns + Account.since acct m;
+          incr injected;
+          madvised := !madvised + len
+      | Keep -> assert false);
+  (!restored, !madvised, !injected, !inject_ns)
+
+let empty_dirty = Bitmap.create 0
+
+let run acct (snapshot : Snapshot.t) (p : Process.t) =
+  let cost = As.cost p.Process.mem in
+  let mark () = Account.mark acct in
+  let t0 = mark () in
+
+  (* 1. Interrupt the function process. *)
+  let session = Ptrace.attach acct p in
+  let interrupt_ns = Account.since acct t0 in
+
+  (* 2. Read the memory-mapped regions. *)
+  let m = mark () in
+  let maps = Procfs.read_maps acct p in
+  let read_maps_ns = Account.since acct m in
+
+  (* 3. Identify dirtied pages. Soft-dirty tracking pays a scan of every
+     mapped page here; Uffd tracking already holds the dirty set but must
+     have paid per-write notifications during the invocation. *)
+  let m = mark () in
+  let pages_scanned, dirty_list =
+    match cost.Cost.tracking with
+    | Cost.Soft_dirty -> (As.total_pages p.Process.mem, Procfs.scan_soft_dirty acct p)
+    | Cost.Uffd ->
+        (* The manager already holds the dirty set (it took the faults). *)
+        let sets = Procfs.dirty_sets p in
+        (List.fold_left (fun n (_, d) -> n + Bitmap.count d) 0 sets, sets)
+    | Cost.Kernel_list ->
+        (* Footnote 6: the kernel hands over just the modified pages. *)
+        let sets = Procfs.dirty_sets p in
+        let dirty = List.fold_left (fun n (_, d) -> n + Bitmap.count d) 0 sets in
+        Account.charge acct (dirty * cost.Cost.pagemap_scan_per_page_ns);
+        (dirty, sets)
+  in
+  let scan_ns = Account.since acct m in
+  let dirty_by_id = Hashtbl.create 64 in
+  List.iter (fun ((v : Vma.t), d) -> Hashtbl.replace dirty_by_id v.Vma.id d) dirty_list;
+  let dirty_of (v : Vma.t) =
+    match Hashtbl.find_opt dirty_by_id v.Vma.id with Some d -> d | None -> empty_dirty
+  in
+
+  (* 4. Diff the memory layout against the snapshot. *)
+  let m = mark () in
+  let changes = Layout_diff.diff acct ~cost snapshot maps in
+  let diff_ns = Account.since acct m in
+
+  (* 5. Reverse layout changes by injecting syscalls. Heap resizes are
+     folded into a single brk restoration below. *)
+  let m = mark () in
+  let injected = ref 0 in
+  let recreated = ref [] in
+  let inject call =
+    incr injected;
+    Ptrace.inject_syscall session acct call
+  in
+  List.iter
+    (fun change ->
+      match change with
+      | Layout_diff.Added entry -> begin
+          match As.find_vma_by_id p.Process.mem entry.Procfs.vma_id with
+          | Some vma -> ignore (inject (Ptrace.Munmap vma))
+          | None -> ()
+        end
+      | Layout_diff.Removed snap ->
+          let vma =
+            inject
+              (Ptrace.Mmap_at
+                 {
+                   start_addr = snap.Snapshot.start_addr;
+                   n_pages = snap.Snapshot.n_pages;
+                   prot = snap.Snapshot.prot;
+                   kind = snap.Snapshot.kind;
+                 })
+          in
+          recreated := (snap, Option.get vma) :: !recreated
+      | Layout_diff.Resized { now; snap } ->
+          if snap.Snapshot.kind <> Vma.Heap then begin
+            match As.find_vma_by_id p.Process.mem now.Procfs.vma_id with
+            | Some vma -> ignore (inject (Ptrace.Mremap { vma; n_pages = snap.Snapshot.n_pages }))
+            | None -> ()
+          end
+      | Layout_diff.Prot_changed { now; snap } -> begin
+          match As.find_vma_by_id p.Process.mem now.Procfs.vma_id with
+          | Some vma -> ignore (inject (Ptrace.Mprotect (vma, snap.Snapshot.prot)))
+          | None -> ()
+        end)
+    changes;
+  if As.brk p.Process.mem <> snapshot.Snapshot.brk then
+    ignore (inject (Ptrace.Brk snapshot.Snapshot.brk));
+  let syscalls_ns = Account.since acct m in
+
+  (* 6. Restore page contents: dirty pages and presence mismatches in the
+     surviving regions, everything present in re-created regions; newly
+     paged pages are madvised back to the lazy state. *)
+  let m = mark () in
+  let restored = ref 0 and madvised = ref 0 in
+  let madvise_inject_ns = ref 0 in
+  List.iter
+    (fun (snap : Snapshot.region) ->
+      match As.find_vma p.Process.mem snap.Snapshot.start_addr with
+      | None -> ()
+      | Some vma ->
+          let dirty =
+            if List.exists (fun (s, _) -> s == snap) !recreated then empty_dirty
+            else dirty_of vma
+          in
+          let r, md, inj, inj_ns = restore_region session acct snap vma dirty in
+          restored := !restored + r;
+          madvised := !madvised + md;
+          injected := !injected + inj;
+          madvise_inject_ns := !madvise_inject_ns + inj_ns)
+    snapshot.Snapshot.regions;
+  let copy_ns = Account.since acct m - !madvise_inject_ns in
+  let syscalls_ns = syscalls_ns + !madvise_inject_ns in
+
+  (* 7. Restore registers; reconcile the thread set with the snapshot
+     (threads spawned by the invocation are killed, threads that exited are
+     recreated — recreation first, so the process is never thread-less). *)
+  let m = mark () in
+  List.iter
+    (fun (tid, regs) ->
+      let th =
+        match Process.find_thread p tid with
+        | Some th -> th
+        | None ->
+            let th = Thread.create ~tid in
+            th.Thread.state <- Thread.Stopped;
+            p.Process.threads <- p.Process.threads @ [ th ];
+            th
+      in
+      Ptrace.setregs session acct th regs)
+    snapshot.Snapshot.regs;
+  let extras =
+    List.filter
+      (fun th -> not (List.mem_assoc th.Thread.tid snapshot.Snapshot.regs))
+      p.Process.threads
+  in
+  List.iter (fun th -> Process.exit_thread p th) extras;
+  let regs_ns = Account.since acct m in
+
+  (* 8. Reset dirty tracking for the next invocation. *)
+  let m = mark () in
+  (match cost.Cost.tracking with
+  | Cost.Soft_dirty -> Procfs.clear_refs acct p
+  | Cost.Uffd | Cost.Kernel_list ->
+      (* Re-arm only the pages that were dirtied. *)
+      Account.charge acct (!restored * cost.Cost.clear_refs_per_page_ns);
+      As.clear_refs p.Process.mem);
+  let reset_ns = Account.since acct m in
+
+  (* 9. Detach; the process may accept the next request. *)
+  let m = mark () in
+  Ptrace.detach session acct;
+  let detach_ns = Account.since acct m in
+
+  {
+    Breakdown.interrupt_ns;
+    read_maps_ns;
+    scan_ns;
+    diff_ns;
+    syscalls_ns;
+    copy_ns;
+    regs_ns;
+    reset_ns;
+    detach_ns;
+    total_ns = Account.since acct t0;
+    pages_scanned;
+    pages_restored = !restored;
+    pages_madvised = !madvised;
+    syscalls_injected = !injected;
+    threads = Process.n_threads p;
+  }

@@ -1,0 +1,18 @@
+(** The restore engine (§4.4): revert a process to its snapshot.
+
+    The manager interrupts the process, identifies all changes to the
+    memory layout from /proc, reverses them by injecting syscalls, restores
+    the contents of soft-dirty pages (coalescing contiguous runs into bulk
+    copies), zeroes dirtied stack pages, returns newly paged pages to the
+    lazy state with madvise, restores every thread's registers, resets the
+    soft-dirty bits, and detaches.
+
+    After [run] returns, the process state is identical to the snapshot —
+    {!Verify.state_matches} checks this bit-for-bit, and the property tests
+    exercise it against randomized mutation sequences. *)
+
+val run : Gh_sim.Account.t -> Snapshot.t -> Gh_proc.Process.t -> Breakdown.t
+(** Restore the process; all costs are charged to the manager's account and
+    itemized in the returned breakdown.
+
+    @raise Gh_proc.Ptrace.Already_attached if a tracer holds the process. *)

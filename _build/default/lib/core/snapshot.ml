@@ -1,0 +1,66 @@
+module Account = Gh_sim.Account
+module Cost = Gh_kernel.Cost
+module As = Gh_mem.Address_space
+module Vma = Gh_mem.Vma
+module Bitmap = Gh_mem.Bitmap
+module Process = Gh_proc.Process
+module Ptrace = Gh_proc.Ptrace
+module Procfs = Gh_proc.Procfs
+
+type region = {
+  start_addr : int;
+  n_pages : int;
+  prot : Gh_mem.Prot.t;
+  kind : Vma.kind;
+  data : int array;
+  present : Bitmap.t;
+}
+
+type t = {
+  brk : int;
+  regs : (int * Gh_proc.Registers.t) list;
+  regions : region list;
+  present_pages : int;
+  capture_ns : Gh_sim.Time_ns.t;
+}
+
+let copy_region acct cost (v : Vma.t) =
+  let present = Bitmap.copy v.Vma.present in
+  let n_present = Bitmap.count present in
+  Account.charge acct (n_present * cost.Cost.snapshot_copy_per_page_ns);
+  {
+    start_addr = v.Vma.start_addr;
+    n_pages = v.Vma.n_pages;
+    prot = v.Vma.prot;
+    kind = v.Vma.kind;
+    data = Array.copy v.Vma.data;
+    present;
+  }
+
+let capture acct (p : Process.t) =
+  let start = Account.mark acct in
+  let cost = As.cost p.Process.mem in
+  let session = Ptrace.attach acct p in
+  let regs =
+    List.map
+      (fun th -> (th.Gh_proc.Thread.tid, Ptrace.getregs session acct th))
+      p.Process.threads
+  in
+  (* Walking /proc/pid/maps tells us what to copy. *)
+  let _maps = Procfs.read_maps acct p in
+  let regions = List.map (copy_region acct cost) (As.vmas p.Process.mem) in
+  let brk = As.brk p.Process.mem in
+  (* Arm tracking: from here on, modified pages are observable. *)
+  Procfs.clear_refs acct p;
+  Ptrace.detach session acct;
+  let present_pages = List.fold_left (fun n r -> n + Bitmap.count r.present) 0 regions in
+  { brk; regs; regions; present_pages; capture_ns = Account.since acct start }
+
+let find_region t ~start_addr = List.find_opt (fun r -> r.start_addr = start_addr) t.regions
+
+let memory_words t = List.fold_left (fun n r -> n + Array.length r.data) 0 t.regions
+
+let pp ppf t =
+  Format.fprintf ppf "snapshot: %d regions, %d present pages, %d threads, captured in %a"
+    (List.length t.regions) t.present_pages (List.length t.regs) Gh_sim.Time_ns.pp
+    t.capture_ns

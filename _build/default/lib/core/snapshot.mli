@@ -1,0 +1,37 @@
+(** In-memory process snapshots (§4.2).
+
+    A snapshot is taken once per container, right after the dummy request
+    warmed the runtime: the manager interrupts the process, stores every
+    thread's CPU state, walks /proc to collect the memory layout and the
+    contents of all present pages into its own memory, resets the
+    soft-dirty tracking state, and resumes the process. *)
+
+type region = {
+  start_addr : int;
+  n_pages : int;
+  prot : Gh_mem.Prot.t;
+  kind : Gh_mem.Vma.kind;
+  data : int array;  (** Copy of every page's word (index = page offset). *)
+  present : Gh_mem.Bitmap.t;  (** Which pages had frames at snapshot time. *)
+}
+
+type t = {
+  brk : int;
+  regs : (int * Gh_proc.Registers.t) list;  (** tid → register copy. *)
+  regions : region list;  (** Ascending by start address. *)
+  present_pages : int;  (** Total pages copied into the manager. *)
+  capture_ns : Gh_sim.Time_ns.t;  (** Cost of taking this snapshot. *)
+}
+
+val capture : Gh_sim.Account.t -> Gh_proc.Process.t -> t
+(** Interrupt, copy, arm soft-dirty tracking, resume. All costs are charged
+    to the manager's account; [capture_ns] records the total.
+    @raise Gh_proc.Ptrace.Already_attached if a tracer already holds the
+    process. *)
+
+val find_region : t -> start_addr:int -> region option
+
+val memory_words : t -> int
+(** Size of the snapshot buffer, in stored page words (= pages copied). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+module As = Gh_mem.Address_space
+module Vma = Gh_mem.Vma
+module Bitmap = Gh_mem.Bitmap
+module Process = Gh_proc.Process
+module Thread = Gh_proc.Thread
+module Registers = Gh_proc.Registers
+
+type mismatch = { what : string; where : string }
+
+let fail what where = Error { what; where }
+
+let check_region (snap : Snapshot.region) (vma : Vma.t) =
+  let where = Printf.sprintf "region %x" snap.Snapshot.start_addr in
+  if vma.Vma.n_pages <> snap.Snapshot.n_pages then fail "region size" where
+  else if not (Gh_mem.Prot.equal vma.Vma.prot snap.Snapshot.prot) then fail "protection" where
+  else begin
+    let result = ref (Ok ()) in
+    (try
+       for i = 0 to snap.Snapshot.n_pages - 1 do
+         let where = Printf.sprintf "region %x page %d" snap.Snapshot.start_addr i in
+         if Bitmap.get vma.Vma.present i <> Bitmap.get snap.Snapshot.present i then begin
+           result := fail "presence" where;
+           raise Exit
+         end;
+         if vma.Vma.data.(i) <> snap.Snapshot.data.(i) then begin
+           result := fail "page content" where;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let rec check_regions snap_regions vmas =
+  match (snap_regions, vmas) with
+  | [], [] -> Ok ()
+  | (snap : Snapshot.region) :: _, [] ->
+      fail "region missing" (Printf.sprintf "region %x" snap.Snapshot.start_addr)
+  | [], (vma : Vma.t) :: _ ->
+      fail "extra region" (Printf.sprintf "region %x" vma.Vma.start_addr)
+  | snap :: srest, vma :: vrest ->
+      if snap.Snapshot.start_addr <> vma.Vma.start_addr then
+        fail "region address" (Printf.sprintf "region %x vs %x" snap.Snapshot.start_addr vma.Vma.start_addr)
+      else
+        let* () = check_region snap vma in
+        check_regions srest vrest
+
+let check_threads (snapshot : Snapshot.t) (p : Process.t) =
+  if List.length snapshot.Snapshot.regs <> Process.n_threads p then
+    fail "thread count" (Printf.sprintf "%d threads" (Process.n_threads p))
+  else begin
+    let rec go = function
+      | [] -> Ok ()
+      | (tid, regs) :: rest -> begin
+          match Process.find_thread p tid with
+          | None -> fail "thread missing" (Printf.sprintf "tid %d" tid)
+          | Some th ->
+              if not (Registers.equal th.Thread.regs regs) then
+                fail "registers" (Printf.sprintf "tid %d" tid)
+              else go rest
+        end
+    in
+    go snapshot.Snapshot.regs
+  end
+
+let state_matches (snapshot : Snapshot.t) (p : Process.t) =
+  let* () =
+    if As.brk p.Process.mem = snapshot.Snapshot.brk then Ok ()
+    else fail "brk" (Printf.sprintf "%x vs %x" (As.brk p.Process.mem) snapshot.Snapshot.brk)
+  in
+  let* () = check_regions snapshot.Snapshot.regions (As.vmas p.Process.mem) in
+  check_threads snapshot p
+
+let pp_mismatch ppf m = Format.fprintf ppf "%s at %s" m.what m.where

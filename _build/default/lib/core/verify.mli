@@ -1,0 +1,18 @@
+(** Bit-for-bit comparison of a process against a snapshot.
+
+    This is the security property: a restored process must be
+    indistinguishable from the snapshotted one, so no data written by the
+    previous request can survive. Used by the test suite and by the
+    manager's optional paranoid mode. *)
+
+type mismatch = {
+  what : string;  (** e.g. ["page content"], ["brk"], ["region missing"]. *)
+  where : string;  (** Address / tid context for diagnostics. *)
+}
+
+val state_matches : Snapshot.t -> Gh_proc.Process.t -> (unit, mismatch) result
+(** [Ok ()] iff layout (regions, sizes, protections), brk, every present
+    bit, every page's content, the thread set, and every register file all
+    equal the snapshot. Stops at the first mismatch. *)
+
+val pp_mismatch : Format.formatter -> mismatch -> unit

@@ -1,0 +1,1 @@
+lib/faas/actionloop.ml: Gh_sim List Queue Request Runtime

@@ -1,0 +1,1 @@
+lib/faas/actionloop.mli: Gh_sim Request Runtime

@@ -1,0 +1,1 @@
+lib/faas/client.ml: Array Controller Gh_sim List Request

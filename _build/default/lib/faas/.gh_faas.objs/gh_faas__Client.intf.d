@@ -1,0 +1,1 @@
+lib/faas/client.mli: Controller Gh_sim Principal

@@ -1,0 +1,1 @@
+lib/faas/container.ml: Format Gh_sim Printf Request Strategy_intf

@@ -1,0 +1,1 @@
+lib/faas/container.mli: Gh_sim Request Strategy_intf

@@ -1,0 +1,1 @@
+lib/faas/controller.ml: Float Gh_sim Invoker Request Strategy_intf

@@ -1,0 +1,1 @@
+lib/faas/controller.mli: Gh_sim Invoker Request Strategy_intf

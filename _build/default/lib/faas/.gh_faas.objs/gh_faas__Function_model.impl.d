@@ -1,0 +1,1 @@
+lib/faas/function_model.ml: Array Float Fun Gh_kernel Gh_mem Gh_proc Gh_sim Hashtbl List Principal Printf Request Result Runtime Services

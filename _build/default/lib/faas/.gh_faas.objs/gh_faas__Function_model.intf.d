@@ -1,0 +1,1 @@
+lib/faas/function_model.mli: Gh_kernel Gh_proc Gh_sim Principal Request Runtime Services

@@ -1,0 +1,1 @@
+lib/faas/invoker.ml: Array Container Gh_sim Queue Request Strategy_intf

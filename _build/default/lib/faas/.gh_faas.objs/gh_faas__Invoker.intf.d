@@ -1,0 +1,1 @@
+lib/faas/invoker.mli: Container Gh_sim Request Strategy_intf

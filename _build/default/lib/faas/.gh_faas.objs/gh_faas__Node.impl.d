@@ -1,0 +1,1 @@
+lib/faas/node.ml: Container Function_model Gh_sim Hashtbl Invoker List Printf Queue Request Strategy_intf

@@ -1,0 +1,1 @@
+lib/faas/node.mli: Function_model Gh_sim Request Strategy_intf

@@ -1,0 +1,1 @@
+lib/faas/openwhisk.ml: Controller Gh_sim Invoker Services

@@ -1,0 +1,1 @@
+lib/faas/openwhisk.mli: Controller Gh_sim Invoker Services Strategy_intf

@@ -1,0 +1,1 @@
+lib/faas/request.mli: Format Principal

@@ -1,0 +1,1 @@
+lib/faas/runtime.ml: Format Gh_sim

@@ -1,0 +1,1 @@
+lib/faas/runtime.mli: Format Gh_sim

@@ -1,0 +1,1 @@
+lib/faas/services.ml: Format Hashtbl Principal

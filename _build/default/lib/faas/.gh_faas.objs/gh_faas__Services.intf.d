@@ -1,0 +1,1 @@
+lib/faas/services.mli: Format Principal

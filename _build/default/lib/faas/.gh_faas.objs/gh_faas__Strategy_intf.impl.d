@@ -1,0 +1,1 @@
+lib/faas/strategy_intf.ml: Function_model Gh_sim Groundhog_core Request

@@ -1,0 +1,1 @@
+lib/faas/strategy_intf.mli: Function_model Gh_sim Groundhog_core Request

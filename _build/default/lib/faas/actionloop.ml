@@ -1,0 +1,51 @@
+module Account = Gh_sim.Account
+
+type message = { request : Request.t; payload_kb : int }
+
+type t = {
+  rt : Runtime.t;
+  inbox : message Queue.t;
+  mutable delivered : int;
+  mutable delivered_dirty : int;
+}
+
+let create rt = { rt; inbox = Queue.create (); delivered = 0; delivered_dirty = 0 }
+
+let copy_cost_ns (rt : Runtime.t) ~kb =
+  rt.Runtime.proxy_fixed_ns + (kb * rt.Runtime.proxy_per_kb_ns)
+
+let deliver t acct ~clean (m : message) =
+  if not clean then t.delivered_dirty <- t.delivered_dirty + 1;
+  Account.charge acct (copy_cost_ns t.rt ~kb:m.payload_kb);
+  t.delivered <- t.delivered + 1;
+  m.request
+
+let offer t acct ~clean req =
+  let m = { request = req; payload_kb = req.Request.input_kb } in
+  if clean && Queue.is_empty t.inbox then begin
+    ignore (deliver t acct ~clean m);
+    `Delivered
+  end
+  else begin
+    Queue.push m t.inbox;
+    `Buffered
+  end
+
+let drain t acct ~clean =
+  if not clean then []
+  else begin
+    let out = ref [] in
+    while not (Queue.is_empty t.inbox) do
+      out := deliver t acct ~clean (Queue.pop t.inbox) :: !out
+    done;
+    List.rev !out
+  end
+
+(* The response rides the already-open pipe: per-KB copy, no per-message
+   wrapper setup (that was paid on the input side). *)
+let return_output t acct ~output_kb =
+  Account.charge acct (output_kb * t.rt.Runtime.proxy_per_kb_ns)
+
+let buffered t = Queue.length t.inbox
+let delivered t = t.delivered
+let delivered_while_dirty t = t.delivered_dirty

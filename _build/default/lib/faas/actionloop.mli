@@ -1,0 +1,53 @@
+(** The actionloop interposition protocol (§4.1, §4.5, §5.1).
+
+    OpenWhisk's runtimes use a proxy process that talks HTTP to the
+    platform and forwards requests over stdin to the runtime, reading
+    results back from stdout. Groundhog splices its manager into exactly
+    that pipe pair: inputs from the platform are {e held} by the manager
+    until the function process is provably clean, then forwarded; outputs
+    flow back through the manager to the platform.
+
+    This module models that interposition explicitly: message queues with
+    payload sizes, per-message copy costs, and the §4.5 safety rule —
+    {b no input is ever delivered to a dirty process}. The Groundhog
+    strategy drives it; tests probe the invariant directly. *)
+
+type message = {
+  request : Request.t;
+  payload_kb : int;
+}
+
+type t
+
+val create : Runtime.t -> t
+(** An interposed pipe pair for one container of the given runtime (the
+    runtime determines the wrapper's copy costs). *)
+
+val offer : t -> Gh_sim.Account.t -> clean:bool -> Request.t -> [ `Delivered | `Buffered ]
+(** The platform writes a request to the manager. If the function process
+    is [clean] (and nothing is already queued ahead), the manager forwards
+    it at once, paying the interposition copy cost; otherwise the message
+    is buffered inside the manager. *)
+
+val drain : t -> Gh_sim.Account.t -> clean:bool -> Request.t list
+(** Forward buffered inputs now that the process state is known; delivers
+    nothing unless [clean]. Costs are charged per delivered message.
+    (One-at-a-time platforms deliver at most one; the queue drains fully
+    here and the container serializes execution itself.) *)
+
+val return_output : t -> Gh_sim.Account.t -> output_kb:int -> unit
+(** The function's stdout result passes back through the manager to the
+    platform; charged per KB (the wrapper's fixed setup was paid on the
+    input side). *)
+
+val buffered : t -> int
+(** Inputs currently held back. *)
+
+val delivered : t -> int
+(** Inputs forwarded to the function process so far. *)
+
+val delivered_while_dirty : t -> int
+(** Safety counter: must remain 0 — the §4.5 invariant. *)
+
+val copy_cost_ns : Runtime.t -> kb:int -> int
+(** The modelled interposition cost for one message of [kb]. *)

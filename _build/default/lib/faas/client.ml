@@ -1,0 +1,112 @@
+module Engine = Gh_sim.Engine
+module Time_ns = Gh_sim.Time_ns
+
+type results = {
+  e2e_ms : float array;
+  invoker_ms : float array;
+  duration_s : float;
+  completed : int;
+}
+
+let throughput_rps r = if r.duration_s <= 0.0 then 0.0 else float_of_int r.completed /. r.duration_s
+
+type collector = {
+  mutable e2e : float list;
+  mutable invoker : float list;
+  mutable done_ : int;
+  mutable first_submit : Time_ns.t;
+  mutable first_reply : Time_ns.t;
+  mutable last_reply : Time_ns.t;
+}
+
+let new_collector () =
+  {
+    e2e = [];
+    invoker = [];
+    done_ = 0;
+    first_submit = max_int;
+    first_reply = max_int;
+    last_reply = 0;
+  }
+
+let record c engine (completion : Controller.completion) =
+  c.e2e <- Time_ns.to_ms completion.Controller.e2e_ns :: c.e2e;
+  c.invoker <- Time_ns.to_ms completion.Controller.invoker_ns :: c.invoker;
+  c.done_ <- c.done_ + 1;
+  if c.first_reply = max_int then c.first_reply <- Engine.now engine;
+  c.last_reply <- Engine.now engine
+
+let finish ~steady c =
+  (* Sustained rate (saturation): time the steady state from the first
+     reply, excluding it from the count, so the pipeline fill does not
+     bias short runs. Closed-loop runs report every completion. *)
+  let steady = steady && c.done_ > 1 && c.first_reply < c.last_reply in
+  let span, counted =
+    if steady then (c.last_reply - c.first_reply, c.done_ - 1)
+    else (c.last_reply - min c.first_submit c.last_reply, c.done_)
+  in
+  {
+    e2e_ms = Array.of_list (List.rev c.e2e);
+    invoker_ms = Array.of_list (List.rev c.invoker);
+    duration_s = Time_ns.to_sec (max 0 span);
+    completed = counted;
+  }
+
+let closed_loop engine controller ~n_requests ~think_ns ~principals ~input_kb =
+  if Array.length principals = 0 then invalid_arg "Client.closed_loop: no principals";
+  let c = new_collector () in
+  let rec send i =
+    if i < n_requests then begin
+      if c.first_submit = max_int then c.first_submit <- Engine.now engine;
+      let principal = principals.(i mod Array.length principals) in
+      let req = Request.make ~id:(i + 1) ~principal ~input_kb () in
+      Controller.submit controller req ~on_complete:(fun completion ->
+          record c engine completion;
+          Engine.schedule engine ~after:think_ns (fun () -> send (i + 1)))
+    end
+  in
+  send 0;
+  Engine.run_all engine;
+  finish ~steady:false c
+
+let open_loop engine controller ~rng ~rate_rps ~n_requests ~principals ~input_kb =
+  if Array.length principals = 0 then invalid_arg "Client.open_loop: no principals";
+  if rate_rps <= 0.0 then invalid_arg "Client.open_loop: non-positive rate";
+  let c = new_collector () in
+  let mean_gap_ns = 1.0e9 /. rate_rps in
+  let rec arrive i =
+    if i < n_requests then begin
+      if c.first_submit = max_int then c.first_submit <- Engine.now engine;
+      let principal = principals.(i mod Array.length principals) in
+      let req = Request.make ~id:(i + 1) ~principal ~input_kb () in
+      Controller.submit controller req ~on_complete:(record c engine);
+      let gap = int_of_float (Gh_sim.Rng.exponential rng ~mean:mean_gap_ns) in
+      Engine.schedule engine ~after:(max 1 gap) (fun () -> arrive (i + 1))
+    end
+  in
+  arrive 0;
+  Engine.run_all engine;
+  finish ~steady:false c
+
+let saturate engine controller ~n_requests ~window ~principals ~input_kb =
+  if Array.length principals = 0 then invalid_arg "Client.saturate: no principals";
+  if window < 1 then invalid_arg "Client.saturate: empty window";
+  let c = new_collector () in
+  let next_id = ref 0 in
+  let rec send () =
+    if !next_id < n_requests then begin
+      if c.first_submit = max_int then c.first_submit <- Engine.now engine;
+      let i = !next_id in
+      incr next_id;
+      let principal = principals.(i mod Array.length principals) in
+      let req = Request.make ~id:(i + 1) ~principal ~input_kb () in
+      Controller.submit controller req ~on_complete:(fun completion ->
+          record c engine completion;
+          send ())
+    end
+  in
+  for _ = 1 to window do
+    send ()
+  done;
+  Engine.run_all engine;
+  finish ~steady:true c

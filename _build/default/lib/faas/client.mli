@@ -1,0 +1,53 @@
+(** Load generators.
+
+    {!closed_loop} reproduces the latency workload (§5.3): one request in
+    flight at a time, with a think-time gap that lets off-critical-path
+    restoration finish — latency then reflects only in-function overheads.
+
+    {!saturate} reproduces the throughput workload: a fixed window of
+    in-flight requests keeps every container busy, so deferred restoration
+    work eats into throughput. *)
+
+type results = {
+  e2e_ms : float array;  (** One entry per completed request. *)
+  invoker_ms : float array;
+  duration_s : float;  (** Simulated time from first submit to last reply. *)
+  completed : int;
+}
+
+val throughput_rps : results -> float
+
+val closed_loop :
+  Gh_sim.Engine.t ->
+  Controller.t ->
+  n_requests:int ->
+  think_ns:Gh_sim.Time_ns.t ->
+  principals:Principal.t array ->
+  input_kb:int ->
+  results
+(** Submit [n_requests] one at a time, cycling through [principals]. Runs
+    the engine to completion. *)
+
+val saturate :
+  Gh_sim.Engine.t ->
+  Controller.t ->
+  n_requests:int ->
+  window:int ->
+  principals:Principal.t array ->
+  input_kb:int ->
+  results
+(** Keep [window] requests in flight until [n_requests] complete. *)
+
+val open_loop :
+  Gh_sim.Engine.t ->
+  Controller.t ->
+  rng:Gh_sim.Rng.t ->
+  rate_rps:float ->
+  n_requests:int ->
+  principals:Principal.t array ->
+  input_kb:int ->
+  results
+(** Poisson arrivals at [rate_rps], independent of completions — the
+    workload for latency-vs-offered-load curves: under low load Groundhog's
+    restoration hides between arrivals; near saturation it queues requests
+    and latency diverges earlier than BASE's. *)

@@ -1,0 +1,55 @@
+module Engine = Gh_sim.Engine
+module Trace = Gh_sim.Trace
+
+type state = Idle | Busy | Restoring
+
+type t = {
+  id : int;
+  strategy : Strategy_intf.t;
+  engine : Engine.t;
+  trace : Trace.t option;
+  mutable state : state;
+  mutable completed : int;
+  mutable on_idle : t -> unit;
+}
+
+let create ?trace engine ~id strategy =
+  { id; strategy; engine; trace; state = Idle; completed = 0; on_idle = ignore }
+
+let trace_emit t ~what detail =
+  match t.trace with
+  | Some tr ->
+      Trace.emitf tr ~at:(Engine.now t.engine) ~category:"container" ~what "c%d %s" t.id detail
+  | None -> ()
+
+let id t = t.id
+let state t = t.state
+let is_idle t = t.state = Idle
+let completed t = t.completed
+let strategy t = t.strategy
+let set_on_idle t f = t.on_idle <- f
+
+let become_idle t =
+  t.state <- Idle;
+  trace_emit t ~what:"idle" "";
+  t.on_idle t
+
+let submit ?(dispatch_ns = 0) t req ~on_response =
+  if t.state <> Idle then invalid_arg "Container.submit: container busy";
+  t.state <- Busy;
+  trace_emit t ~what:"serve" (Format.asprintf "%a" Request.pp req);
+  (* The strategy computes costs immediately (the simulated work is pure);
+     the engine realizes them as elapsed simulated time. *)
+  let inv = t.strategy.Strategy_intf.invoke req in
+  Engine.schedule t.engine ~after:(dispatch_ns + inv.Strategy_intf.on_path_ns) (fun () ->
+      t.completed <- t.completed + 1;
+      trace_emit t ~what:"respond"
+        (Printf.sprintf "req#%d isolated=%b" req.Request.id inv.Strategy_intf.isolated);
+      on_response req inv;
+      if inv.Strategy_intf.post_ns > 0 then begin
+        t.state <- Restoring;
+        trace_emit t ~what:"restore"
+          (Printf.sprintf "%.2fms deferred" (Gh_sim.Time_ns.to_ms inv.Strategy_intf.post_ns));
+        Engine.schedule t.engine ~after:inv.Strategy_intf.post_ns (fun () -> become_idle t)
+      end
+      else become_idle t)

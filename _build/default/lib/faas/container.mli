@@ -1,0 +1,36 @@
+(** A function container in the discrete-event platform simulation.
+
+    Each container runs one isolation strategy instance, pinned to one core:
+    it serves one request at a time ([Busy]) and then performs the
+    strategy's deferred work ([Restoring]) before becoming [Idle] again.
+    Requests never reach the function process while it is restoring —
+    Groundhog's buffering rule (§4.5) — which the state machine enforces
+    for every strategy uniformly. *)
+
+type state = Idle | Busy | Restoring
+
+type t
+
+val create : ?trace:Gh_sim.Trace.t -> Gh_sim.Engine.t -> id:int -> Strategy_intf.t -> t
+(** [trace] records serve/respond/restore/idle transitions. *)
+
+val id : t -> int
+val state : t -> state
+val is_idle : t -> bool
+val completed : t -> int
+val strategy : t -> Strategy_intf.t
+
+val set_on_idle : t -> (t -> unit) -> unit
+(** Called (at simulated time) whenever the container becomes idle. *)
+
+val submit :
+  ?dispatch_ns:Gh_sim.Time_ns.t ->
+  t ->
+  Request.t ->
+  on_response:(Request.t -> Strategy_intf.invocation -> unit) ->
+  unit
+(** Start serving a request now (claiming the container immediately; the
+    optional dispatch overhead delays the work). The response callback
+    fires after dispatch plus on-path time; the container goes idle only
+    after the strategy's deferred work completes as well.
+    @raise Invalid_argument if the container is not idle. *)

@@ -1,0 +1,53 @@
+module Engine = Gh_sim.Engine
+module Rng = Gh_sim.Rng
+module Time_ns = Gh_sim.Time_ns
+
+type overhead_model = {
+  base_ns : Time_ns.t;
+  jitter_mu_ns : float;
+  jitter_sigma : float;
+}
+
+(* Calibrated against Appendix A: e2e − invoker ≈ 28–43 ms. *)
+let default_overhead =
+  { base_ns = Time_ns.of_ms 24.0; jitter_mu_ns = Float.log 8.0e6; jitter_sigma = 0.65 }
+
+let sample_overhead m rng =
+  m.base_ns + int_of_float (Rng.lognormal rng ~mu:m.jitter_mu_ns ~sigma:m.jitter_sigma)
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  invoker : Invoker.t;
+  overhead : overhead_model;
+  mutable completions : int;
+}
+
+type completion = {
+  request : Request.t;
+  invocation : Strategy_intf.invocation;
+  e2e_ns : Time_ns.t;
+  invoker_ns : Time_ns.t;
+}
+
+let create ?(overhead = default_overhead) engine ~rng invoker =
+  { engine; rng = Rng.split rng; invoker; overhead; completions = 0 }
+
+let submit t req ~on_complete =
+  let t0 = Engine.now t.engine in
+  (* Authentication, routing and the trip to the invoker VM. *)
+  let front = sample_overhead t.overhead t.rng * 6 / 10 in
+  let back = sample_overhead t.overhead t.rng * 4 / 10 in
+  Engine.schedule t.engine ~after:front (fun () ->
+      Invoker.submit t.invoker req ~on_response:(fun request invocation ->
+          Engine.schedule t.engine ~after:back (fun () ->
+              t.completions <- t.completions + 1;
+              on_complete
+                {
+                  request;
+                  invocation;
+                  e2e_ns = Engine.now t.engine - t0;
+                  invoker_ns = invocation.Strategy_intf.on_path_ns;
+                })))
+
+let completions t = t.completions

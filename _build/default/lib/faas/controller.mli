@@ -1,0 +1,34 @@
+(** The platform front door: authentication, routing, result handling.
+
+    Adds the end-to-end overhead that is {e not} the invoker's: the paper's
+    E2E latencies exceed invoker latencies by roughly 28–43 ms of platform
+    machinery, which dilutes Groundhog's relative overhead in Fig. 4
+    (a/c/e). The overhead model reproduces that distribution. *)
+
+type overhead_model = {
+  base_ns : Gh_sim.Time_ns.t;  (** Deterministic floor of platform work. *)
+  jitter_mu_ns : float;  (** Median of the lognormal jitter component. *)
+  jitter_sigma : float;
+}
+
+val default_overhead : overhead_model
+
+val sample_overhead : overhead_model -> Gh_sim.Rng.t -> Gh_sim.Time_ns.t
+
+type t
+
+type completion = {
+  request : Request.t;
+  invocation : Strategy_intf.invocation;
+  e2e_ns : Gh_sim.Time_ns.t;  (** Client-observed latency. *)
+  invoker_ns : Gh_sim.Time_ns.t;  (** Invoker-measured latency (on-path). *)
+}
+
+val create :
+  ?overhead:overhead_model -> Gh_sim.Engine.t -> rng:Gh_sim.Rng.t -> Invoker.t -> t
+
+val submit : t -> Request.t -> on_complete:(completion -> unit) -> unit
+(** Accept a request at the endpoint now; the completion callback fires when
+    the response has traversed the platform back to the client. *)
+
+val completions : t -> int

@@ -1,0 +1,67 @@
+module Engine = Gh_sim.Engine
+
+type pending = {
+  req : Request.t;
+  on_response : Request.t -> Strategy_intf.invocation -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  containers : Container.t array;
+  queue : pending Queue.t;
+  dispatch_ns : Gh_sim.Time_ns.t;
+  init_ns : Gh_sim.Time_ns.t;
+}
+
+(* A cold container pays its one-time initialization (runtime boot,
+   warm-up, snapshot) on the first request's critical path. *)
+let with_cold_start (s : Strategy_intf.t) =
+  let started = ref false in
+  {
+    s with
+    Strategy_intf.invoke =
+      (fun req ->
+        let inv = s.Strategy_intf.invoke req in
+        if !started then inv
+        else begin
+          started := true;
+          {
+            inv with
+            Strategy_intf.on_path_ns =
+              inv.Strategy_intf.on_path_ns + s.Strategy_intf.init_ns;
+          }
+        end);
+  }
+
+let create ?(prestarted = true) ?trace engine ~n_containers ~dispatch_ns ~make_strategy =
+  if n_containers < 1 then invalid_arg "Invoker.create: need at least one container";
+  let strategies = Array.init n_containers make_strategy in
+  let strategies = if prestarted then strategies else Array.map with_cold_start strategies in
+  let containers =
+    Array.mapi (fun i strategy -> Container.create ?trace engine ~id:i strategy) strategies
+  in
+  let init_ns =
+    Array.fold_left (fun n (s : Strategy_intf.t) -> n + s.Strategy_intf.init_ns) 0 strategies
+  in
+  let t = { engine; containers; queue = Queue.create (); dispatch_ns; init_ns } in
+  Array.iter
+    (fun c ->
+      Container.set_on_idle c (fun c ->
+          match Queue.take_opt t.queue with
+          | Some { req; on_response } ->
+              Container.submit ~dispatch_ns:t.dispatch_ns c req ~on_response
+          | None -> ()))
+    containers;
+  t
+
+let find_idle t = Array.find_opt Container.is_idle t.containers
+
+let submit t req ~on_response =
+  match find_idle t with
+  | Some c -> Container.submit ~dispatch_ns:t.dispatch_ns c req ~on_response
+  | None -> Queue.add { req; on_response } t.queue
+
+let queue_length t = Queue.length t.queue
+let completed t = Array.fold_left (fun n c -> n + Container.completed c) 0 t.containers
+let containers t = t.containers
+let init_ns t = t.init_ns

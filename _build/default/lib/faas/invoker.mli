@@ -1,0 +1,35 @@
+(** The invoker: the platform component that hosts containers on one VM and
+    dispatches requests to them (§5.1's deployment isolates it on its own
+    VM; Groundhog lives inside its containers).
+
+    One container per core, as in the paper's throughput setup. Requests
+    queue FIFO when every container is busy or restoring. *)
+
+type t
+
+val create :
+  ?prestarted:bool ->
+  ?trace:Gh_sim.Trace.t ->
+  Gh_sim.Engine.t ->
+  n_containers:int ->
+  dispatch_ns:Gh_sim.Time_ns.t ->
+  make_strategy:(int -> Strategy_intf.t) ->
+  t
+(** [make_strategy i] builds container [i]'s strategy (its own process).
+    With [prestarted = false], each container pays its strategy's one-time
+    initialization (runtime boot + warm-up + snapshot) on the simulated
+    timeline before serving its first request — container cold starts. *)
+
+val submit :
+  t -> Request.t -> on_response:(Request.t -> Strategy_intf.invocation -> unit) -> unit
+(** Dispatch to an idle container (after the dispatch overhead) or queue. *)
+
+val with_cold_start : Strategy_intf.t -> Strategy_intf.t
+(** Wrap a strategy so its one-time initialization lands on its first
+    request's critical path (used by cold-started containers). *)
+
+val queue_length : t -> int
+val completed : t -> int
+val containers : t -> Container.t array
+val init_ns : t -> Gh_sim.Time_ns.t
+(** Total one-time initialization cost across containers. *)

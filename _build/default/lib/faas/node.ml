@@ -1,0 +1,212 @@
+module Engine = Gh_sim.Engine
+module Time_ns = Gh_sim.Time_ns
+module Trace = Gh_sim.Trace
+
+type config = {
+  total_cores : int;
+  memory_mb : int;
+  idle_timeout : Time_ns.t;
+  dispatch_ns : Time_ns.t;
+}
+
+let default_config =
+  {
+    total_cores = 4;
+    memory_mb = 8_192;
+    idle_timeout = Time_ns.of_sec 60.0;
+    dispatch_ns = Time_ns.of_us 800.0;
+  }
+
+type slot = {
+  container : Container.t;
+  memory_mb : int;
+  mutable epoch : int;  (* bumped on every dispatch; guards eviction *)
+  mutable alive : bool;
+}
+
+type pending = { req : Request.t; submitted : Time_ns.t }
+
+type fn_stats = {
+  fn_name : string;
+  completed : int;
+  cold_starts : int;
+  evictions : int;
+  queue_len : int;
+  containers : int;
+  e2e_ms : float list;
+}
+
+type pool = {
+  fn_name : string;
+  spec : Function_model.spec;
+  mutable slots : slot list;
+  queue : pending Queue.t;
+  mutable completed : int;
+  mutable cold_starts : int;
+  mutable evictions : int;
+  mutable e2e_ms : float list;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  trace : Trace.t option;
+  make_strategy : string -> Function_model.spec -> Strategy_intf.t;
+  pools : (string, pool) Hashtbl.t;
+  mutable used_mb : int;
+  mutable high_water_mb : int;
+  mutable busy : int;
+  mutable next_container_id : int;
+}
+
+let create ?trace engine config ~make_strategy =
+  {
+    engine;
+    config;
+    trace;
+    make_strategy;
+    pools = Hashtbl.create 16;
+    used_mb = 0;
+    high_water_mb = 0;
+    busy = 0;
+    next_container_id = 0;
+  }
+
+let trace_emit t what detail =
+  match t.trace with
+  | Some tr -> Trace.emit tr ~at:(Engine.now t.engine) ~category:"node" ~what detail
+  | None -> ()
+
+let register t ~name spec =
+  if Hashtbl.mem t.pools name then invalid_arg "Node.register: duplicate function";
+  Hashtbl.replace t.pools name
+    {
+      fn_name = name;
+      spec;
+      slots = [];
+      queue = Queue.create ();
+      completed = 0;
+      cold_starts = 0;
+      evictions = 0;
+      e2e_ms = [];
+    }
+
+(* Memory a container of this function will pin: the process footprint plus
+   whatever the freshly built strategy's manager buffers (the full snapshot
+   for eager Groundhog, ~nothing for BASE or incremental mode). *)
+let slot_memory_mb spec (strategy : Strategy_intf.t) =
+  let pages = spec.Function_model.mapped_pages + strategy.Strategy_intf.snapshot_pages () in
+  max 1 (pages * 4096 / 1048576)
+
+let rec dispatch t pool slot pending =
+  slot.epoch <- slot.epoch + 1;
+  t.busy <- t.busy + 1;
+  Container.submit ~dispatch_ns:t.config.dispatch_ns slot.container pending.req
+    ~on_response:(fun _ _ ->
+      pool.completed <- pool.completed + 1;
+      pool.e2e_ms <-
+        Time_ns.to_ms (Engine.now t.engine - pending.submitted) :: pool.e2e_ms)
+
+(* A container just went idle: feed it, retarget the freed core, or start
+   the eviction clock. *)
+and on_slot_idle t pool slot =
+  t.busy <- t.busy - 1;
+  match Queue.take_opt pool.queue with
+  | Some pending when t.busy < t.config.total_cores -> dispatch t pool slot pending
+  | Some pending ->
+      (* No core after all (shouldn't happen: one just freed) — requeue. *)
+      Queue.push pending pool.queue
+  | None ->
+      pump_other_pools t;
+      let epoch = slot.epoch in
+      Engine.schedule t.engine ~after:t.config.idle_timeout (fun () ->
+          if slot.alive && slot.epoch = epoch && Container.is_idle slot.container then
+            evict t pool slot)
+
+and evict t pool slot =
+  slot.alive <- false;
+  pool.slots <- List.filter (fun s -> s != slot) pool.slots;
+  pool.evictions <- pool.evictions + 1;
+  t.used_mb <- t.used_mb - slot.memory_mb;
+  trace_emit t "evict" (Printf.sprintf "%s (-%d MB)" pool.fn_name slot.memory_mb);
+  (* Freed memory may unblock a queued cold start elsewhere. *)
+  pump_other_pools t
+
+(* Create a new container for [pool] if a core and memory allow; the new
+   container pays its initialization on its first request. *)
+and try_cold_start t pool =
+  if t.busy >= t.config.total_cores then None
+  else begin
+    let strategy = t.make_strategy pool.fn_name pool.spec in
+    let memory_mb = slot_memory_mb pool.spec strategy in
+    if t.used_mb + memory_mb > t.config.memory_mb then None
+    else begin
+      let strategy = Invoker.with_cold_start strategy in
+      let id = t.next_container_id in
+      t.next_container_id <- id + 1;
+      let container = Container.create ?trace:t.trace t.engine ~id strategy in
+      let slot = { container; memory_mb; epoch = 0; alive = true } in
+      Container.set_on_idle container (fun _ -> on_slot_idle t pool slot);
+      pool.slots <- slot :: pool.slots;
+      pool.cold_starts <- pool.cold_starts + 1;
+      t.used_mb <- t.used_mb + memory_mb;
+      t.high_water_mb <- max t.high_water_mb t.used_mb;
+      trace_emit t "cold-start" (Printf.sprintf "%s (+%d MB)" pool.fn_name memory_mb);
+      Some slot
+    end
+  end
+
+and pump_pool t pool =
+  let progress = ref true in
+  while !progress && not (Queue.is_empty pool.queue) do
+    progress := false;
+    let idle =
+      List.find_opt (fun s -> s.alive && Container.is_idle s.container) pool.slots
+    in
+    match idle with
+    | Some slot when t.busy < t.config.total_cores ->
+        dispatch t pool slot (Queue.take pool.queue);
+        progress := true
+    | Some _ -> ()
+    | None -> begin
+        match try_cold_start t pool with
+        | Some slot ->
+            dispatch t pool slot (Queue.take pool.queue);
+            progress := true
+        | None -> ()
+      end
+  done
+
+and pump_other_pools t = Hashtbl.iter (fun _ pool -> pump_pool t pool) t.pools
+
+let submit t ~name req =
+  let pool =
+    match Hashtbl.find_opt t.pools name with
+    | Some p -> p
+    | None -> raise Not_found
+  in
+  Queue.push { req; submitted = Engine.now t.engine } pool.queue;
+  pump_pool t pool
+
+let stats t =
+  Hashtbl.fold
+    (fun _ pool acc ->
+      ({
+         fn_name = pool.fn_name;
+         completed = pool.completed;
+         cold_starts = pool.cold_starts;
+         evictions = pool.evictions;
+         queue_len = Queue.length pool.queue;
+         containers = List.length pool.slots;
+         e2e_ms = pool.e2e_ms;
+       }
+        : fn_stats)
+      :: acc)
+    t.pools []
+  |> List.sort (fun (a : fn_stats) (b : fn_stats) -> compare a.fn_name b.fn_name)
+
+let memory_used_mb t = t.used_mb
+let memory_high_water_mb t = t.high_water_mb
+let cores_busy t = t.busy
+let total_cold_starts t = Hashtbl.fold (fun _ p n -> n + p.cold_starts) t.pools 0
+let total_evictions t = Hashtbl.fold (fun _ p n -> n + p.evictions) t.pools 0

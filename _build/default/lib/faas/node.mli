@@ -1,0 +1,64 @@
+(** A multi-tenant invoker node: many functions, per-function container
+    pools, cold starts, idle eviction, and a memory budget.
+
+    The single-function {!Invoker} reproduces the paper's measurement setup
+    (a fixed pool, cold starts excluded). This module models the
+    surrounding reality of §2: containers are created on demand (paying
+    initialization on the first request's critical path), reused while
+    warm, shut down after an idle timeout, and bounded by the node's
+    memory. A Groundhog container costs more memory than an insecure one —
+    its manager holds the snapshot buffer — so isolation also taxes
+    container {e density}; the incremental snapshot mode (§5.5) largely
+    removes that tax.
+
+    Scheduling: a request for function F goes to an idle warm container of
+    F if one exists; otherwise a new container is created when both a core
+    and enough memory are free; otherwise the request queues FIFO per
+    function. Cores are occupied only while a container is busy or
+    restoring; memory is held for a container's whole lifetime. *)
+
+type config = {
+  total_cores : int;
+  memory_mb : int;  (** Budget for containers + manager buffers. *)
+  idle_timeout : Gh_sim.Time_ns.t;  (** Idle containers are shut down. *)
+  dispatch_ns : Gh_sim.Time_ns.t;
+}
+
+val default_config : config
+(** 4 cores, 8 GiB, 60 s idle timeout. *)
+
+type t
+
+type fn_stats = {
+  fn_name : string;
+  completed : int;
+  cold_starts : int;
+  evictions : int;
+  queue_len : int;
+  containers : int;  (** Currently alive. *)
+  e2e_ms : float list;  (** Per-request latency incl. queueing, newest first. *)
+}
+
+val create :
+  ?trace:Gh_sim.Trace.t ->
+  Gh_sim.Engine.t ->
+  config ->
+  make_strategy:(string -> Function_model.spec -> Strategy_intf.t) ->
+  t
+(** [make_strategy name spec] builds a fresh strategy instance for one new
+    container of function [name]. *)
+
+val register : t -> name:string -> Function_model.spec -> unit
+(** Deploy a function. @raise Invalid_argument on duplicate names. *)
+
+val submit : t -> name:string -> Request.t -> unit
+(** Accept a request for a deployed function now (simulated time); it is
+    dispatched, cold-started, or queued according to the policy above.
+    @raise Not_found for unknown functions. *)
+
+val stats : t -> fn_stats list
+val memory_used_mb : t -> int
+val memory_high_water_mb : t -> int
+val cores_busy : t -> int
+val total_cold_starts : t -> int
+val total_evictions : t -> int

@@ -1,0 +1,27 @@
+(** Deployment assembly: the paper's two-VM OpenWhisk setup (§5.1).
+
+    One VM runs the core platform components (modelled by the controller's
+    overhead), the other runs the invoker hosting the function containers —
+    one per core, each limited to one core, SMT off. *)
+
+type config = {
+  n_cores : int;  (** Containers on the invoker VM (1–4 in the paper). *)
+  dispatch_ns : Gh_sim.Time_ns.t;  (** Invoker-side per-request overhead. *)
+  overhead : Controller.overhead_model;
+  seed : int;
+}
+
+val default_config : config
+
+type t = {
+  engine : Gh_sim.Engine.t;
+  controller : Controller.t;
+  invoker : Invoker.t;
+  services : Services.t;
+  rng : Gh_sim.Rng.t;
+}
+
+val deploy : ?trace:Gh_sim.Trace.t -> config -> make_strategy:(int -> Strategy_intf.t) -> t
+(** Build engine, invoker (with [n_cores] containers) and controller.
+    [make_strategy i] supplies container [i]'s isolation strategy.
+    [trace] records container transitions for debugging. *)

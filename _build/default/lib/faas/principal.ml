@@ -1,0 +1,13 @@
+type t = { id : int; name : string }
+
+let make ~id ~name =
+  if id < 0 || id > 0xFFFF then invalid_arg "Principal.make: id out of range";
+  { id; name }
+
+let equal a b = a.id = b.id
+
+(* Secrets are tagged words: low 16 bits carry the principal id, the upper
+   bits the nonce, offset so the word is never zero. *)
+let secret_word t ~nonce = ((nonce + 1) lsl 16) lor t.id
+let owns_word t w = w <> 0 && w land 0xFFFF = t.id
+let pp ppf t = Format.fprintf ppf "%s#%d" t.name t.id

@@ -1,0 +1,21 @@
+(** Callers of functions — the security identities of the paper's threat
+    model (§2, §3.3).
+
+    Activations of the same function can run on behalf of differently
+    privileged end-clients; sequential request isolation exists precisely
+    so data from Alice's activation cannot reach Bob's. *)
+
+type t = { id : int; name : string }
+
+val make : id:int -> name:string -> t
+val equal : t -> t -> bool
+
+val secret_word : t -> nonce:int -> int
+(** A per-principal, per-request data word standing in for private request
+    data. Guaranteed non-zero and distinct across principals, so residue in
+    page contents is attributable. *)
+
+val owns_word : t -> int -> bool
+(** Does this word carry [t]'s secret tag? *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,5 @@
+type t = { id : int; principal : Principal.t; nonce : int; input_kb : int }
+
+let make ~id ~principal ?(input_kb = 4) () = { id; principal; nonce = id; input_kb }
+let secret t = Principal.secret_word t.principal ~nonce:t.nonce
+let pp ppf t = Format.fprintf ppf "req#%d from %a" t.id Principal.pp t.principal

@@ -1,0 +1,17 @@
+(** One function invocation request, as accepted at the platform's HTTP/S
+    endpoint. *)
+
+type t = {
+  id : int;  (** Unique per experiment run. *)
+  principal : Principal.t;  (** The authenticated caller. *)
+  nonce : int;  (** Varies the request's private payload. *)
+  input_kb : int;  (** Payload size; drives proxying costs. *)
+}
+
+val make : id:int -> principal:Principal.t -> ?input_kb:int -> unit -> t
+(** [nonce] defaults to [id]; [input_kb] to 4. *)
+
+val secret : t -> int
+(** The private data word this request carries. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+type invocation = {
+  on_path_ns : Gh_sim.Time_ns.t;
+  post_ns : Gh_sim.Time_ns.t;
+  response : Function_model.response;
+  breakdown : Groundhog_core.Breakdown.t option;
+  isolated : bool;
+}
+
+type t = {
+  name : string;
+  init_ns : Gh_sim.Time_ns.t;
+  invoke : Request.t -> invocation;
+  snapshot_pages : unit -> int;
+  describe : unit -> string;
+}
+
+let no_post inv = inv.post_ns = 0

@@ -1,0 +1,40 @@
+(** The contract between the platform's containers and a request-isolation
+    strategy.
+
+    The container does not know how isolation is implemented; it sees a
+    {!t} with a one-time initialization cost and an [invoke] that reports,
+    for each request, which costs sat on the request's critical path
+    ([on_path_ns]) and which work must finish before the {e next} request
+    may enter the container ([post_ns], e.g. Groundhog's restoration).
+    Under low load [post_ns] overlaps idle time and is invisible in
+    latency; under saturation it eats into throughput — exactly the split
+    the paper's low-load / high-load workloads expose (§5.2). *)
+
+type invocation = {
+  on_path_ns : Gh_sim.Time_ns.t;
+      (** Function execution incl. in-function isolation overheads (page
+          faults, proxying). Determines invoker-measured latency. *)
+  post_ns : Gh_sim.Time_ns.t;
+      (** Off-critical-path work (restore / reset / reap) occupying the
+          container's core before it can accept the next request. *)
+  response : Function_model.response;
+  breakdown : Groundhog_core.Breakdown.t option;
+      (** Restoration breakdown, for strategies that restore. *)
+  isolated : bool;
+      (** Did the strategy guarantee the next request sees a clean state? *)
+}
+
+type t = {
+  name : string;
+  init_ns : Gh_sim.Time_ns.t;
+      (** One-time container initialization: runtime boot, warm-up dummy
+          request, snapshot (where applicable). *)
+  invoke : Request.t -> invocation;
+  snapshot_pages : unit -> int;
+      (** Pages held in the manager's snapshot buffer (0 when the strategy
+          keeps none). *)
+  describe : unit -> string;
+}
+
+val no_post : invocation -> bool
+(** True when the invocation leaves no deferred work. *)

@@ -1,0 +1,1 @@
+lib/harness/ablation_exp.mli: Config Format

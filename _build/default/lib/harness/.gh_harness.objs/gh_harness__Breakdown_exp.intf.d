@@ -1,0 +1,1 @@
+lib/harness/breakdown_exp.mli: Config Format Gh_workloads Groundhog_core

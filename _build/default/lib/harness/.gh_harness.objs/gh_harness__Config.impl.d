@@ -1,0 +1,1 @@
+lib/harness/config.ml: Gh_faas Gh_sim

@@ -1,0 +1,1 @@
+lib/harness/crash_exp.mli: Config Format Gh_isolation Gh_workloads

@@ -1,0 +1,1 @@
+lib/harness/latency_exp.mli: Config Format Gh_isolation Gh_sim Gh_workloads

@@ -1,0 +1,1 @@
+lib/harness/load_exp.ml: Config Gh_faas Gh_isolation Gh_sim Gh_workloads Hashtbl List Printf Report Throughput_exp

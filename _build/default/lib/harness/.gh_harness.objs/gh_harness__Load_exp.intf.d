@@ -1,0 +1,1 @@
+lib/harness/load_exp.mli: Config Format Gh_workloads

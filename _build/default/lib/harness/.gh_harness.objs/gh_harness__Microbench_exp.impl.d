@@ -1,0 +1,1 @@
+lib/harness/microbench_exp.ml: Array Config Gh_faas Gh_isolation Gh_sim Gh_workloads Hashtbl List Report String

@@ -1,0 +1,1 @@
+lib/harness/microbench_exp.mli: Config Format Gh_isolation

@@ -1,0 +1,1 @@
+lib/harness/motivation_exp.ml: Config Float Gh_faas Gh_isolation Gh_sim Gh_workloads Hashtbl Latency_exp List Report

@@ -1,0 +1,1 @@
+lib/harness/motivation_exp.mli: Config Format Gh_workloads

@@ -1,0 +1,1 @@
+lib/harness/policy_exp.ml: Array Config Float Gh_faas Gh_isolation Gh_sim Gh_workloads Groundhog_core Hashtbl List Printf Report

@@ -1,0 +1,1 @@
+lib/harness/policy_exp.mli: Config Format Gh_workloads

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Array Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/harness/scaling_exp.ml: Array Config Fun Gh_isolation Gh_sim Gh_workloads List Printf Report Throughput_exp

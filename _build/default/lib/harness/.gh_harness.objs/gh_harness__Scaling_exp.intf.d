@@ -1,0 +1,1 @@
+lib/harness/scaling_exp.mli: Config Format Gh_workloads

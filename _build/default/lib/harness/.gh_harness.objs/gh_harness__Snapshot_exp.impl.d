@@ -1,0 +1,1 @@
+lib/harness/snapshot_exp.ml: Config Gh_faas Gh_isolation Gh_sim Gh_workloads Groundhog_core Hashtbl List Option Printf Report

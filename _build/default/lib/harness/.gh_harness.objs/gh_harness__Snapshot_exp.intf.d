@@ -1,0 +1,1 @@
+lib/harness/snapshot_exp.mli: Config Format Gh_workloads

@@ -1,0 +1,1 @@
+lib/harness/summary.ml: Array Breakdown_exp Format Gh_isolation Gh_sim Gh_workloads Latency_exp List Printf Report Throughput_exp

@@ -1,0 +1,1 @@
+lib/harness/summary.mli: Breakdown_exp Format Gh_sim Latency_exp Throughput_exp

@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Breakdown_exp Float Gh_isolation Gh_sim Gh_workloads Groundhog_core Latency_exp List Option Printf Report String Throughput_exp

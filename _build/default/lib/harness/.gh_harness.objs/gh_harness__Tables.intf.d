@@ -1,0 +1,1 @@
+lib/harness/tables.mli: Breakdown_exp Format Latency_exp Throughput_exp

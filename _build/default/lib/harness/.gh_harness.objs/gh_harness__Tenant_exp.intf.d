@@ -1,0 +1,1 @@
+lib/harness/tenant_exp.mli: Config Format Gh_workloads

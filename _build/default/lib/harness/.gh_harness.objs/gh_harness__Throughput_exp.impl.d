@@ -1,0 +1,1 @@
+lib/harness/throughput_exp.ml: Config Float Gh_faas Gh_isolation Gh_sim Gh_workloads Hashtbl List Option Report String

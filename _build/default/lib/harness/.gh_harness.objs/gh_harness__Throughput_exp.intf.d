@@ -1,0 +1,1 @@
+lib/harness/throughput_exp.mli: Config Format Gh_isolation Gh_workloads

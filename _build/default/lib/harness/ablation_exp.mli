@@ -1,0 +1,34 @@
+(** Design-choice ablations called out in DESIGN.md (beyond the paper's
+    measured configurations, but grounded in its §4.3/§4.4 discussion).
+
+    - {b Tracking}: soft-dirty bits vs userfaultfd write-protection. The
+      paper prototyped UFFD and rejected it: per-write user-space round
+      trips beat the restore-time pagemap scan only when almost nothing is
+      dirtied. The sweep reproduces that crossover.
+
+    - {b Coalescing}: restoring each maximal dirty run with one large copy
+      vs one operation per page. The per-run setup amortizes as density
+      grows — without coalescing, high-density restores blow up. *)
+
+type tracking_point = {
+  dirtied : int;
+  sd_low_ms : float;  (** Soft-dirty: in-function latency. *)
+  sd_restore_ms : float;
+  uffd_low_ms : float;  (** Uffd: in-function latency (per-write traps). *)
+  uffd_restore_ms : float;  (** No scan needed at restore. *)
+  klist_low_ms : float;  (** Footnote-6 kernel dirty lists. *)
+  klist_restore_ms : float;  (** Dirty-proportional restore walk. *)
+}
+
+val run_tracking : Config.t -> ?mapped:int -> unit -> tracking_point list
+
+type coalescing_point = {
+  dirtied : int;
+  with_ms : float;  (** Restore time with run coalescing. *)
+  without_ms : float;  (** One copy operation per page. *)
+}
+
+val run_coalescing : Config.t -> ?mapped:int -> unit -> coalescing_point list
+
+val print_tracking : Format.formatter -> tracking_point list -> unit
+val print_coalescing : Format.formatter -> coalescing_point list -> unit

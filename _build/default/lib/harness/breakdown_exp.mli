@@ -1,0 +1,23 @@
+(** Restoration-cost deconstruction (§5.4, Fig. 8) and the GH-vs-FAASM
+    restoration comparison (Fig. 6), plus the one-time snapshotting
+    overhead (§5.5). *)
+
+type result = {
+  entry : Gh_workloads.Catalog.entry;
+  mean : Groundhog_core.Breakdown.t;  (** Averaged over many restores. *)
+  restore_ms : float;
+  snapshot_ms : float;  (** One-time snapshot capture cost. *)
+  snapshot_pages : int;
+  total_pages : int;
+  faasm_reset_ms : float option;  (** When the benchmark has a wasm port. *)
+}
+
+val run_one : ?with_faasm:bool -> Config.t -> Gh_workloads.Catalog.entry -> result
+val run : ?with_faasm:bool -> Config.t -> Gh_workloads.Catalog.entry list -> result list
+
+val print_fig8 : Format.formatter -> result list -> unit
+(** Per-benchmark stacked percentages of the nine restore steps, plus
+    absolute restore time, page counts, and snapshot cost. *)
+
+val print_fig6 : Format.formatter -> result list -> unit
+(** Restoration duration (off the critical path): GH vs FAASM. *)

@@ -1,0 +1,31 @@
+(** Experiment configuration: how many invocations each measurement uses.
+
+    The paper averages 1,200 invocations (90 for C functions longer than
+    10 s); the default profile scales those down so the full suite
+    regenerates in minutes, and [full] restores paper-sized runs. Request
+    counts per benchmark adapt to its duration so that simulating a 196 s
+    PolyBench kernel doesn't take 1,200 iterations. *)
+
+type t = {
+  seed : int;
+  latency_requests : int;  (** Fast benchmarks (≤ 1 s). *)
+  latency_requests_medium : int;  (** 1–10 s benchmarks. *)
+  latency_requests_long : int;  (** > 10 s benchmarks. *)
+  tput_requests : int;  (** Saturation measurement length. *)
+  microbench_requests : int;  (** Per Fig. 3 sweep point. *)
+  breakdown_requests : int;  (** Restores averaged for Fig. 8. *)
+  n_containers : int;  (** Throughput containers (= cores). *)
+  dispatch_ns : Gh_sim.Time_ns.t;  (** Invoker dispatch overhead. *)
+}
+
+val default : t
+val full : t
+(** Paper-sized request counts (slow; use for final numbers). *)
+
+val quick : t
+(** Minimal counts for CI smoke runs. *)
+
+val latency_requests_for : t -> Gh_faas.Function_model.spec -> int
+(** Adaptive request count by benchmark duration. *)
+
+val tput_requests_for : t -> Gh_faas.Function_model.spec -> int

@@ -1,0 +1,79 @@
+module Rng = Gh_sim.Rng
+module Time_ns = Gh_sim.Time_ns
+module Registry = Gh_isolation.Registry
+module Catalog = Gh_workloads.Catalog
+module Fm = Gh_faas.Function_model
+module Intf = Gh_faas.Strategy_intf
+
+type point = {
+  crash_rate : float;
+  occupancy_ms : (Registry.id * float) list;
+  crashes : int;
+}
+
+let strategies = [ Registry.Base; Registry.Gh; Registry.Gh_nop; Registry.Fork ]
+
+let alice = Gh_faas.Principal.make ~id:1 ~name:"alice"
+let bob = Gh_faas.Principal.make ~id:2 ~name:"bob"
+
+let measure cfg strategy spec ~requests =
+  let seed = cfg.Config.seed lxor Hashtbl.hash ("crash", spec.Fm.name, Registry.to_string strategy) in
+  match Registry.make strategy ~rng:(Rng.create seed) spec with
+  | Error _ -> None
+  | Ok strat ->
+      let busy = ref 0 and crashes = ref 0 in
+      for i = 1 to requests do
+        let principal = if i land 1 = 1 then alice else bob in
+        let inv =
+          strat.Intf.invoke (Gh_faas.Request.make ~id:i ~principal ~input_kb:spec.Fm.input_kb ())
+        in
+        busy := !busy + inv.Intf.on_path_ns + inv.Intf.post_ns;
+        if inv.Intf.response.Fm.crashed then incr crashes
+      done;
+      Some (Time_ns.to_ms (!busy / requests), !crashes)
+
+let run cfg ?(rates = [ 0.0; 0.01; 0.05; 0.2 ]) ?(requests = 80) (entry : Catalog.entry) =
+  List.map
+    (fun crash_rate ->
+      let spec = { entry.Catalog.spec with Fm.crash_rate } in
+      let occupancy = ref [] in
+      let crashes = ref 0 in
+      List.iter
+        (fun strategy ->
+          match measure cfg strategy spec ~requests with
+          | Some (ms, n) ->
+              occupancy := (strategy, ms) :: !occupancy;
+              if strategy = Registry.Gh then crashes := n
+          | None -> ())
+        strategies;
+      { crash_rate; occupancy_ms = List.rev !occupancy; crashes = !crashes })
+    rates
+
+let print ppf (entry : Catalog.entry) points =
+  let header =
+    "crash rate"
+    :: (List.map
+          (fun s -> String.uppercase_ascii (Registry.to_string s) ^ " ms/req")
+          strategies
+       @ [ "crashes (GH run)" ])
+  in
+  let rows =
+    List.map
+      (fun p ->
+        Printf.sprintf "%.0f%%" (100.0 *. p.crash_rate)
+        :: (List.map
+              (fun s ->
+                match List.assoc_opt s p.occupancy_ms with
+                | Some ms -> Report.fmt_ms ms
+                | None -> "-")
+              strategies
+           @ [ string_of_int p.crashes ]))
+      points
+  in
+  Report.table ppf
+    ~title:
+      (Printf.sprintf
+         "Crash recovery on %s: per-request container occupancy vs crash rate — BASE rebuilds \
+          the container, snapshot-holders just restore"
+         entry.Catalog.display)
+    ~header rows

@@ -1,0 +1,25 @@
+(** Crash recovery (extension): restore-as-fault-tolerance.
+
+    A function that crashes mid-request leaves its process in an arbitrary
+    state. BASE has nothing to roll back to — the platform rebuilds the
+    container, paying a full cold start; Groundhog (and GH_NOP, which keeps
+    the snapshot precisely for this) recovers with an ordinary
+    restoration, and FORK simply discards the dead child. This experiment
+    sweeps the crash rate and reports the per-request container occupancy
+    under each strategy: an incidental but real benefit of keeping a clean
+    snapshot around. *)
+
+type point = {
+  crash_rate : float;
+  occupancy_ms : (Gh_isolation.Registry.id * float) list;
+      (** Mean on-path + recovery time per request. *)
+  crashes : int;  (** Observed in the GH run (same seed across strategies). *)
+}
+
+val strategies : Gh_isolation.Registry.id list
+(** BASE, GH, GH_NOP, FORK. *)
+
+val run :
+  Config.t -> ?rates:float list -> ?requests:int -> Gh_workloads.Catalog.entry -> point list
+
+val print : Format.formatter -> Gh_workloads.Catalog.entry -> point list -> unit

@@ -1,0 +1,201 @@
+module Catalog = Gh_workloads.Catalog
+module Representative = Gh_workloads.Representative
+
+type id =
+  | Fig3_left
+  | Fig3_right
+  | Fig4
+  | Fig5
+  | Fig6
+  | Fig7
+  | Fig8
+  | Table1
+  | Table2
+  | Table3
+  | Headline
+  | Motivation
+  | Ablation_tracking
+  | Ablation_coalescing
+  | Policy_skip
+  | Load_latency
+  | Snapshot_cost
+  | Multi_tenant
+  | Crash_recovery
+
+let all =
+  [ Fig3_left; Fig3_right; Fig4; Fig5; Fig6; Fig7; Fig8; Table1; Table2; Table3; Headline ]
+
+let extras =
+  [
+    Motivation;
+    Ablation_tracking;
+    Ablation_coalescing;
+    Policy_skip;
+    Load_latency;
+    Snapshot_cost;
+    Multi_tenant;
+    Crash_recovery;
+  ]
+
+let to_string = function
+  | Fig3_left -> "fig3-left"
+  | Fig3_right -> "fig3-right"
+  | Fig4 -> "fig4"
+  | Fig5 -> "fig5"
+  | Fig6 -> "fig6"
+  | Fig7 -> "fig7"
+  | Fig8 -> "fig8"
+  | Table1 -> "table1"
+  | Table2 -> "table2"
+  | Table3 -> "table3"
+  | Headline -> "headline"
+  | Motivation -> "motivation"
+  | Ablation_tracking -> "ablation-tracking"
+  | Ablation_coalescing -> "ablation-coalescing"
+  | Policy_skip -> "policy-skip"
+  | Load_latency -> "load-latency"
+  | Snapshot_cost -> "snapshot-cost"
+  | Multi_tenant -> "multi-tenant"
+  | Crash_recovery -> "crash-recovery"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "fig3-left" | "fig3left" -> Ok Fig3_left
+  | "fig3-right" | "fig3right" -> Ok Fig3_right
+  | "fig3" -> Ok Fig3_left
+  | "fig4" -> Ok Fig4
+  | "fig5" -> Ok Fig5
+  | "fig6" -> Ok Fig6
+  | "fig7" -> Ok Fig7
+  | "fig8" -> Ok Fig8
+  | "table1" -> Ok Table1
+  | "table2" -> Ok Table2
+  | "table3" -> Ok Table3
+  | "headline" | "summary" -> Ok Headline
+  | "motivation" -> Ok Motivation
+  | "ablation-tracking" | "uffd" -> Ok Ablation_tracking
+  | "ablation-coalescing" | "coalescing" -> Ok Ablation_coalescing
+  | "policy-skip" | "policy" -> Ok Policy_skip
+  | "load-latency" | "load" -> Ok Load_latency
+  | "snapshot-cost" | "snapshot" -> Ok Snapshot_cost
+  | "multi-tenant" | "tenant" | "density" -> Ok Multi_tenant
+  | "crash-recovery" | "crash" -> Ok Crash_recovery
+  | other -> Error (Printf.sprintf "unknown experiment %S" other)
+
+let describe = function
+  | Fig3_left -> "microbenchmark latency vs % pages dirtied (100K mapped pages)"
+  | Fig3_right -> "microbenchmark latency vs address-space size (1K pages dirtied)"
+  | Fig4 -> "relative e2e and invoker latency, all 58 benchmarks"
+  | Fig5 -> "relative throughput, all 58 benchmarks"
+  | Fig6 -> "restoration duration: GH vs FAASM"
+  | Fig7 -> "GH throughput scaling with 1-4 cores (14 representative benchmarks)"
+  | Fig8 -> "restoration cost breakdown + snapshot cost (14 representative benchmarks)"
+  | Table1 -> "absolute latency and throughput for all configurations"
+  | Table2 -> "overheads relative to the insecure baseline"
+  | Table3 -> "GH latency/throughput vs restoration cost, sorted by restore time"
+  | Headline -> "suite-wide medians/percentiles vs the paper's headline claims"
+  | Motivation -> "per-request cost of GH vs coldstart and CRIU-style isolation (motivation)"
+  | Ablation_tracking -> "soft-dirty bits vs userfaultfd tracking sweep (ablation)"
+  | Ablation_coalescing -> "restore-copy run coalescing on/off sweep (ablation)"
+  | Policy_skip -> "rollback-skip policy vs caller diversity (extension of 4.4)"
+  | Load_latency -> "open-loop latency vs offered load, BASE vs GH (extension)"
+  | Snapshot_cost -> "one-time snapshotting cost across the whole catalog (5.5)"
+  | Multi_tenant -> "container density under a shared node: BASE vs eager GH vs incremental GH"
+  | Crash_recovery -> "restore as fault recovery: occupancy vs crash rate (extension)"
+
+(* Within one process, latency/throughput/breakdown sweeps over the catalog
+   are shared between the experiments that need them. *)
+type cache = {
+  mutable latency : Latency_exp.result list option;
+  mutable tput : Throughput_exp.result list option;
+  mutable breakdown_all : Breakdown_exp.result list option;
+  mutable breakdown_rep : Breakdown_exp.result list option;
+}
+
+let cache = { latency = None; tput = None; breakdown_all = None; breakdown_rep = None }
+
+let latency_results cfg =
+  match cache.latency with
+  | Some r -> r
+  | None ->
+      let r = Latency_exp.run cfg Catalog.all in
+      cache.latency <- Some r;
+      r
+
+let tput_results cfg =
+  match cache.tput with
+  | Some r -> r
+  | None ->
+      let r = Throughput_exp.run cfg Catalog.all in
+      cache.tput <- Some r;
+      r
+
+let breakdown_all cfg =
+  match cache.breakdown_all with
+  | Some r -> r
+  | None ->
+      let r = Breakdown_exp.run cfg Catalog.all in
+      cache.breakdown_all <- Some r;
+      r
+
+let breakdown_rep cfg =
+  match cache.breakdown_rep with
+  | Some r -> r
+  | None ->
+      let r = Breakdown_exp.run cfg Representative.entries in
+      cache.breakdown_rep <- Some r;
+      r
+
+let run id cfg ppf =
+  match id with
+  | Fig3_left ->
+      Microbench_exp.print ppf
+        ~title:"Fig 3 (left) — latency (ms) vs % pages dirtied, 100K mapped pages"
+        ~x_label:"%dirtied" (Microbench_exp.run_left cfg)
+  | Fig3_right ->
+      Microbench_exp.print ppf
+        ~title:"Fig 3 (right) — latency (ms) vs address-space size, 1K pages dirtied"
+        ~x_label:"pages" (Microbench_exp.run_right cfg)
+  | Fig4 -> Latency_exp.print_fig4 ppf (latency_results cfg)
+  | Fig5 -> Throughput_exp.print_fig5 ppf (tput_results cfg)
+  | Fig6 -> Breakdown_exp.print_fig6 ppf (Breakdown_exp.run cfg Catalog.wasm_ported)
+  | Fig7 -> Scaling_exp.print_fig7 ppf (Scaling_exp.run cfg Representative.entries)
+  | Fig8 -> Breakdown_exp.print_fig8 ppf (breakdown_rep cfg)
+  | Table1 -> Tables.print_table1 ppf (latency_results cfg) (tput_results cfg)
+  | Table2 -> Tables.print_table2 ppf (latency_results cfg) (tput_results cfg)
+  | Table3 ->
+      Tables.print_table3 ppf (latency_results cfg) (tput_results cfg) (breakdown_all cfg)
+  | Headline ->
+      let summary =
+        Summary.compute (latency_results cfg) (tput_results cfg) (breakdown_all cfg)
+      in
+      Summary.print ppf summary
+  | Motivation ->
+      let entries = List.filter_map Catalog.find Motivation_exp.default_benchmarks in
+      Motivation_exp.print ppf (Motivation_exp.run cfg entries)
+  | Ablation_tracking -> Ablation_exp.print_tracking ppf (Ablation_exp.run_tracking cfg ())
+  | Ablation_coalescing ->
+      Ablation_exp.print_coalescing ppf (Ablation_exp.run_coalescing cfg ())
+  | Policy_skip ->
+      let entry = Option.get (Catalog.find "deltablue (p)") in
+      Policy_exp.print ppf entry (Policy_exp.run cfg entry)
+  | Load_latency ->
+      let entry = Option.get (Catalog.find "deltablue (p)") in
+      Load_exp.print ppf entry (Load_exp.run cfg entry)
+  | Snapshot_cost -> Snapshot_exp.print ppf (Snapshot_exp.run cfg Catalog.all)
+  | Multi_tenant ->
+      let entries = List.filter_map Catalog.find Tenant_exp.default_functions in
+      Tenant_exp.print ppf (Tenant_exp.run cfg entries)
+  | Crash_recovery ->
+      let entry = Option.get (Catalog.find "deltablue (p)") in
+      Crash_exp.print ppf entry (Crash_exp.run cfg entry)
+
+let run_list ids cfg ppf =
+  List.iter
+    (fun id ->
+      Format.fprintf ppf "@.#### %s: %s@." (to_string id) (describe id);
+      run id cfg ppf)
+    ids
+
+let run_all cfg ppf = run_list all cfg ppf
+let run_extras cfg ppf = run_list extras cfg ppf

@@ -1,0 +1,49 @@
+(** The experiment registry: one named entry per table and figure in the
+    paper's evaluation (the DESIGN.md per-experiment index), runnable from
+    the CLI ([gh-bench <id>]) and from bench/main.ml. *)
+
+type id =
+  | Fig3_left
+  | Fig3_right
+  | Fig4
+  | Fig5
+  | Fig6
+  | Fig7
+  | Fig8
+  | Table1
+  | Table2
+  | Table3
+  | Headline
+  (* Beyond the paper: ablations and extensions indexed in DESIGN.md. *)
+  | Motivation  (** §1's trivial solutions (COLDSTART, CRIU) vs GH. *)
+  | Ablation_tracking  (** Soft-dirty vs userfaultfd (§4.3). *)
+  | Ablation_coalescing  (** Restore-copy run batching. *)
+  | Policy_skip  (** The §4.4 rollback-skip policy vs caller diversity. *)
+  | Load_latency  (** Open-loop latency vs offered load (§4's claim). *)
+  | Snapshot_cost  (** §5.5 across the whole catalog. *)
+  | Multi_tenant
+      (** Container density on a shared node: eager GH snapshot buffers vs
+          incremental mode (extension). *)
+  | Crash_recovery
+      (** Restore as fault recovery: BASE rebuilds crashed containers,
+          snapshot-holders roll back (extension). *)
+
+val all : id list
+(** The paper's tables and figures, in order. *)
+
+val extras : id list
+(** The ablation/extension experiments. *)
+
+val to_string : id -> string
+val of_string : string -> (id, string) result
+val describe : id -> string
+
+val run : id -> Config.t -> Format.formatter -> unit
+(** Execute the experiment and print its table/series. Results within one
+    process are cached, so running [Table1] after [Fig4] reuses the
+    latency measurements. *)
+
+val run_all : Config.t -> Format.formatter -> unit
+(** Run {!all} — the paper set. *)
+
+val run_extras : Config.t -> Format.formatter -> unit

@@ -1,0 +1,39 @@
+(** The latency experiment (§5.3, Fig. 4; Table 1's latency columns).
+
+    Low-load closed loop: requests are submitted one at a time with enough
+    think time for off-critical-path restoration to finish, so latencies
+    reflect only in-function overheads. The invoker latency is the
+    strategy's on-path time; the end-to-end latency adds a sampled platform
+    overhead (§5.1's distributed OpenWhisk deployment). *)
+
+type measurement = {
+  strategy : Gh_isolation.Registry.id;
+  invoker : Gh_sim.Stats.summary;  (** ms *)
+  e2e : Gh_sim.Stats.summary;  (** ms *)
+}
+
+type result = {
+  entry : Gh_workloads.Catalog.entry;
+  measurements : measurement list;  (** Supported strategies only. *)
+}
+
+val run_one :
+  Config.t -> Gh_isolation.Registry.id -> Gh_workloads.Catalog.entry -> measurement option
+(** [None] when the benchmark/strategy combination is unsupported. *)
+
+val run :
+  ?strategies:Gh_isolation.Registry.id list ->
+  Config.t ->
+  Gh_workloads.Catalog.entry list ->
+  result list
+(** Defaults to the paper's five configurations
+    (BASE, GH, GH_NOP, FORK, FAASM). *)
+
+val find : result -> Gh_isolation.Registry.id -> measurement option
+
+val relative_to_base : result -> (Gh_isolation.Registry.id * float * float) list
+(** Per strategy: (id, e2e ratio vs BASE, invoker ratio vs BASE) — the
+    normalized heights of Fig. 4's bars. *)
+
+val print_fig4 : Format.formatter -> result list -> unit
+(** Fig. 4 (a)–(f): relative E2E and invoker latency per suite. *)

@@ -1,0 +1,23 @@
+(** The Fig. 3 microbenchmark sweeps (§5.2).
+
+    Left: latency vs the fraction of pages dirtied, at 100K mapped pages.
+    Right: latency vs address-space size, at 1K dirtied pages.
+
+    For each point and each isolation method we measure the {e low-load}
+    latency (solid lines: in-function overheads only — restoration hides in
+    the gaps between requests) and the {e high-load} latency (dashed lines:
+    back-to-back requests must additionally wait for restoration). *)
+
+type point = {
+  x : float;  (** Dirtied fraction (left) or mapped pages (right). *)
+  low_ms : (Gh_isolation.Registry.id * float) list;  (** Solid lines. *)
+  high_ms : (Gh_isolation.Registry.id * float) list;  (** Dashed lines. *)
+}
+
+val strategies : Gh_isolation.Registry.id list
+(** BASE, GH, GH_NOP, FORK — Fig. 3's methods. *)
+
+val run_left : Config.t -> point list
+val run_right : Config.t -> point list
+
+val print : Format.formatter -> title:string -> x_label:string -> point list -> unit

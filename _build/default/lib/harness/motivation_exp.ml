@@ -1,0 +1,85 @@
+module Stats = Gh_sim.Stats
+module Time_ns = Gh_sim.Time_ns
+module Registry = Gh_isolation.Registry
+module Catalog = Gh_workloads.Catalog
+module Intf = Gh_faas.Strategy_intf
+
+type row = {
+  entry : Catalog.entry;
+  base_ms : float;
+  gh_ms : float;
+  gh_restore_ms : float;
+  coldstart_ms : float;
+  criu_restore_ms : float;
+}
+
+let default_benchmarks =
+  [
+    "jacobi-1d (c)";
+    "atax (c)";
+    "deriche (c)";
+    "version (p)";
+    "deltablue (p)";
+    "telco (p)";
+    "get-time (n)";
+    "json (n)";
+  ]
+
+let mean_invoker cfg strategy entry =
+  match Latency_exp.run_one cfg strategy entry with
+  | Some m -> m.Latency_exp.invoker.Stats.mean
+  | None -> Float.nan
+
+let mean_post cfg strategy (entry : Catalog.entry) =
+  (* Mean deferred work per request under [strategy]. *)
+  let seed = cfg.Config.seed lxor Hashtbl.hash ("motivation", entry.Catalog.display) in
+  match Registry.make strategy ~rng:(Gh_sim.Rng.create seed) entry.Catalog.spec with
+  | Error _ -> Float.nan
+  | Ok strat ->
+      let n = 6 in
+      let total = ref 0 in
+      for i = 1 to n do
+        let req =
+          Gh_faas.Request.make ~id:i
+            ~principal:(Gh_faas.Principal.make ~id:1 ~name:"a")
+            ~input_kb:entry.Catalog.spec.Gh_faas.Function_model.input_kb ()
+        in
+        let inv = strat.Intf.invoke req in
+        total := !total + inv.Intf.post_ns
+      done;
+      Time_ns.to_ms (!total / n)
+
+let run cfg entries =
+  List.map
+    (fun entry ->
+      {
+        entry;
+        base_ms = mean_invoker cfg Registry.Base entry;
+        gh_ms = mean_invoker cfg Registry.Gh entry;
+        gh_restore_ms = mean_post cfg Registry.Gh entry;
+        coldstart_ms = mean_invoker cfg Registry.Coldstart entry;
+        criu_restore_ms = mean_post cfg Registry.Criu entry;
+      })
+    entries
+
+let print ppf rows =
+  let table_rows =
+    List.map
+      (fun r ->
+        [
+          r.entry.Catalog.display;
+          Report.fmt_ms r.base_ms;
+          Report.fmt_ms r.gh_ms;
+          Report.fmt_ms r.gh_restore_ms;
+          Report.fmt_ms r.coldstart_ms;
+          Report.fmt_ms r.criu_restore_ms;
+        ])
+      rows
+  in
+  Report.table ppf
+    ~title:
+      "Motivation (§1): per-request cost of isolation mechanisms — GH adds microseconds \
+       on-path + ms off-path; cold starts and CRIU-style restores add tens to hundreds of ms"
+    ~header:
+      [ "benchmark"; "BASE inv ms"; "GH inv ms"; "GH restore ms"; "COLDSTART inv ms"; "CRIU restore ms" ]
+    table_rows

@@ -1,0 +1,23 @@
+(** The §1 motivation table: what sequential request isolation costs under
+    each available mechanism, on a spread of benchmarks.
+
+    COLDSTART (a fresh container per request) and CRIU-style full-image
+    restore are the pre-Groundhog options; both add latency comparable to —
+    or exceeding — the execution time of short functions, which is exactly
+    why the paper calls them impractical. Groundhog's per-request price is
+    a few in-function microseconds plus a few off-path milliseconds. *)
+
+type row = {
+  entry : Gh_workloads.Catalog.entry;
+  base_ms : float;  (** Warm-reuse invoker latency (no isolation). *)
+  gh_ms : float;  (** GH invoker latency. *)
+  gh_restore_ms : float;  (** GH off-path restore. *)
+  coldstart_ms : float;  (** Fresh container per request, on path. *)
+  criu_restore_ms : float;  (** Full-image restore, between requests. *)
+}
+
+val default_benchmarks : string list
+(** A duration/footprint spread: short and long C, Python and Node. *)
+
+val run : Config.t -> Gh_workloads.Catalog.entry list -> row list
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,112 @@
+module Rng = Gh_sim.Rng
+module Time_ns = Gh_sim.Time_ns
+module Catalog = Gh_workloads.Catalog
+module Fm = Gh_faas.Function_model
+module Intf = Gh_faas.Strategy_intf
+module Gh = Gh_isolation.Gh
+module Policy = Gh_isolation.Policy
+module Manager = Groundhog_core.Manager
+
+type point = {
+  burst : int;
+  always_restores : int;
+  trust_restores : int;
+  skip_rate : float;
+  always_cycle_ms : float;
+  trust_cycle_ms : float;
+  leaks : int;
+}
+
+let principals n = Array.init n (fun i -> Gh_faas.Principal.make ~id:(i + 1) ~name:(Printf.sprintf "p%d" i))
+
+(* Serve [requests] requests in bursts of [burst] per principal (4
+   principals rotating) with full lookahead (the queue is visible),
+   counting restores and occupancy. *)
+let serve cfg ~policy ~requests ~burst entry =
+  let spec = { entry.Catalog.spec with Fm.buggy_residue_leak = true } in
+  let seed =
+    cfg.Config.seed lxor Hashtbl.hash (entry.Catalog.display, Policy.to_string policy, burst)
+  in
+  let _strategy, state = Gh.make_with_state ~policy ~rng:(Rng.create seed) spec in
+  let ps = principals 4 in
+  let reqs =
+    List.init requests (fun i ->
+        Gh_faas.Request.make ~id:(i + 1)
+          ~principal:ps.(i / burst mod 4)
+          ~input_kb:spec.Fm.input_kb ())
+  in
+  let busy = ref 0 in
+  let leaks = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | req :: rest ->
+        let next = match rest with [] -> None | r :: _ -> Some r in
+        let inv = Gh.invoke_with_lookahead state req ~next in
+        busy := !busy + inv.Intf.on_path_ns + inv.Intf.post_ns;
+        leaks :=
+          !leaks
+          + List.length
+              (List.filter
+                 (fun w -> not (Gh_faas.Principal.owns_word req.Gh_faas.Request.principal w))
+                 inv.Intf.response.Fm.residue);
+        go rest
+  in
+  go reqs;
+  let restores = Manager.restores_performed (Gh.manager state) in
+  let cycle_ms = Time_ns.to_ms (!busy / max 1 requests) in
+  (restores, cycle_ms, !leaks)
+
+let run cfg ?(requests = 64) entry =
+  List.map
+    (fun burst ->
+      let always_restores, always_cycle_ms, _ =
+        serve cfg ~policy:Policy.Always_isolate ~requests ~burst entry
+      in
+      let trust_restores, trust_cycle_ms, leaks =
+        serve cfg ~policy:Policy.Trust_same_principal ~requests ~burst entry
+      in
+      {
+        burst;
+        always_restores;
+        trust_restores;
+        skip_rate =
+          float_of_int (always_restores - trust_restores)
+          /. Float.max 1.0 (float_of_int always_restores);
+        always_cycle_ms;
+        trust_cycle_ms;
+        leaks;
+      })
+    [ 1; 2; 4; 8; 16 ]
+
+let print ppf entry points =
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.burst;
+          string_of_int p.always_restores;
+          string_of_int p.trust_restores;
+          Printf.sprintf "%.0f%%" (100.0 *. p.skip_rate);
+          Report.fmt_ms p.always_cycle_ms;
+          Report.fmt_ms p.trust_cycle_ms;
+          string_of_int p.leaks;
+        ])
+      points
+  in
+  Report.table ppf
+    ~title:
+      (Printf.sprintf
+         "Rollback-skip policy (§4.4) on %s: restores and per-request occupancy vs traffic \
+          locality (4 principals, bursts of consecutive requests)"
+         entry.Catalog.display)
+    ~header:
+      [
+        "burst";
+        "restores (always)";
+        "restores (trust-same)";
+        "skipped";
+        "cycle ms (always)";
+        "cycle ms (trust)";
+        "cross-leaks";
+      ]
+    rows

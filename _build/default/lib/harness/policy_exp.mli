@@ -1,0 +1,23 @@
+(** The §4.4 rollback-skip optimization, quantified.
+
+    When consecutive requests come from mutually trusting callers and the
+    next request is already visible, Groundhog may skip the rollback. This
+    experiment sweeps traffic locality — four principals send {e bursts} of
+    consecutive requests — and compares [Always_isolate] against
+    [Trust_same_principal]: with bursts of length k, (k-1)/k of the
+    rollbacks are skipped; with fully interleaved callers (burst 1) none
+    are. *)
+
+type point = {
+  burst : int;  (** Consecutive requests per principal. *)
+  always_restores : int;  (** Restores under Always_isolate. *)
+  trust_restores : int;  (** Restores under Trust_same_principal. *)
+  skip_rate : float;  (** Fraction of rollbacks avoided. *)
+  always_cycle_ms : float;  (** Mean per-request container occupancy. *)
+  trust_cycle_ms : float;
+  leaks : int;  (** Foreign residues observed under the trust policy —
+                    must be 0: skips only happen within one principal. *)
+}
+
+val run : Config.t -> ?requests:int -> Gh_workloads.Catalog.entry -> point list
+val print : Format.formatter -> Gh_workloads.Catalog.entry -> point list -> unit

@@ -1,0 +1,19 @@
+(** Snapshotting overhead (§5.5): the one-time cost of capturing the clean
+    state, across the catalog — time and manager memory are primarily
+    proportional to the number of paged-in pages. *)
+
+type row = {
+  entry : Gh_workloads.Catalog.entry;
+  snapshot_ms : float;
+  present_pages : int;
+  buffer_mb : float;  (** Manager-side snapshot buffer, 4 KiB per page. *)
+  init_ms : float;  (** Full container init incl. boot, warm-up, snapshot. *)
+  incr_capture_ms : float;
+      (** §5.5 optimization: capture time with CoW-salvage snapshots. *)
+  incr_buffer_mb : float;
+      (** Manager memory after serving several requests incrementally —
+          proportional to unique modified pages, not the footprint. *)
+}
+
+val run : Config.t -> Gh_workloads.Catalog.entry list -> row list
+val print : Format.formatter -> row list -> unit

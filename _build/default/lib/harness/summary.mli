@@ -1,0 +1,21 @@
+(** The headline numbers (§1, §5): Groundhog's overheads across the whole
+    benchmark suite, measured and set against the paper's claims —
+    latency overhead median 1.5 % / 95p 7 %, throughput reduction median
+    2.5 % / 95p 49.6 %, restoration median 3.7 ms (10p 0.7, 90p 13). *)
+
+type t = {
+  latency_overhead_pct : Gh_sim.Stats.summary;
+      (** GH invoker-latency overhead vs BASE, % across benchmarks. *)
+  e2e_overhead_pct : Gh_sim.Stats.summary;
+  tput_drop_pct : Gh_sim.Stats.summary;
+  restore_ms : Gh_sim.Stats.summary;
+}
+
+val compute :
+  Latency_exp.result list ->
+  Throughput_exp.result list ->
+  Breakdown_exp.result list ->
+  t
+
+val print : Format.formatter -> t -> unit
+(** Measured vs paper-claimed headline rows. *)

@@ -1,0 +1,159 @@
+module Stats = Gh_sim.Stats
+module Registry = Gh_isolation.Registry
+module Catalog = Gh_workloads.Catalog
+module Paper_ref = Gh_workloads.Paper_ref
+module Breakdown = Groundhog_core.Breakdown
+
+let strategies = [ Registry.Base; Registry.Gh; Registry.Gh_nop; Registry.Fork; Registry.Faasm ]
+
+let lat_of latency display =
+  List.find_opt (fun (r : Latency_exp.result) -> r.Latency_exp.entry.Catalog.display = display) latency
+
+let tput_of tputs display =
+  List.find_opt
+    (fun (r : Throughput_exp.result) -> r.Throughput_exp.entry.Catalog.display = display)
+    tputs
+
+let print_table1 ppf latency tputs =
+  let header =
+    "benchmark" :: "config"
+    :: [ "e2e ms"; "+/-"; "invoker ms"; "+/-"; "t'put r/s" ]
+  in
+  let rows =
+    List.concat_map
+      (fun (lr : Latency_exp.result) ->
+        let display = lr.Latency_exp.entry.Catalog.display in
+        let tr = tput_of tputs display in
+        List.filter_map
+          (fun s ->
+            match Latency_exp.find lr s with
+            | None -> None
+            | Some m ->
+                let tput =
+                  match Option.bind tr (fun tr -> Throughput_exp.find tr s) with
+                  | Some t -> Report.fmt_tput t.Throughput_exp.tput_rps
+                  | None -> "-"
+                in
+                Some
+                  [
+                    display;
+                    String.uppercase_ascii (Registry.to_string s);
+                    Report.fmt_ms m.Latency_exp.e2e.Stats.mean;
+                    Report.fmt_ms m.Latency_exp.e2e.Stats.std;
+                    Report.fmt_ms m.Latency_exp.invoker.Stats.mean;
+                    Report.fmt_ms m.Latency_exp.invoker.Stats.std;
+                    tput;
+                  ])
+          strategies)
+      latency
+  in
+  Report.table ppf
+    ~title:"Table 1 — absolute latency and throughput per configuration" ~header rows
+
+let pct now base = if base <= 0.0 then Float.nan else 100.0 *. (now -. base) /. base
+
+let print_table2 ppf latency tputs =
+  let header =
+    [
+      "benchmark";
+      "GH-NOP e2e%";
+      "GH e2e%";
+      "FORK e2e%";
+      "FAASM e2e%";
+      "GH t'put%";
+      "FORK t'put%";
+      "GH inv% (paper)";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (lr : Latency_exp.result) ->
+        let display = lr.Latency_exp.entry.Catalog.display in
+        let base = Latency_exp.find lr Registry.Base in
+        let e2e_pct s =
+          match (base, Latency_exp.find lr s) with
+          | Some b, Some m ->
+              Report.fmt_pct (pct m.Latency_exp.e2e.Stats.mean b.Latency_exp.e2e.Stats.mean)
+          | _ -> "-"
+        in
+        let tput_pct s =
+          match tput_of tputs display with
+          | None -> "-"
+          | Some tr -> begin
+              match (Throughput_exp.find tr Registry.Base, Throughput_exp.find tr s) with
+              | Some b, Some m when b.Throughput_exp.tput_rps > 0.0 ->
+                  Report.fmt_pct (pct m.Throughput_exp.tput_rps b.Throughput_exp.tput_rps)
+              | _ -> "-"
+            end
+        in
+        let paper =
+          Report.fmt_pct
+            (Paper_ref.gh_latency_overhead_pct lr.Latency_exp.entry.Catalog.reference)
+        in
+        [
+          display;
+          e2e_pct Registry.Gh_nop;
+          e2e_pct Registry.Gh;
+          e2e_pct Registry.Fork;
+          e2e_pct Registry.Faasm;
+          tput_pct Registry.Gh;
+          tput_pct Registry.Fork;
+          paper;
+        ])
+      latency
+  in
+  Report.table ppf ~title:"Table 2 — overheads relative to the insecure baseline" ~header rows
+
+let print_table3 ppf latency tputs breakdowns =
+  let header =
+    [
+      "benchmark";
+      "BASE inv ms";
+      "BASE r/s";
+      "GH inv ms";
+      "GH r/s";
+      "restore ms";
+      "(paper)";
+      "pages K";
+      "restored K";
+      "snapshot ms";
+    ]
+  in
+  let rows =
+    List.filter_map
+      (fun (b : Breakdown_exp.result) ->
+        let display = b.Breakdown_exp.entry.Catalog.display in
+        let lr = lat_of latency display in
+        let tr = tput_of tputs display in
+        let inv s =
+          match Option.bind lr (fun lr -> Latency_exp.find lr s) with
+          | Some m -> Report.fmt_ms m.Latency_exp.invoker.Stats.mean
+          | None -> "-"
+        in
+        let tput s =
+          match Option.bind tr (fun tr -> Throughput_exp.find tr s) with
+          | Some m -> Report.fmt_tput m.Throughput_exp.tput_rps
+          | None -> "-"
+        in
+        Some
+          [
+            display;
+            inv Registry.Base;
+            tput Registry.Base;
+            inv Registry.Gh;
+            tput Registry.Gh;
+            Report.fmt_ms b.Breakdown_exp.restore_ms;
+            Report.fmt_ms b.Breakdown_exp.entry.Catalog.reference.Paper_ref.restore_ms;
+            Printf.sprintf "%.2f" (float_of_int b.Breakdown_exp.total_pages /. 1000.0);
+            Printf.sprintf "%.2f"
+              (float_of_int b.Breakdown_exp.mean.Breakdown.pages_restored /. 1000.0);
+            Report.fmt_ms b.Breakdown_exp.snapshot_ms;
+          ])
+      (List.sort
+         (fun (a : Breakdown_exp.result) b ->
+           compare a.Breakdown_exp.restore_ms b.Breakdown_exp.restore_ms)
+         breakdowns)
+  in
+  Report.table ppf
+    ~title:"Table 3 — GH invoker latency & throughput vs restoration cost (sorted by restore time)"
+    ~header rows

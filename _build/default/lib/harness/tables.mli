@@ -1,0 +1,21 @@
+(** Appendix A reproductions: Tables 1, 2 and 3. *)
+
+val print_table1 :
+  Format.formatter -> Latency_exp.result list -> Throughput_exp.result list -> unit
+(** Absolute E2E latency, invoker latency and throughput for BASE, GH,
+    GH_NOP, FORK and FAASM on every benchmark. *)
+
+val print_table2 :
+  Format.formatter -> Latency_exp.result list -> Throughput_exp.result list -> unit
+(** Overheads relative to BASE (E2E latency % and throughput %), plus the
+    paper's reference GH overheads for comparison. *)
+
+val print_table3 :
+  Format.formatter ->
+  Latency_exp.result list ->
+  Throughput_exp.result list ->
+  Breakdown_exp.result list ->
+  unit
+(** BASE vs GH invoker latency and throughput against restoration time,
+    address-space size and restored pages; sorted by restoration time,
+    with the paper's columns alongside. *)

@@ -1,0 +1,39 @@
+(** The throughput experiment (§5.3, Fig. 5; Table 1's throughput column).
+
+    The platform runs as a discrete-event simulation: [n_containers]
+    containers (one per core) behind an invoker, saturated by a client that
+    keeps a window of requests in flight. Deferred restoration work then
+    occupies container time and reduces throughput — unlike in the
+    low-load latency experiment. *)
+
+type measurement = {
+  strategy : Gh_isolation.Registry.id;
+  tput_rps : float;
+  mean_cycle_ms : float;  (** Mean busy time per request per container. *)
+}
+
+type result = {
+  entry : Gh_workloads.Catalog.entry;
+  measurements : measurement list;
+}
+
+val run_one :
+  ?n_containers:int ->
+  Config.t ->
+  Gh_isolation.Registry.id ->
+  Gh_workloads.Catalog.entry ->
+  measurement option
+
+val run :
+  ?strategies:Gh_isolation.Registry.id list ->
+  Config.t ->
+  Gh_workloads.Catalog.entry list ->
+  result list
+(** Defaults to BASE, GH, GH_NOP and FORK (the paper's Fig. 5 set; FAASM
+    throughput is shown only in Table 1). *)
+
+val find : result -> Gh_isolation.Registry.id -> measurement option
+
+val print_fig5 : Format.formatter -> result list -> unit
+(** Relative throughput vs BASE, annotated with the paper's predicted
+    reciprocal 1/(1 + overheads/baseline latency). *)

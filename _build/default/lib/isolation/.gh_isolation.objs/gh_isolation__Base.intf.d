@@ -1,0 +1,1 @@
+lib/isolation/base.mli: Gh_faas Gh_sim

@@ -1,0 +1,1 @@
+lib/isolation/coldstart.ml: Gh_faas Gh_sim Groundhog_core

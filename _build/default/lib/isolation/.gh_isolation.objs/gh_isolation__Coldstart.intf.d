@@ -1,0 +1,1 @@
+lib/isolation/coldstart.mli: Gh_faas Gh_sim

@@ -1,0 +1,1 @@
+lib/isolation/criu.ml: Gh_faas Gh_sim Groundhog_core

@@ -1,0 +1,1 @@
+lib/isolation/criu.mli: Gh_faas Gh_sim

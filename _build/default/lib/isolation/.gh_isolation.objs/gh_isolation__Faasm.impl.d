@@ -1,0 +1,1 @@
+lib/isolation/faasm.ml: Gh_faas Gh_kernel Gh_mem Gh_proc Gh_sim Groundhog_core Printf

@@ -1,0 +1,1 @@
+lib/isolation/faasm.mli: Gh_faas Gh_sim

@@ -1,0 +1,1 @@
+lib/isolation/fork_isolation.ml: Gh_faas Gh_proc Gh_sim Printf

@@ -1,0 +1,1 @@
+lib/isolation/fork_isolation.mli: Gh_faas Gh_sim

@@ -1,0 +1,1 @@
+lib/isolation/gh.ml: Gh_faas Gh_sim Groundhog_core Policy Printf

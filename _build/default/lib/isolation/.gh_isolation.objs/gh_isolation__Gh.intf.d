@@ -1,0 +1,1 @@
+lib/isolation/gh.mli: Gh_faas Gh_sim Groundhog_core Policy

@@ -1,0 +1,1 @@
+lib/isolation/gh_nop.mli: Gh_faas Gh_sim

@@ -1,0 +1,1 @@
+lib/isolation/policy.ml: Gh_faas

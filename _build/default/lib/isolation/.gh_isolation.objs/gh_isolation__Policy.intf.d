@@ -1,0 +1,1 @@
+lib/isolation/policy.mli: Gh_faas

@@ -1,0 +1,1 @@
+lib/isolation/registry.ml: Base Coldstart Criu Faasm Fork_isolation Gh Gh_faas Gh_nop Printf String

@@ -1,0 +1,1 @@
+lib/isolation/registry.mli: Gh_faas Gh_sim

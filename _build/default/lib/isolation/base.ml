@@ -1,0 +1,43 @@
+module Account = Gh_sim.Account
+module Rng = Gh_sim.Rng
+module Fm = Gh_faas.Function_model
+module Intf = Gh_faas.Strategy_intf
+
+let make_on ~rng inst =
+  let rt = Fm.runtime inst in
+  let init_acct = Account.create () in
+  let _warm = Fm.warmup inst init_acct rng in
+  Fm.mark_clean inst;
+  let init_ns = rt.Gh_faas.Runtime.init_ns + Account.total init_acct in
+  (* A crashed container has no snapshot to fall back on: the platform must
+     rebuild it from scratch. (The snapshot below is simulation mechanics
+     that stands in for the rebuild; the charge is the full cold start.) *)
+  let scratch = Account.create () in
+  let rebuild_state = Groundhog_core.Snapshot.capture scratch (Fm.proc inst) in
+  let invoke req =
+    let acct = Account.create () in
+    let response = Fm.invoke inst acct rng ~post_restore:false req in
+    let post_ns =
+      if response.Fm.crashed then begin
+        ignore (Groundhog_core.Restore.run scratch rebuild_state (Fm.proc inst));
+        init_ns
+      end
+      else 0
+    in
+    {
+      Intf.on_path_ns = Account.total acct;
+      post_ns;
+      response;
+      breakdown = None;
+      isolated = false;
+    }
+  in
+  {
+    Intf.name = "base";
+    init_ns;
+    invoke;
+    snapshot_pages = (fun () -> 0);
+    describe = (fun () -> "insecure baseline: warm container reuse, no isolation");
+  }
+
+let make ~rng spec = make_on ~rng (Fm.build spec)

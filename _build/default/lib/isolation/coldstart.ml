@@ -1,0 +1,41 @@
+module Account = Gh_sim.Account
+module Rng = Gh_sim.Rng
+module Fm = Gh_faas.Function_model
+module Intf = Gh_faas.Strategy_intf
+module Snapshot = Groundhog_core.Snapshot
+module Restore = Groundhog_core.Restore
+
+let make ~rng spec =
+  let inst = Fm.build spec in
+  let rng = Rng.split rng in
+  let init_acct = Account.create () in
+  let warm_ns = Fm.warmup inst init_acct rng in
+  Fm.mark_clean inst;
+  let rt = Fm.runtime inst in
+  let init_ns = rt.Gh_faas.Runtime.init_ns + Account.total init_acct in
+  (* A snapshot gives us the mechanics of "a fresh container's state"
+     without rebuilding the whole process per request; the per-request
+     charge is nevertheless the full cold-start cost. *)
+  let scratch = Account.create () in
+  let snap = Snapshot.capture scratch (Fm.proc inst) in
+  let invoke req =
+    let acct = Account.create () in
+    (* Cold start: boot a container, boot the runtime, initialize state. *)
+    Account.charge acct (rt.Gh_faas.Runtime.init_ns + warm_ns);
+    let response = Fm.invoke inst acct rng ~post_restore:false req in
+    ignore (Restore.run scratch snap (Fm.proc inst));
+    {
+      Intf.on_path_ns = Account.total acct;
+      post_ns = 0;
+      response;
+      breakdown = None;
+      isolated = true;
+    }
+  in
+  {
+    Intf.name = "coldstart";
+    init_ns;
+    invoke;
+    snapshot_pages = (fun () -> 0);
+    describe = (fun () -> "fresh container per request (trivial isolation)");
+  }

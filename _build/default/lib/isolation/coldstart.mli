@@ -1,0 +1,7 @@
+(** COLDSTART: the trivial solution — a fresh container per request (§1).
+
+    Every invocation pays full container initialization (runtime boot plus
+    warm-up) on the critical path. Perfectly isolated and impractically
+    slow for short functions; included as the motivation baseline. *)
+
+val make : rng:Gh_sim.Rng.t -> Gh_faas.Function_model.spec -> Gh_faas.Strategy_intf.t

@@ -1,0 +1,22 @@
+(** FAASM-style request isolation (§5.3.3).
+
+    Functions compile to WebAssembly and run as Faaslets inside a shared
+    process; each function's state lives in one contiguous linear-memory
+    region that can be reset between requests by remapping it
+    copy-on-write onto a pre-warmed checkpoint. Cheap reset — but execution
+    speed is dictated by WebAssembly vs native compilation (CPython gets
+    slower, PolyBench often faster), and only wasm-portable functions
+    qualify. Writes after a reset pay CoW copy faults.
+
+    We model the wasm/native execution ratio with the spec's
+    [wasm_factor] and drive the reset from the same substrate: the
+    checkpoint is a snapshot, the reset restores dirty pages and re-arms
+    copy-on-write, and its charged cost is the remap model
+    ([faasm_reset_base_ns] + dirty pages × [faasm_reset_per_dirty_page_ns]). *)
+
+val make :
+  rng:Gh_sim.Rng.t ->
+  Gh_faas.Function_model.spec ->
+  (Gh_faas.Strategy_intf.t, string) result
+(** [Error] when the benchmark has no WebAssembly port
+    ([spec.wasm_factor = None]). *)

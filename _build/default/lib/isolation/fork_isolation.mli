@@ -1,0 +1,18 @@
+(** FORK: fork-based request isolation (§3.2, §5.2.3).
+
+    The function process is initialized and warmed; each request is served
+    by a freshly forked child that is discarded afterwards, leaving the
+    parent pristine. Costs sit on the critical path: the fork itself
+    (page-table duplication grows with the address space), a CoW copy fault
+    for every page the request writes, and a first-touch fault for every
+    page it merely reads in the fresh child.
+
+    Only applicable to single-threaded runtimes: fork(2) clones just the
+    calling thread, so a multi-threaded runtime (Node.js) would lose its
+    worker threads. *)
+
+val make :
+  rng:Gh_sim.Rng.t ->
+  Gh_faas.Function_model.spec ->
+  (Gh_faas.Strategy_intf.t, string) result
+(** [Error] when the spec's runtime is multi-threaded. *)

@@ -1,0 +1,120 @@
+module Account = Gh_sim.Account
+module Rng = Gh_sim.Rng
+module Fm = Gh_faas.Function_model
+module Intf = Gh_faas.Strategy_intf
+module Manager = Groundhog_core.Manager
+module Actionloop = Gh_faas.Actionloop
+
+type interposition = Intercept | Platform_signal
+
+type state = {
+  inst : Fm.instance;
+  mgr : Manager.t;
+  loop : Actionloop.t;
+  interposition : interposition;
+  rng : Rng.t;
+  policy : Policy.t;
+  mutable last_req : Gh_faas.Request.t option;
+  mutable restored_since_last : bool;
+}
+
+let manager s = s.mgr
+let instance s = s.inst
+let actionloop s = s.loop
+
+let run_function s req =
+  let acct = Account.create () in
+  let rt = Fm.runtime s.inst in
+  (* The input reaches the function only when the process is provably
+     clean (§4.5): via the interposed actionloop pipes (Intercept, paying
+     copy costs) or forwarded directly by the platform after the manager's
+     clean signal (Platform_signal, free). *)
+  let req =
+    match s.interposition with
+    | Platform_signal ->
+        if not (Manager.is_clean s.mgr) then
+          failwith "Groundhog: platform forwarded input to a dirty process";
+        req
+    | Intercept -> begin
+        match Actionloop.offer s.loop acct ~clean:(Manager.is_clean s.mgr) req with
+        | `Delivered -> req
+        | `Buffered -> begin
+            (* The container serializes requests, so this only happens if
+               the caller raced a restore; deliver once the state is known. *)
+            match Actionloop.drain s.loop acct ~clean:(Manager.is_clean s.mgr) with
+            | [ r ] -> r
+            | _ -> failwith "Groundhog actionloop: input held back from a dirty process"
+          end
+      end
+  in
+  (* The first invocation after a restore runs against cold caches and
+     madvised (refaulting) pages. *)
+  if s.restored_since_last then Account.charge acct rt.Gh_faas.Runtime.restore_warmup_ns;
+  let response = Fm.invoke s.inst acct s.rng ~post_restore:s.restored_since_last req in
+  Manager.mark_dirty s.mgr;
+  (match s.interposition with
+  | Intercept -> Actionloop.return_output s.loop acct ~output_kb:response.Fm.output_kb
+  | Platform_signal -> ());
+  (Account.total acct, response)
+
+let do_restore s =
+  let breakdown = Manager.restore s.mgr in
+  s.restored_since_last <- true;
+  breakdown
+
+let invoke_with_lookahead s req ~next =
+  let on_path_ns, response = run_function s req in
+  s.last_req <- Some req;
+  let skip =
+    match next with
+    | Some n -> not (Policy.requires_restore s.policy ~prev:(Some req) ~next:n)
+    | None -> false
+  in
+  if skip then begin
+    Manager.skip_restore s.mgr;
+    s.restored_since_last <- false;
+    { Intf.on_path_ns; post_ns = 0; response; breakdown = None; isolated = false }
+  end
+  else begin
+    let breakdown = do_restore s in
+    {
+      Intf.on_path_ns;
+      post_ns = breakdown.Groundhog_core.Breakdown.total_ns;
+      response;
+      breakdown = Some breakdown;
+      isolated = true;
+    }
+  end
+
+let make_with_state ?(policy = Policy.Always_isolate) ?(paranoid = false)
+    ?(mode = Manager.Eager) ?(interposition = Intercept) ~rng spec =
+  let inst = Fm.build spec in
+  let rng = Rng.split rng in
+  let init_acct = Account.create () in
+  let _warm = Fm.warmup inst init_acct rng in
+  Fm.mark_clean inst;
+  let mgr = Manager.create ~paranoid ~mode (Fm.proc inst) in
+  let snap_ns = Manager.take_snapshot mgr in
+  let rt = Fm.runtime inst in
+  let init_ns = rt.Gh_faas.Runtime.init_ns + Account.total init_acct + snap_ns in
+  let loop = Actionloop.create rt in
+  let s =
+    { inst; mgr; loop; interposition; rng; policy; last_req = None; restored_since_last = false }
+  in
+  let strategy =
+    {
+      Intf.name = "gh";
+      init_ns;
+      invoke = (fun req -> invoke_with_lookahead s req ~next:None);
+      snapshot_pages = (fun () -> Manager.buffer_pages mgr);
+      describe =
+        (fun () ->
+          Printf.sprintf "Groundhog: snapshot/restore isolation (policy %s)"
+            (Policy.to_string policy));
+    }
+  in
+  (strategy, s)
+
+let make ?policy ?paranoid ?mode ?interposition ~rng spec =
+  let strategy, _state = make_with_state ?policy ?paranoid ?mode ?interposition ~rng spec in
+  strategy

@@ -1,0 +1,55 @@
+(** GH: Groundhog — full sequential request isolation (§4).
+
+    Container initialization runs the dummy request and takes the snapshot;
+    each invocation pays the stdin/stdout proxying cost and the soft-dirty
+    re-arm faults on the critical path, and a restoration off the critical
+    path before the next request may enter. *)
+
+type interposition =
+  | Intercept
+      (** The evaluated configuration (§4.5, footnote 7): the manager
+          copies every input and output through its own pipes — no platform
+          changes required. *)
+  | Platform_signal
+      (** §4.5's optimization: the platform forwards inputs directly to the
+          function process after waiting for the manager's clean signal,
+          and outputs bypass the manager — eliminating the copy overhead at
+          the price of a small trusted platform change. *)
+
+val make :
+  ?policy:Policy.t ->
+  ?paranoid:bool ->
+  ?mode:Groundhog_core.Manager.mode ->
+  ?interposition:interposition ->
+  rng:Gh_sim.Rng.t ->
+  Gh_faas.Function_model.spec ->
+  Gh_faas.Strategy_intf.t
+(** [policy] defaults to [Always_isolate]; with [Trust_same_principal] the
+    {!Gh_faas.Strategy_intf.t.invoke} path still restores eagerly (no
+    lookahead), but {!invoke_with_lookahead} exposes the skip. [paranoid]
+    verifies each restore bit-for-bit (testing). [mode] selects eager or
+    incremental (§5.5) snapshots; default eager. *)
+
+type state
+(** The strategy's internals, exposed for the policy ablation and tests. *)
+
+val make_with_state :
+  ?policy:Policy.t ->
+  ?paranoid:bool ->
+  ?mode:Groundhog_core.Manager.mode ->
+  ?interposition:interposition ->
+  rng:Gh_sim.Rng.t ->
+  Gh_faas.Function_model.spec ->
+  Gh_faas.Strategy_intf.t * state
+
+val manager : state -> Groundhog_core.Manager.t
+val instance : state -> Gh_faas.Function_model.instance
+
+val actionloop : state -> Gh_faas.Actionloop.t
+(** The interposed pipe pair (for tests probing the §4.5 invariant). *)
+
+val invoke_with_lookahead :
+  state -> Gh_faas.Request.t -> next:Gh_faas.Request.t option -> Gh_faas.Strategy_intf.invocation
+(** The §4.4 optimization: when the next queued request is visible and the
+    policy trusts the transition, the rollback is skipped ([post_ns] = 0).
+    With no lookahead the restore always runs (the safe default). *)

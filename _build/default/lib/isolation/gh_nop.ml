@@ -1,0 +1,56 @@
+module Account = Gh_sim.Account
+module Rng = Gh_sim.Rng
+module Fm = Gh_faas.Function_model
+module Intf = Gh_faas.Strategy_intf
+module Manager = Groundhog_core.Manager
+
+let make ~rng spec =
+  let inst = Fm.build spec in
+  let rng = Rng.split rng in
+  let init_acct = Account.create () in
+  let _warm = Fm.warmup inst init_acct rng in
+  Fm.mark_clean inst;
+  let mgr = Manager.create (Fm.proc inst) in
+  let snap_ns = Manager.take_snapshot mgr in
+  let rt = Fm.runtime inst in
+  let init_ns = rt.Gh_faas.Runtime.init_ns + Account.total init_acct + snap_ns in
+  let loop = Gh_faas.Actionloop.create rt in
+  let invoke req =
+    let acct = Account.create () in
+    (* Same interposition as full Groundhog; the single-domain container is
+       always "clean" in the policy sense, so inputs flow immediately. *)
+    ignore (Gh_faas.Actionloop.offer loop acct ~clean:true req);
+    let response = Fm.invoke inst acct rng ~post_restore:false req in
+    Manager.mark_dirty mgr;
+    Gh_faas.Actionloop.return_output loop acct ~output_kb:response.Fm.output_kb;
+    (* Restoration is skipped between same-domain requests — but a crashed
+       process is rolled back: the snapshot doubles as crash recovery. *)
+    let post_ns, breakdown =
+      if response.Fm.crashed then begin
+        let b = Manager.restore mgr in
+        (b.Groundhog_core.Breakdown.total_ns, Some b)
+      end
+      else begin
+        Manager.skip_restore mgr;
+        (0, None)
+      end
+    in
+    {
+      Intf.on_path_ns = Account.total acct;
+      post_ns;
+      response;
+      breakdown;
+      isolated = false;
+    }
+  in
+  {
+    Intf.name = "gh-nop";
+    init_ns;
+    invoke;
+    snapshot_pages =
+      (fun () ->
+        match Manager.snapshot mgr with
+        | Some snap -> snap.Groundhog_core.Snapshot.present_pages
+        | None -> 0);
+    describe = (fun () -> "Groundhog without restoration (single security domain)");
+  }

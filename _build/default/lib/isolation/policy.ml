@@ -1,0 +1,14 @@
+type t = Always_isolate | Trust_same_principal | Trust_all
+
+let requires_restore t ~prev ~next =
+  match (t, prev) with
+  | _, None -> false
+  | Always_isolate, Some _ -> true
+  | Trust_same_principal, Some p ->
+      not (Gh_faas.Principal.equal p.Gh_faas.Request.principal next.Gh_faas.Request.principal)
+  | Trust_all, Some _ -> false
+
+let to_string = function
+  | Always_isolate -> "always-isolate"
+  | Trust_same_principal -> "trust-same-principal"
+  | Trust_all -> "trust-all"

@@ -1,0 +1,16 @@
+(** Rollback policies: when may the restore be skipped? (§4.4)
+
+    Groundhog restores after every request by default. As an optimization,
+    consecutive requests from mutually trusting callers may share the
+    container state without a rollback in between. *)
+
+type t =
+  | Always_isolate  (** The evaluated default: restore after every request. *)
+  | Trust_same_principal
+      (** Skip the rollback when the next caller is the same principal. *)
+  | Trust_all  (** Never restore — equivalent to the GH_NOP configuration. *)
+
+val requires_restore : t -> prev:Gh_faas.Request.t option -> next:Gh_faas.Request.t -> bool
+(** Must the state be rolled back before [next] runs, given who ran last? *)
+
+val to_string : t -> string

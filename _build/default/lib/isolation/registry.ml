@@ -1,0 +1,40 @@
+type id = Base | Gh | Gh_nop | Fork | Faasm | Coldstart | Criu
+
+let all = [ Base; Gh; Gh_nop; Fork; Faasm; Coldstart; Criu ]
+
+let to_string = function
+  | Base -> "base"
+  | Gh -> "gh"
+  | Gh_nop -> "gh-nop"
+  | Fork -> "fork"
+  | Faasm -> "faasm"
+  | Coldstart -> "coldstart"
+  | Criu -> "criu"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "base" -> Ok Base
+  | "gh" | "groundhog" -> Ok Gh
+  | "gh-nop" | "ghnop" | "gh_nop" -> Ok Gh_nop
+  | "fork" -> Ok Fork
+  | "faasm" -> Ok Faasm
+  | "coldstart" | "cold" -> Ok Coldstart
+  | "criu" | "vas-criu" -> Ok Criu
+  | other -> Error (Printf.sprintf "unknown strategy %S" other)
+
+let supports id (spec : Gh_faas.Function_model.spec) =
+  match id with
+  | Fork ->
+      (Gh_faas.Runtime.for_lang spec.Gh_faas.Function_model.lang).Gh_faas.Runtime.threads = 1
+  | Faasm -> spec.Gh_faas.Function_model.wasm_factor <> None
+  | Base | Gh | Gh_nop | Coldstart | Criu -> true
+
+let make id ~rng spec =
+  match id with
+  | Base -> Ok (Base.make ~rng spec)
+  | Gh -> Ok (Gh.make ~rng spec)
+  | Gh_nop -> Ok (Gh_nop.make ~rng spec)
+  | Fork -> Fork_isolation.make ~rng spec
+  | Faasm -> Faasm.make ~rng spec
+  | Coldstart -> Ok (Coldstart.make ~rng spec)
+  | Criu -> Ok (Criu.make ~rng spec)

@@ -1,0 +1,21 @@
+(** The named strategy registry used by the harness and the CLI. *)
+
+type id = Base | Gh | Gh_nop | Fork | Faasm | Coldstart | Criu
+
+val all : id list
+val to_string : id -> string
+
+val of_string : string -> (id, string) result
+
+val supports : id -> Gh_faas.Function_model.spec -> bool
+(** Cheap support check (no process is built): FORK needs a
+    single-threaded runtime, FAASM a WebAssembly port. *)
+
+val make :
+  id ->
+  rng:Gh_sim.Rng.t ->
+  Gh_faas.Function_model.spec ->
+  (Gh_faas.Strategy_intf.t, string) result
+(** Build the strategy for a benchmark; [Error] when the combination is
+    unsupported (FORK on multi-threaded runtimes, FAASM without a wasm
+    port). *)

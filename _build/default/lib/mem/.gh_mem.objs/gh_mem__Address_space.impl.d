@@ -1,0 +1,1 @@
+lib/mem/address_space.ml: Array Bitmap Format Gh_kernel Gh_sim List Prot Vma

@@ -1,0 +1,1 @@
+lib/mem/vma.ml: Array Bitmap Format Prot

@@ -1,0 +1,1 @@
+lib/mem/vma.mli: Bitmap Format Prot

@@ -1,0 +1,319 @@
+module Account = Gh_sim.Account
+module Cost = Gh_kernel.Cost
+
+type t = {
+  cost : Cost.t;
+  mutable vmas : Vma.t list;
+  mutable brk_addr : int;
+  heap_base : int;
+  heap_id : int;
+  stack_id : int;
+  mutable next_vma_id : int;
+  mutable mmap_cursor : int;
+  mutable sd_on : bool;
+  mutable cow_hook : (Vma.t -> int -> unit) option;
+      (* Called just before a CoW-armed page's current contents are lost —
+         overwritten by a write, zapped by madvise, or dropped with its
+         mapping. Incremental snapshots use it to salvage original data. *)
+}
+
+let page_size = Vma.page_size
+
+(* Conventional bases, loosely after x86-64 Linux. *)
+let text_base = 0x0000_0040_0000
+let heap_base_default = 0x0000_0100_0000
+let mmap_base = 0x7f00_0000_0000
+let stack_base = 0x7ffd_0000_0000
+
+let fresh_id t =
+  let id = t.next_vma_id in
+  t.next_vma_id <- id + 1;
+  id
+
+let insert_sorted vmas vma =
+  let rec go = function
+    | [] -> [ vma ]
+    | v :: rest when v.Vma.start_addr < vma.Vma.start_addr -> v :: go rest
+    | rest -> vma :: rest
+  in
+  go vmas
+
+let create ?(text_pages = 512) ?(data_pages = 128) ?(heap_pages = 256)
+    ?(stack_pages = 32) ~cost () =
+  (* The brk heap sits above the data segment (with a guard gap), like the
+     loader would place it; the fixed default only holds for small
+     binaries. *)
+  let data_end = text_base + ((text_pages + data_pages) * page_size) in
+  let heap_base = max heap_base_default (data_end + (64 * page_size)) in
+  let t =
+    {
+      cost;
+      vmas = [];
+      brk_addr = heap_base + (heap_pages * page_size);
+      heap_base;
+      heap_id = 1;
+      stack_id = 3;
+      next_vma_id = 4;
+      mmap_cursor = mmap_base;
+      sd_on = false;
+      cow_hook = None;
+    }
+  in
+  let text = Vma.create ~id:0 ~start_addr:text_base ~n_pages:text_pages ~prot:Prot.rx Vma.Text in
+  let heap =
+    Vma.create ~id:t.heap_id ~start_addr:heap_base ~n_pages:heap_pages ~prot:Prot.rw
+      Vma.Heap
+  in
+  let data =
+    Vma.create ~id:2
+      ~start_addr:(text_base + (text_pages * page_size))
+      ~n_pages:data_pages ~prot:Prot.rw Vma.Data
+  in
+  let stack =
+    Vma.create ~id:t.stack_id ~start_addr:stack_base ~n_pages:stack_pages ~prot:Prot.rw Vma.Stack
+  in
+  (* The loader already touched text and data. *)
+  Bitmap.fill text.Vma.present true;
+  Bitmap.fill data.Vma.present true;
+  t.vmas <- List.fold_left insert_sorted [] [ text; heap; data; stack ];
+  t
+
+let cost t = t.cost
+let vmas t = t.vmas
+let vma_count t = List.length t.vmas
+let brk t = t.brk_addr
+
+let find_vma_by_id t id = List.find_opt (fun v -> v.Vma.id = id) t.vmas
+let find_vma t addr = List.find_opt (fun v -> Vma.contains v addr) t.vmas
+
+let heap t =
+  match find_vma_by_id t t.heap_id with
+  | Some v -> v
+  | None -> invalid_arg "Address_space.heap: heap was unmapped"
+
+let stack t =
+  match find_vma_by_id t t.stack_id with
+  | Some v -> v
+  | None -> invalid_arg "Address_space.stack: stack was unmapped"
+
+(* Fault accounting shared by the single-page and bulk accessors. The
+   counters let bulk ranges charge once instead of per page. *)
+type fault_counts = {
+  mutable first_touch : int;
+  mutable demand_zero : int;
+  mutable cow : int;
+  mutable track : int;  (* SD re-arm or Uffd round trip *)
+}
+
+let no_faults () = { first_touch = 0; demand_zero = 0; cow = 0; track = 0 }
+
+let set_cow_hook t hook = t.cow_hook <- hook
+
+let fire_cow_hook t vma i =
+  match t.cow_hook with Some hook -> hook vma i | None -> ()
+
+(* Salvage every still-armed page of a range whose contents are about to
+   disappear (munmap, madvise, brk shrink). *)
+let salvage_range t (vma : Vma.t) ~pos ~len =
+  if t.cow_hook <> None then
+    for i = pos to min (pos + len) vma.Vma.n_pages - 1 do
+      if Bitmap.get vma.Vma.cow_pending i then begin
+        fire_cow_hook t vma i;
+        Bitmap.set vma.Vma.cow_pending i false
+      end
+    done
+
+let charge_faults t acct fc ~gran ~reads ~writes =
+  let c = t.cost in
+  let track_ns =
+    match c.Cost.tracking with
+    | Cost.Soft_dirty | Cost.Kernel_list -> c.Cost.sd_fault_ns
+    | Cost.Uffd -> c.Cost.uffd_fault_ns
+  in
+  (* With huge-page-backed regions one PTE fault covers [gran] pages. *)
+  let per_block n = if gran <= 1 then n else (n + gran - 1) / gran in
+  Account.charge acct
+    ((fc.first_touch * c.Cost.first_touch_fault_ns)
+    + (per_block fc.demand_zero * c.Cost.demand_zero_fault_ns)
+    + (fc.cow * c.Cost.cow_fault_ns)
+    + (per_block fc.track * track_ns)
+    + (reads * c.Cost.page_read_ns)
+    + (writes * c.Cost.page_write_ns))
+
+let write_one t fc (vma : Vma.t) i v =
+  if not vma.prot.Prot.write then invalid_arg "Address_space: write to non-writable VMA";
+  if Bitmap.get vma.untouched i then begin
+    fc.first_touch <- fc.first_touch + 1;
+    Bitmap.set vma.untouched i false
+  end;
+  if not (Bitmap.get vma.present i) then begin
+    fc.demand_zero <- fc.demand_zero + 1;
+    Bitmap.set vma.present i true;
+    (* A freshly faulted-in page is born dirty: no separate re-arm fault. *)
+    Bitmap.set vma.soft_dirty i true
+  end
+  else begin
+    if Bitmap.get vma.cow_pending i then begin
+      fc.cow <- fc.cow + 1;
+      fire_cow_hook t vma i;
+      Bitmap.set vma.cow_pending i false
+    end;
+    if t.sd_on && not (Bitmap.get vma.soft_dirty i) then fc.track <- fc.track + 1;
+    Bitmap.set vma.soft_dirty i true
+  end;
+  vma.data.(i) <- v
+
+let read_one t fc (vma : Vma.t) i =
+  ignore t;
+  if not vma.prot.Prot.read then invalid_arg "Address_space: read from non-readable VMA";
+  if Bitmap.get vma.untouched i then begin
+    fc.first_touch <- fc.first_touch + 1;
+    Bitmap.set vma.untouched i false
+  end;
+  if not (Bitmap.get vma.present i) then begin
+    (* Read fault maps the shared zero page. Like Linux, the freshly
+       created PTE is born soft-dirty — this is what lets Groundhog notice
+       pages whose contents were zapped (madvise) and then merely read. *)
+    fc.demand_zero <- fc.demand_zero + 1;
+    Bitmap.set vma.present i true;
+    Bitmap.set vma.soft_dirty i true
+  end;
+  vma.data.(i)
+
+let check_page_bounds (vma : Vma.t) i =
+  if i < 0 || i >= vma.n_pages then invalid_arg "Address_space: page index out of bounds"
+
+let write_page t acct vma i v =
+  check_page_bounds vma i;
+  let fc = no_faults () in
+  write_one t fc vma i v;
+  charge_faults t acct fc ~gran:vma.Vma.fault_gran ~reads:0 ~writes:1
+
+let read_page t acct vma i =
+  check_page_bounds vma i;
+  let fc = no_faults () in
+  let v = read_one t fc vma i in
+  charge_faults t acct fc ~gran:vma.Vma.fault_gran ~reads:1 ~writes:0;
+  v
+
+let write_addr t acct addr v =
+  match find_vma t addr with
+  | None -> invalid_arg "Address_space.write_addr: segfault (unmapped address)"
+  | Some vma -> write_page t acct vma (Vma.page_index vma addr) v
+
+let read_addr t acct addr =
+  match find_vma t addr with
+  | None -> invalid_arg "Address_space.read_addr: segfault (unmapped address)"
+  | Some vma -> read_page t acct vma (Vma.page_index vma addr)
+
+let dirty_range t acct vma ~pos ~len ~value =
+  if len < 0 || pos < 0 || pos + len > vma.Vma.n_pages then
+    invalid_arg "Address_space.dirty_range: range out of bounds";
+  let fc = no_faults () in
+  for i = pos to pos + len - 1 do
+    write_one t fc vma i value
+  done;
+  charge_faults t acct fc ~gran:vma.Vma.fault_gran ~reads:0 ~writes:len
+
+let read_range t acct vma ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > vma.Vma.n_pages then
+    invalid_arg "Address_space.read_range: range out of bounds";
+  let fc = no_faults () in
+  for i = pos to pos + len - 1 do
+    ignore (read_one t fc vma i)
+  done;
+  charge_faults t acct fc ~gran:vma.Vma.fault_gran ~reads:len ~writes:0
+
+let peek (vma : Vma.t) i =
+  check_page_bounds vma i;
+  vma.Vma.data.(i)
+
+let poke (vma : Vma.t) i v =
+  check_page_bounds vma i;
+  vma.Vma.data.(i) <- v;
+  Bitmap.set vma.Vma.present i true;
+  Bitmap.set vma.Vma.soft_dirty i true;
+  Bitmap.set vma.Vma.cow_pending i false
+
+let overlaps_existing t ~start_addr ~n_pages =
+  let stop = start_addr + (n_pages * page_size) in
+  List.exists
+    (fun v -> start_addr < Vma.end_addr v && v.Vma.start_addr < stop)
+    t.vmas
+
+let map_at t ~start_addr ~n_pages ~prot kind =
+  if overlaps_existing t ~start_addr ~n_pages then
+    invalid_arg "Address_space.map_at: overlapping mapping";
+  let vma = Vma.create ~id:(fresh_id t) ~start_addr ~n_pages ~prot kind in
+  t.vmas <- insert_sorted t.vmas vma;
+  vma
+
+let map t ~n_pages ~prot kind =
+  let start_addr = t.mmap_cursor in
+  t.mmap_cursor <- t.mmap_cursor + ((n_pages + 16) * page_size);
+  map_at t ~start_addr ~n_pages ~prot kind
+
+let unmap t vma =
+  if not (List.memq vma t.vmas) then invalid_arg "Address_space.unmap: foreign VMA";
+  salvage_range t vma ~pos:0 ~len:vma.Vma.n_pages;
+  t.vmas <- List.filter (fun v -> v != vma) t.vmas
+
+let set_brk t addr =
+  if addr < t.heap_base then invalid_arg "Address_space.set_brk: below heap base";
+  let n_pages = (addr - t.heap_base + page_size - 1) / page_size in
+  let heap_vma = heap t in
+  if n_pages < heap_vma.Vma.n_pages then
+    salvage_range t heap_vma ~pos:n_pages ~len:(heap_vma.Vma.n_pages - n_pages);
+  Vma.resize heap_vma n_pages;
+  t.brk_addr <- addr
+
+let mprotect t vma prot =
+  if not (List.memq vma t.vmas) then invalid_arg "Address_space.mprotect: foreign VMA";
+  vma.Vma.prot <- prot
+
+let madvise_dontneed t vma ~pos ~len =
+  if not (List.memq vma t.vmas) then invalid_arg "Address_space.madvise: foreign VMA";
+  if len < 0 || pos < 0 || pos + len > vma.Vma.n_pages then
+    invalid_arg "Address_space.madvise_dontneed: range out of bounds";
+  salvage_range t vma ~pos ~len;
+  for i = pos to pos + len - 1 do
+    Bitmap.set vma.Vma.present i false;
+    Bitmap.set vma.Vma.soft_dirty i false;
+    Bitmap.set vma.Vma.cow_pending i false;
+    vma.Vma.data.(i) <- 0
+  done
+
+let resize_vma t vma n_pages =
+  if not (List.memq vma t.vmas) then invalid_arg "Address_space.resize_vma: foreign VMA";
+  let stop = vma.Vma.start_addr + (n_pages * page_size) in
+  let collision =
+    List.exists
+      (fun v -> v != vma && vma.Vma.start_addr < Vma.end_addr v && v.Vma.start_addr < stop)
+      t.vmas
+  in
+  if collision then invalid_arg "Address_space.resize_vma: growth collides with a neighbour";
+  if n_pages < vma.Vma.n_pages then
+    salvage_range t vma ~pos:n_pages ~len:(vma.Vma.n_pages - n_pages);
+  Vma.resize vma n_pages;
+  if vma.Vma.id = t.heap_id then t.brk_addr <- min t.brk_addr (Vma.end_addr vma)
+
+let sd_enabled t = t.sd_on
+
+let clear_refs t =
+  t.sd_on <- true;
+  List.iter (fun v -> Bitmap.fill v.Vma.soft_dirty false) t.vmas
+
+(* The child must not inherit the parent's salvage hook: its CoW faults
+   belong to fork semantics, not to the parent's incremental snapshot. *)
+let clone_cow t = { t with vmas = List.map Vma.clone_cow t.vmas; cow_hook = None }
+
+let arm_cow_all t =
+  List.iter (fun (v : Vma.t) -> v.Vma.cow_pending <- Bitmap.copy v.Vma.present) t.vmas
+
+let total_pages t = List.fold_left (fun acc v -> acc + v.Vma.n_pages) 0 t.vmas
+let present_pages t = List.fold_left (fun acc v -> acc + Bitmap.count v.Vma.present) 0 t.vmas
+let dirty_pages t = List.fold_left (fun acc v -> acc + Bitmap.count v.Vma.soft_dirty) 0 t.vmas
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>brk=%012x sd=%b@ %a@]" t.brk_addr t.sd_on
+    (Format.pp_print_list Vma.pp) t.vmas

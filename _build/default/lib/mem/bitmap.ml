@@ -1,0 +1,41 @@
+type t = Bytes.t
+
+let create n = Bytes.make n '\000'
+let length = Bytes.length
+let get t i = Bytes.unsafe_get t i <> '\000'
+let set t i v = Bytes.unsafe_set t i (if v then '\001' else '\000')
+let fill t v = Bytes.fill t 0 (Bytes.length t) (if v then '\001' else '\000')
+let copy = Bytes.copy
+
+let resize t n =
+  let nt = Bytes.make n '\000' in
+  Bytes.blit t 0 nt 0 (min (Bytes.length t) n);
+  nt
+
+let count t =
+  let c = ref 0 in
+  for i = 0 to Bytes.length t - 1 do
+    if Bytes.unsafe_get t i <> '\000' then incr c
+  done;
+  !c
+
+let iter_set t f =
+  for i = 0 to Bytes.length t - 1 do
+    if Bytes.unsafe_get t i <> '\000' then f i
+  done
+
+let fold_runs t ~init ~f =
+  let n = Bytes.length t in
+  let acc = ref init in
+  let i = ref 0 in
+  while !i < n do
+    if Bytes.unsafe_get t !i <> '\000' then begin
+      let start = !i in
+      while !i < n && Bytes.unsafe_get t !i <> '\000' do
+        incr i
+      done;
+      acc := f !acc ~pos:start ~len:(!i - start)
+    end
+    else incr i
+  done;
+  !acc

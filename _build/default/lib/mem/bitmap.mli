@@ -1,0 +1,28 @@
+(** Dense per-page bit maps (present, soft-dirty, CoW-pending, ...).
+
+    One byte per page: address spaces top out around 210K pages in our
+    workloads, so compactness matters less than scan speed and simplicity. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero map over [n] pages. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+val fill : t -> bool -> unit
+val copy : t -> t
+
+val resize : t -> int -> t
+(** [resize t n] keeps the common prefix, zero-extends when growing. *)
+
+val count : t -> int
+(** Number of set bits. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** Apply to each set index, ascending. *)
+
+val fold_runs : t -> init:'a -> f:('a -> pos:int -> len:int -> 'a) -> 'a
+(** Fold over maximal runs of consecutive set bits, ascending — used by the
+    restore engine's copy coalescing. *)

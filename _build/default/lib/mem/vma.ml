@@ -1,0 +1,88 @@
+let page_size = 4096
+
+type kind = Text | Data | Heap | Stack | Anon | Wasm_linear
+
+type t = {
+  id : int;
+  mutable start_addr : int;
+  mutable n_pages : int;
+  mutable prot : Prot.t;
+  kind : kind;
+  mutable data : int array;
+  mutable present : Bitmap.t;
+  mutable soft_dirty : Bitmap.t;
+  mutable cow_pending : Bitmap.t;
+  mutable untouched : Bitmap.t;
+  mutable fault_gran : int;
+}
+
+let create ~id ~start_addr ~n_pages ~prot kind =
+  if start_addr mod page_size <> 0 then invalid_arg "Vma.create: unaligned start";
+  if n_pages < 0 then invalid_arg "Vma.create: negative size";
+  {
+    id;
+    start_addr;
+    n_pages;
+    prot;
+    kind;
+    data = Array.make n_pages 0;
+    present = Bitmap.create n_pages;
+    soft_dirty = Bitmap.create n_pages;
+    cow_pending = Bitmap.create n_pages;
+    untouched = Bitmap.create n_pages;
+    fault_gran = 1;
+  }
+
+let end_addr t = t.start_addr + (t.n_pages * page_size)
+let contains t addr = addr >= t.start_addr && addr < end_addr t
+
+let page_index t addr =
+  if not (contains t addr) then invalid_arg "Vma.page_index: address outside region";
+  (addr - t.start_addr) / page_size
+
+let kind_to_string = function
+  | Text -> "text"
+  | Data -> "data"
+  | Heap -> "heap"
+  | Stack -> "stack"
+  | Anon -> "anon"
+  | Wasm_linear -> "wasm"
+
+let resize t n_pages =
+  if n_pages < 0 then invalid_arg "Vma.resize: negative size";
+  if n_pages <> t.n_pages then begin
+    let data = Array.make n_pages 0 in
+    Array.blit t.data 0 data 0 (min t.n_pages n_pages);
+    t.data <- data;
+    t.present <- Bitmap.resize t.present n_pages;
+    t.soft_dirty <- Bitmap.resize t.soft_dirty n_pages;
+    t.cow_pending <- Bitmap.resize t.cow_pending n_pages;
+    t.untouched <- Bitmap.resize t.untouched n_pages;
+    t.n_pages <- n_pages
+  end
+
+let clone_cow t =
+  {
+    t with
+    data = Array.copy t.data;
+    present = Bitmap.copy t.present;
+    soft_dirty = Bitmap.copy t.soft_dirty;
+    cow_pending = Bitmap.copy t.present;
+    untouched = Bitmap.copy t.present;
+  }
+
+let restore_data_from t data present =
+  let n = min t.n_pages (Array.length data) in
+  Array.blit data 0 t.data 0 n;
+  for i = 0 to min t.n_pages (Bitmap.length present) - 1 do
+    Bitmap.set t.present i (Bitmap.get present i)
+  done;
+  for i = Bitmap.length present to t.n_pages - 1 do
+    Bitmap.set t.present i false;
+    t.data.(i) <- 0
+  done
+
+let pp ppf t =
+  Format.fprintf ppf "%012x-%012x %a %s (%d pages, %d present, %d dirty)"
+    t.start_addr (end_addr t) Prot.pp t.prot (kind_to_string t.kind) t.n_pages
+    (Bitmap.count t.present) (Bitmap.count t.soft_dirty)

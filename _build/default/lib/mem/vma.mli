@@ -1,0 +1,60 @@
+(** Virtual memory areas: contiguous page-granular mappings.
+
+    Each page carries one data word — enough to give leaks and restores real
+    data semantics (a secret written by request A is a concrete value that
+    request B can observe) while keeping 200K-page address spaces cheap to
+    simulate. Timing is charged separately, per 4 KiB page, by the cost
+    model. *)
+
+val page_size : int
+(** 4096 bytes; all addresses are page-aligned. *)
+
+type kind =
+  | Text  (** Program text / shared libraries. *)
+  | Data  (** Statically allocated writable data. *)
+  | Heap  (** The brk-managed heap. *)
+  | Stack
+  | Anon  (** mmap'd anonymous memory (malloc arenas, runtime pools). *)
+  | Wasm_linear  (** FAASM-style contiguous linear memory. *)
+
+type t = {
+  id : int;  (** Unique within an address space; survives resizes. *)
+  mutable start_addr : int;
+  mutable n_pages : int;
+  mutable prot : Prot.t;
+  kind : kind;
+  mutable data : int array;  (** One word per page. *)
+  mutable present : Bitmap.t;  (** Page has a frame (was touched). *)
+  mutable soft_dirty : Bitmap.t;  (** Kernel soft-dirty bit. *)
+  mutable cow_pending : Bitmap.t;  (** Next write pays a CoW copy fault. *)
+  mutable untouched : Bitmap.t;  (** Next access pays a first-touch fault. *)
+  mutable fault_gran : int;
+      (** Pages covered by one PTE-level fault: 1 for base pages, up to 512
+          when the region is backed by transparent huge pages — one re-arm
+          or demand-zero fault then covers the whole block. *)
+}
+
+val create : id:int -> start_addr:int -> n_pages:int -> prot:Prot.t -> kind -> t
+val end_addr : t -> int
+val contains : t -> int -> bool
+
+val page_index : t -> int -> int
+(** [page_index t addr] is the page offset of [addr] within [t].
+    @raise Invalid_argument if [addr] is outside [t]. *)
+
+val kind_to_string : kind -> string
+
+val resize : t -> int -> unit
+(** Grow (zero-filled, non-present new pages) or shrink at the end. *)
+
+val clone_cow : t -> t
+(** Deep copy for fork: data duplicated, [cow_pending] and [untouched] set
+    on every present page so the child pays CoW/first-touch faults. *)
+
+val restore_data_from : t -> int array -> Bitmap.t -> unit
+(** [restore_data_from t data present] overwrites page contents and
+    presence wholesale (FAASM-style remap; the caller charges costs).
+    Arrays may be shorter or longer than [t]; the common prefix is used. *)
+
+val pp : Format.formatter -> t -> unit
+(** One /proc/pid/maps-style line. *)

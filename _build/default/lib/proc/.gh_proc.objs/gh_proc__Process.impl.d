@@ -1,0 +1,1 @@
+lib/proc/process.ml: Format Gh_kernel Gh_mem Gh_sim List Registers Thread

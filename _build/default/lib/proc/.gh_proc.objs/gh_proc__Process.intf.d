@@ -1,0 +1,1 @@
+lib/proc/process.mli: Format Gh_kernel Gh_mem Gh_sim Thread

@@ -1,0 +1,1 @@
+lib/proc/procfs.ml: Gh_kernel Gh_mem Gh_sim List Process

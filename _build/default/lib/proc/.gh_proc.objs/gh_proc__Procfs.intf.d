@@ -1,0 +1,1 @@
+lib/proc/procfs.mli: Gh_mem Gh_sim Process

@@ -1,0 +1,1 @@
+lib/proc/ptrace.ml: Array Gh_kernel Gh_mem Gh_sim Hashtbl List Process Registers Thread

@@ -1,0 +1,1 @@
+lib/proc/ptrace.mli: Gh_mem Gh_sim Process Registers Thread

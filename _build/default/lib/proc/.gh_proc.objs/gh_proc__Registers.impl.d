@@ -1,0 +1,1 @@
+lib/proc/registers.ml: Array Format Gh_sim

@@ -1,0 +1,1 @@
+lib/proc/registers.mli: Format Gh_sim

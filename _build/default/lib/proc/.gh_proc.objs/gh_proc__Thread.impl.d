@@ -1,0 +1,1 @@
+lib/proc/thread.ml: Format Registers

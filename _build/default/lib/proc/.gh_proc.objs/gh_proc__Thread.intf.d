@@ -1,0 +1,1 @@
+lib/proc/thread.mli: Format Registers

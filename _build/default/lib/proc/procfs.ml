@@ -1,0 +1,52 @@
+module Account = Gh_sim.Account
+module Cost = Gh_kernel.Cost
+module As = Gh_mem.Address_space
+module Vma = Gh_mem.Vma
+module Bitmap = Gh_mem.Bitmap
+
+type maps_entry = {
+  vma_id : int;
+  start_addr : int;
+  n_pages : int;
+  prot : Gh_mem.Prot.t;
+  kind : Vma.kind;
+}
+
+let entry_of_vma (v : Vma.t) =
+  {
+    vma_id = v.Vma.id;
+    start_addr = v.Vma.start_addr;
+    n_pages = v.Vma.n_pages;
+    prot = v.Vma.prot;
+    kind = v.Vma.kind;
+  }
+
+let read_maps acct (p : Process.t) =
+  let vmas = As.vmas p.Process.mem in
+  let c = As.cost p.Process.mem in
+  Account.charge acct (List.length vmas * c.Cost.maps_read_per_vma_ns);
+  List.map entry_of_vma vmas
+
+let dirty_sets (p : Process.t) =
+  List.map (fun (v : Vma.t) -> (v, Bitmap.copy v.Vma.soft_dirty)) (As.vmas p.Process.mem)
+
+let scan_soft_dirty acct (p : Process.t) =
+  let c = As.cost p.Process.mem in
+  Account.charge acct (As.total_pages p.Process.mem * c.Cost.pagemap_scan_per_page_ns);
+  dirty_sets p
+
+let clear_refs acct (p : Process.t) =
+  let c = As.cost p.Process.mem in
+  Account.charge acct (As.total_pages p.Process.mem * c.Cost.clear_refs_per_page_ns);
+  As.clear_refs p.Process.mem
+
+type statm = { total_pages : int; present_pages : int; dirty_pages : int }
+
+let read_statm acct (p : Process.t) =
+  let c = As.cost p.Process.mem in
+  Account.charge acct c.Cost.maps_read_per_vma_ns;
+  {
+    total_pages = As.total_pages p.Process.mem;
+    present_pages = As.present_pages p.Process.mem;
+    dirty_pages = As.dirty_pages p.Process.mem;
+  }

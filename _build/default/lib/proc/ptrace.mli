@@ -1,0 +1,54 @@
+(** The ptrace facility: interrupt, register access, syscall injection,
+    memory writes.
+
+    A {!session} is an attachment of a tracer (the Groundhog manager) to a
+    process. While attached, all of the tracee's threads are stopped, so
+    the tracer can mutate its state consistently. Every operation charges
+    the tracer's account — these are the off-critical-path costs that make
+    up the Fig. 8 restoration breakdown. *)
+
+type session
+
+exception Already_attached
+exception Not_attached
+
+val attach : Gh_sim.Account.t -> Process.t -> session
+(** Seize the process and interrupt every thread. Charged one attach plus
+    one interrupt per thread. @raise Already_attached if some tracer holds
+    the process. *)
+
+val detach : session -> Gh_sim.Account.t -> unit
+(** Resume all threads. Charged per thread. The session is dead after. *)
+
+val is_attached : Process.t -> bool
+val process : session -> Process.t
+
+val getregs : session -> Gh_sim.Account.t -> Thread.t -> Registers.t
+(** A copy of the thread's registers. *)
+
+val setregs : session -> Gh_sim.Account.t -> Thread.t -> Registers.t -> unit
+
+type injected =
+  | Mmap_at of { start_addr : int; n_pages : int; prot : Gh_mem.Prot.t; kind : Gh_mem.Vma.kind }
+  | Munmap of Gh_mem.Vma.t
+  | Brk of int
+  | Mremap of { vma : Gh_mem.Vma.t; n_pages : int }
+  | Mprotect of Gh_mem.Vma.t * Gh_mem.Prot.t
+  | Madvise_dontneed of { vma : Gh_mem.Vma.t; pos : int; len : int }
+
+val inject_syscall : session -> Gh_sim.Account.t -> injected -> Gh_mem.Vma.t option
+(** Execute a syscall inside the stopped tracee (save registers, point RIP
+    at a syscall instruction, resume, trap, restore — modelled as one
+    [syscall_inject_ns] charge plus the syscall's own cost). Returns the
+    created VMA for [Mmap_at], [None] otherwise. *)
+
+val write_pages :
+  session -> Gh_sim.Account.t -> Gh_mem.Vma.t -> pos:int -> len:int -> src:int array -> src_pos:int -> unit
+(** Restore page contents from the manager's snapshot buffer. The whole
+    contiguous run is coalesced into one copy operation — one setup charge
+    plus a per-page rate — the §5.2.2 coalescing optimization. (With
+    [coalesce_runs = false] every page pays its own setup.) *)
+
+val zero_pages : session -> Gh_sim.Account.t -> Gh_mem.Vma.t -> pos:int -> len:int -> unit
+(** Zero a run of pages at the stack-zeroing rate (cheaper than restoring
+    from the snapshot buffer: no source read). *)

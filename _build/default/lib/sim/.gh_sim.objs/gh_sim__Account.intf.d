@@ -1,0 +1,1 @@
+lib/sim/account.mli: Time_ns

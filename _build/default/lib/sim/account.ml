@@ -1,0 +1,17 @@
+type t = { mutable total : Time_ns.t }
+type mark = Time_ns.t
+
+let create () = { total = 0 }
+
+let charge t d =
+  if d < 0 then invalid_arg "Account.charge: negative duration";
+  t.total <- t.total + d
+
+let total t = t.total
+let reset t = t.total <- 0
+let mark t = t.total
+let since t m = t.total - m
+
+let transfer ~from ~into =
+  into.total <- into.total + from.total;
+  from.total <- 0

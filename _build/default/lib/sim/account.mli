@@ -1,0 +1,27 @@
+(** Cost accounts: where simulated CPU time is charged.
+
+    Every substrate operation (page fault, pagemap scan, ptrace step, ...)
+    charges nanoseconds to the account it was given. Components measure a
+    step's cost by taking a {!mark} before and {!since} after, which is how
+    the restore engine produces its per-step breakdown (Fig. 8). *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> Time_ns.t -> unit
+(** Add a duration to the account. Negative charges are rejected. *)
+
+val total : t -> Time_ns.t
+(** Total nanoseconds charged so far. *)
+
+val reset : t -> unit
+
+type mark
+
+val mark : t -> mark
+val since : t -> mark -> Time_ns.t
+(** [since t m] is the time charged to [t] after [m] was taken. *)
+
+val transfer : from:t -> into:t -> unit
+(** Move the whole balance of [from] onto [into], resetting [from]. *)

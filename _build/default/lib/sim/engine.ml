@@ -1,0 +1,36 @@
+type t = { mutable clock : Time_ns.t; queue : (unit -> unit) Heap.t }
+
+let create () = { clock = 0; queue = Heap.create () }
+let now t = t.clock
+
+let at t ~time f =
+  if time < t.clock then invalid_arg "Engine.at: instant in the simulated past";
+  Heap.push t.queue ~key:time f
+
+let schedule t ~after f =
+  if after < 0 then invalid_arg "Engine.schedule: negative delay";
+  at t ~time:(t.clock + after) f
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      f ();
+      true
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_key t.queue with
+    | Some key when key <= until -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if t.clock < until then t.clock <- until
+
+let run_all t =
+  while step t do
+    ()
+  done
+
+let pending t = Heap.size t.queue

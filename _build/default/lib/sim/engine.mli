@@ -1,0 +1,35 @@
+(** Discrete-event simulation engine.
+
+    The throughput and scaling experiments run the FaaS platform as a
+    discrete-event simulation: clients, invokers, containers and Groundhog
+    managers schedule callbacks at future simulated instants, and the engine
+    dispatches them in timestamp order (FIFO among equal timestamps).
+
+    The latency experiments don't need the engine at all — they execute one
+    request at a time and read costs straight off the accounts. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time_ns.t
+(** Current simulated time. *)
+
+val schedule : t -> after:Time_ns.t -> (unit -> unit) -> unit
+(** [schedule t ~after f] runs [f] at [now t + after].
+    @raise Invalid_argument if [after] is negative. *)
+
+val at : t -> time:Time_ns.t -> (unit -> unit) -> unit
+(** [at t ~time f] runs [f] at absolute instant [time], which must not be
+    in the simulated past. *)
+
+val run : t -> until:Time_ns.t -> unit
+(** Dispatch events in order until the queue drains or simulated time would
+    exceed [until]. Events scheduled exactly at [until] still run. *)
+
+val run_all : t -> unit
+(** Dispatch until the queue is empty. Diverges on self-sustaining event
+    chains; prefer {!run} for open-loop workloads. *)
+
+val pending : t -> int
+(** Number of queued events. *)

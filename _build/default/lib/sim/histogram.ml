@@ -1,0 +1,62 @@
+type t = {
+  min_value : float;
+  ratio : float;  (* bucket upper/lower bound ratio *)
+  counts : int array;
+  mutable total : int;
+}
+
+let create ?(buckets_per_decade = 5) ~min_value ~max_value () =
+  if min_value <= 0.0 || max_value <= min_value then
+    invalid_arg "Histogram.create: need 0 < min_value < max_value";
+  if buckets_per_decade < 1 then invalid_arg "Histogram.create: need at least 1 bucket/decade";
+  let ratio = 10.0 ** (1.0 /. float_of_int buckets_per_decade) in
+  let n =
+    int_of_float (ceil (log (max_value /. min_value) /. log ratio)) |> max 1
+  in
+  { min_value; ratio; counts = Array.make n 0; total = 0 }
+
+let bucket_of t v =
+  if v <= t.min_value then 0
+  else begin
+    let i = int_of_float (log (v /. t.min_value) /. log t.ratio) in
+    min i (Array.length t.counts - 1)
+  end
+
+let add t v =
+  t.counts.(bucket_of t v) <- t.counts.(bucket_of t v) + 1;
+  t.total <- t.total + 1
+
+let add_all t a = Array.iter (add t) a
+let count t = t.total
+
+let bounds t i =
+  let lo = t.min_value *. (t.ratio ** float_of_int i) in
+  (lo, lo *. t.ratio)
+
+let buckets t =
+  List.init (Array.length t.counts) (fun i ->
+      let lo, hi = bounds t i in
+      (lo, hi, t.counts.(i)))
+
+let quantile t q =
+  if t.total = 0 then invalid_arg "Histogram.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q out of range";
+  let target = int_of_float (ceil (q *. float_of_int t.total)) |> max 1 in
+  let rec go i seen =
+    if i >= Array.length t.counts then fst (bounds t (Array.length t.counts - 1)) *. t.ratio
+    else begin
+      let seen = seen + t.counts.(i) in
+      if seen >= target then snd (bounds t i) else go (i + 1) seen
+    end
+  in
+  go 0 0
+
+let render ?(width = 40) ppf t =
+  let peak = Array.fold_left max 1 t.counts in
+  List.iter
+    (fun (lo, hi, n) ->
+      if n > 0 then begin
+        let bar = String.make (max 1 (n * width / peak)) '#' in
+        Format.fprintf ppf "%10.2f - %10.2f  %6d  %s@." lo hi n bar
+      end)
+    (buckets t)

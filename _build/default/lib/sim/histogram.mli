@@ -1,0 +1,28 @@
+(** Log-bucketed histograms for latency distributions.
+
+    Latencies span orders of magnitude, so buckets grow geometrically.
+    The text rendering gives each bucket a bar scaled to its share —
+    enough to see bimodality (e.g. warm requests vs cold starts) that
+    a mean and a p95 hide. *)
+
+type t
+
+val create : ?buckets_per_decade:int -> min_value:float -> max_value:float -> unit -> t
+(** Geometric buckets covering [\[min_value, max_value\]]; out-of-range
+    samples clamp into the edge buckets. Defaults to 5 buckets/decade.
+    @raise Invalid_argument unless [0 < min_value < max_value]. *)
+
+val add : t -> float -> unit
+val add_all : t -> float array -> unit
+val count : t -> int
+
+val buckets : t -> (float * float * int) list
+(** (lower bound, upper bound, count) for each bucket, ascending. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0,1\]]: the upper bound of the bucket
+    holding the q-th sample (a bucket-resolution approximation).
+    @raise Invalid_argument if empty or [q] out of range. *)
+
+val render : ?width:int -> Format.formatter -> t -> unit
+(** One line per non-empty bucket: range, count, bar. *)

@@ -1,0 +1,42 @@
+type event = { at : Time_ns.t; category : string; what : string; detail : string }
+
+type t = {
+  buf : event option array;
+  mutable next : int;  (* total events ever emitted *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity None; next = 0 }
+
+let emit t ~at ~category ~what detail =
+  t.buf.(t.next mod Array.length t.buf) <- Some { at; category; what; detail };
+  t.next <- t.next + 1
+
+let emitf t ~at ~category ~what fmt =
+  Printf.ksprintf (fun detail -> emit t ~at ~category ~what detail) fmt
+
+let length t = min t.next (Array.length t.buf)
+let dropped t = max 0 (t.next - Array.length t.buf)
+
+let events t =
+  let cap = Array.length t.buf in
+  let n = length t in
+  let start = if t.next > cap then t.next mod cap else 0 in
+  List.init n (fun i ->
+      match t.buf.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false (* slots below [length] are always filled *))
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0
+
+let find t ~category = List.filter (fun e -> e.category = category) (events t)
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%a] %-10s %-18s %s" Time_ns.pp e.at e.category e.what e.detail
+
+let render ppf t =
+  if dropped t > 0 then Format.fprintf ppf "... (%d earlier events dropped)@." (dropped t);
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -1,0 +1,1 @@
+lib/workloads/catalog.ml: Float Gh_faas Gh_sim List Option Paper_ref Printf

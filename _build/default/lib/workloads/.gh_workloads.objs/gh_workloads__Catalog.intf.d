@@ -1,0 +1,1 @@
+lib/workloads/catalog.mli: Gh_faas Paper_ref

@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Gh_faas Gh_sim Printf

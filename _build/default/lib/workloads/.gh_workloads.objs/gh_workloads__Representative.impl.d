@@ -1,0 +1,1 @@
+lib/workloads/representative.ml: Catalog List Printf

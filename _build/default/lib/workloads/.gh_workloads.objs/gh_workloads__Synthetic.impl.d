@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Array Float Gh_faas Gh_sim List Printf

@@ -1,0 +1,1 @@
+lib/workloads/synthetic.mli: Gh_faas Gh_sim

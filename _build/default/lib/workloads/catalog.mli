@@ -1,0 +1,32 @@
+(** The 58-benchmark catalog of the paper's evaluation (§5.3):
+    22 pyperformance (Python), 23 PolyBench (C), and 13 FaaSProfiler
+    (6 Python + 7 Node.js) functions, parameterised from the measurements
+    in Appendix A, Table 3 (plus FAASM latencies from Table 1).
+
+    Every entry carries both the derived executable {!Gh_faas.Function_model.spec}
+    and the paper's reference numbers, so the harness can regenerate each
+    table/figure {e and} report paper-vs-measured deltas. *)
+
+type suite = Pyperformance | Polybench | Faasprofiler
+
+type entry = {
+  display : string;  (** Paper-style name, e.g. ["chaos (p)"]. *)
+  suite : suite;
+  reference : Paper_ref.t;
+  spec : Gh_faas.Function_model.spec;
+}
+
+val all : entry list
+(** All 58 benchmarks, in Table 3's order (ascending restore time). *)
+
+val find : string -> entry option
+(** Lookup by display name or bare name (first match). *)
+
+val by_suite : suite -> entry list
+val by_lang : Gh_faas.Runtime.lang -> entry list
+
+val wasm_ported : entry list
+(** The subset with a FAASM (WebAssembly) port. *)
+
+val suite_to_string : suite -> string
+val names : unit -> string list

@@ -1,0 +1,31 @@
+module Fm = Gh_faas.Function_model
+
+let spec ~mapped_pages ~dirtied_pages =
+  {
+    Fm.default_spec with
+    Fm.name = Printf.sprintf "ubench-%dp-%dd" mapped_pages dirtied_pages;
+    lang = Gh_faas.Runtime.C;
+    (* The function does nothing but touch memory; a tiny fixed compute
+       charge stands for its loop bookkeeping. *)
+    exec_ns = Gh_sim.Time_ns.of_us 200.0;
+    exec_jitter = 0.01;
+    mapped_pages;
+    dirtied_pages;
+    (* (b): read every mapped page, even those not dirtied. *)
+    read_pages = mapped_pages;
+    input_kb = 1;
+    output_kb = 1;
+    scattered_writes = true;
+  }
+
+let fig3_left_fractions = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+let fig3_right_sizes = [ 1_000; 2_000; 5_000; 10_000; 20_000; 50_000; 75_000; 100_000 ]
+
+let fig3_left_mapped = 100_000
+
+let fig3_left_spec fraction =
+  if fraction < 0.0 || fraction > 1.0 then invalid_arg "Microbench.fig3_left_spec";
+  spec ~mapped_pages:fig3_left_mapped
+    ~dirtied_pages:(int_of_float (fraction *. float_of_int fig3_left_mapped))
+
+let fig3_right_spec mapped_pages = spec ~mapped_pages ~dirtied_pages:1_000

@@ -1,0 +1,25 @@
+(** The §5.2 microbenchmark: a C function that pre-allocates a fixed
+    address space; each invocation (a) writes one word to a chosen subset
+    of the pages, then (b) reads one word from {e every} mapped page.
+
+    Two sweeps reproduce Fig. 3:
+    - vary the dirtied fraction at a fixed 100K mapped pages (left), and
+    - vary the address-space size at a fixed 1K dirtied pages (right). *)
+
+val spec :
+  mapped_pages:int -> dirtied_pages:int -> Gh_faas.Function_model.spec
+(** A microbenchmark spec. The dirty pattern spreads evenly over the pool,
+    so the dirtied fraction controls run lengths (and therefore restore
+    coalescing), as in the paper. *)
+
+val fig3_left_fractions : float list
+(** The dirtied-page fractions swept in Fig. 3 (left): 0–100 %. *)
+
+val fig3_right_sizes : int list
+(** The address-space sizes swept in Fig. 3 (right): 1K–100K pages. *)
+
+val fig3_left_spec : float -> Gh_faas.Function_model.spec
+(** 100K mapped pages, given fraction dirtied. *)
+
+val fig3_right_spec : int -> Gh_faas.Function_model.spec
+(** Given mapped pages, 1K dirtied. *)

@@ -1,0 +1,19 @@
+type t = {
+  base_invoker_ms : float;
+  base_invoker_std_ms : float;
+  base_tput : float;
+  gh_invoker_ms : float;
+  gh_tput : float;
+  restore_ms : float;
+  pages_k : float;
+  faults_k : float;
+  restored_k : float;
+  faasm_invoker_ms : float option;
+}
+
+let gh_latency_overhead_pct t =
+  100.0 *. (t.gh_invoker_ms -. t.base_invoker_ms) /. t.base_invoker_ms
+
+let gh_tput_drop_pct t =
+  if t.base_tput <= 0.0 then Float.nan
+  else 100.0 *. (t.base_tput -. t.gh_tput) /. t.base_tput

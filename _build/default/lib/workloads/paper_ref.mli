@@ -1,0 +1,26 @@
+(** Reference measurements from the paper's Appendix A (Tables 1–3).
+
+    Stored alongside each benchmark so EXPERIMENTS.md can report
+    paper-vs-measured programmatically. All latencies in milliseconds,
+    throughputs in requests/second, page counts in thousands of 4 KiB
+    pages — the paper's own units. *)
+
+type t = {
+  base_invoker_ms : float;  (** BASE invoker latency. *)
+  base_invoker_std_ms : float;
+  base_tput : float;  (** BASE throughput (4 cores / 4 containers). *)
+  gh_invoker_ms : float;  (** GH invoker latency. *)
+  gh_tput : float;
+  restore_ms : float;  (** GH restoration time (off critical path). *)
+  pages_k : float;  (** Mapped pages, thousands. *)
+  faults_k : float;  (** In-function page faults per invocation, thousands. *)
+  restored_k : float;  (** Pages restored per invocation, thousands. *)
+  faasm_invoker_ms : float option;  (** FAASM invoker latency, if ported. *)
+}
+
+val gh_latency_overhead_pct : t -> float
+(** Paper GH invoker-latency overhead vs BASE, percent. *)
+
+val gh_tput_drop_pct : t -> float
+(** Paper GH throughput reduction vs BASE, percent ([nan] when the BASE
+    throughput column is 0, as for logging(p)). *)

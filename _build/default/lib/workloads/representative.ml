@@ -1,0 +1,27 @@
+(* Chosen to span three languages, five orders of magnitude of duration,
+   1K–208K mapped pages and 10–54K dirtied pages. *)
+let names =
+  [
+    "jacobi-1d (c)";
+    "durbin (c)";
+    "atax (c)";
+    "deriche (c)";
+    "heat-3d (c)";
+    "cholesky (c)";
+    "version (p)";
+    "pickle (p)";
+    "json (p)";
+    "base64 (p)";
+    "pyflate (p)";
+    "get-time (n)";
+    "json (n)";
+    "base64 (n)";
+  ]
+
+let entries =
+  List.map
+    (fun name ->
+      match Catalog.find name with
+      | Some e -> e
+      | None -> invalid_arg (Printf.sprintf "Representative: %s not in catalog" name))
+    names

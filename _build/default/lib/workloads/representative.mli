@@ -1,0 +1,8 @@
+(** The 14 representative benchmarks used for Fig. 7 (core scaling) and
+    Fig. 8 (restoration breakdown): a spread over duration, mapped pages
+    and dirtied pages across all three languages. *)
+
+val names : string list
+(** Display names, e.g. ["json (n)"]. *)
+
+val entries : Catalog.entry list

@@ -1,0 +1,78 @@
+module Rng = Gh_sim.Rng
+module Time_ns = Gh_sim.Time_ns
+module Fm = Gh_faas.Function_model
+module Runtime = Gh_faas.Runtime
+
+type profile = {
+  min_exec_ms : float;
+  max_exec_ms : float;
+  min_mapped : int;
+  max_mapped : int;
+  max_dirty_fraction : float;
+  allow_pathologies : bool;
+}
+
+let default_profile =
+  {
+    min_exec_ms = 0.5;
+    max_exec_ms = 5_000.0;
+    min_mapped = 1_000;
+    max_mapped = 200_000;
+    max_dirty_fraction = 0.3;
+    allow_pathologies = true;
+  }
+
+let tiny_profile =
+  {
+    min_exec_ms = 0.1;
+    max_exec_ms = 20.0;
+    min_mapped = 800;
+    max_mapped = 6_000;
+    max_dirty_fraction = 0.2;
+    allow_pathologies = true;
+  }
+
+let languages = [| Runtime.C; Runtime.Python; Runtime.Nodejs |]
+
+(* Log-uniform draw: FaaS durations and footprints span orders of
+   magnitude, so uniform draws would oversample the big end. *)
+let log_uniform rng lo hi =
+  let lo = Float.max 1e-9 lo in
+  exp (Rng.float rng (log hi -. log lo) +. log lo)
+
+let draw ?(profile = default_profile) rng =
+  let lang = languages.(Rng.int rng (Array.length languages)) in
+  let rt = Runtime.for_lang lang in
+  let fixed = rt.Runtime.text_pages + rt.Runtime.data_pages + rt.Runtime.stack_pages in
+  let mapped =
+    max (fixed + 128)
+      (int_of_float (log_uniform rng (float_of_int profile.min_mapped) (float_of_int profile.max_mapped)))
+  in
+  let pool = mapped - fixed in
+  let dirtied =
+    max 1 (int_of_float (Rng.float rng (profile.max_dirty_fraction *. float_of_int pool)))
+  in
+  let read_pages = min pool (max dirtied (mapped * Rng.int_in rng 5 15 / 100)) in
+  let exec_ms = log_uniform rng profile.min_exec_ms profile.max_exec_ms in
+  let pathological k = profile.allow_pathologies && Rng.int rng k = 0 in
+  {
+    Fm.default_spec with
+    Fm.name = Printf.sprintf "synthetic-%x" (Rng.int rng 0xFFFFFF);
+    lang;
+    exec_ns = Time_ns.of_ms exec_ms;
+    exec_jitter = Rng.float rng 0.1;
+    mapped_pages = mapped;
+    dirtied_pages = dirtied;
+    read_pages;
+    input_kb = 1 + Rng.int rng 64;
+    output_kb = 1 + Rng.int rng 8;
+    memleak_pages = (if pathological 8 then Rng.int_in rng 10 100 else 0);
+    leak_slowdown_ns = (if pathological 8 then Rng.int_in rng 1_000 10_000 else 0);
+    buggy_residue_leak = pathological 4;
+    gc_exec_penalty =
+      (if lang = Runtime.Nodejs && pathological 3 then Rng.float rng 0.3 else 0.0);
+    wasm_factor = (if Rng.bool rng then Some (0.5 +. Rng.float rng 2.5) else None);
+    fault_gran = (if pathological 5 then Rng.int_in rng 2 64 else 1);
+  }
+
+let draw_many ?profile rng n = List.init n (fun _ -> draw ?profile rng)

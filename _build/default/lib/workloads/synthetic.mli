@@ -1,0 +1,29 @@
+(** Synthetic function-model generator.
+
+    Draws random-but-plausible function specs spanning the catalog's
+    envelope (duration, footprint, dirty rate, payload, runtime, THP
+    granularity, pathologies). Used by the property tests to exercise the
+    isolation strategies far outside the 58 fixed benchmarks, and handy for
+    capacity-planning "what-if" sweeps. *)
+
+type profile = {
+  min_exec_ms : float;
+  max_exec_ms : float;
+  min_mapped : int;
+  max_mapped : int;
+  max_dirty_fraction : float;  (** Of the mapped pages. *)
+  allow_pathologies : bool;  (** Leaks, GC penalties, buggy residue copy. *)
+}
+
+val default_profile : profile
+(** Roughly the catalog's envelope, pathologies allowed. *)
+
+val tiny_profile : profile
+(** Small/fast specs for property tests. *)
+
+val draw : ?profile:profile -> Gh_sim.Rng.t -> Gh_faas.Function_model.spec
+(** A random spec; deterministic per RNG state. The generated spec is
+    always buildable: page quotas are clipped to the footprint and the
+    runtime's fixed regions. *)
+
+val draw_many : ?profile:profile -> Gh_sim.Rng.t -> int -> Gh_faas.Function_model.spec list

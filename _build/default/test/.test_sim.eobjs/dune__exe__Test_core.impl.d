@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Breakdown Format Gh_kernel Gh_mem Gh_proc Gh_sim Groundhog_core Layout_diff List Manager Option Restore Snapshot String Verify

@@ -1,0 +1,1 @@
+test/test_isolation.ml: Alcotest Base Coldstart Faasm Fork_isolation Gh Gh_faas Gh_isolation Gh_nop Gh_sim List Policy Registry Result

@@ -1,0 +1,1 @@
+test/test_mem.ml: Address_space Alcotest Array Bitmap Gh_kernel Gh_mem Gh_sim List Prot Vma

@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Gh_faas Gh_harness Gh_sim Gh_workloads List

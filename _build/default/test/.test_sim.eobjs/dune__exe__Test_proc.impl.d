@@ -1,0 +1,1 @@
+test/test_proc.ml: Alcotest Array Gh_kernel Gh_mem Gh_proc Gh_sim List Option Process Procfs Ptrace Registers Thread

@@ -1,0 +1,1 @@
+test/test_sim.ml: Account Alcotest Array Engine Float Format Fun Gh_sim Heap Histogram List Rng Stats String Time_ns Trace

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Catalog Float Gh_faas Gh_sim Gh_workloads List Microbench Option Paper_ref Representative Synthetic

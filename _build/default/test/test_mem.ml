@@ -1,0 +1,426 @@
+(* Unit tests for the memory substrate: bitmaps, VMAs, address spaces and
+   their fault accounting. *)
+
+open Gh_mem
+module Account = Gh_sim.Account
+module Cost = Gh_kernel.Cost
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cost = Cost.default
+let fresh () = Address_space.create ~cost ()
+let acct () = Account.create ()
+
+(* -- Bitmap -- *)
+
+let test_bitmap_basics () =
+  let b = Bitmap.create 10 in
+  check_int "empty count" 0 (Bitmap.count b);
+  Bitmap.set b 3 true;
+  Bitmap.set b 7 true;
+  check_bool "get 3" true (Bitmap.get b 3);
+  check_bool "get 4" false (Bitmap.get b 4);
+  check_int "count" 2 (Bitmap.count b);
+  Bitmap.set b 3 false;
+  check_int "count after clear" 1 (Bitmap.count b);
+  Bitmap.fill b true;
+  check_int "filled" 10 (Bitmap.count b)
+
+let test_bitmap_resize () =
+  let b = Bitmap.create 4 in
+  Bitmap.set b 2 true;
+  let grown = Bitmap.resize b 8 in
+  check_int "grown length" 8 (Bitmap.length grown);
+  check_bool "kept bit" true (Bitmap.get grown 2);
+  check_bool "new bits zero" false (Bitmap.get grown 6);
+  let shrunk = Bitmap.resize grown 2 in
+  check_int "shrunk length" 2 (Bitmap.length shrunk);
+  check_int "shrunk count" 0 (Bitmap.count shrunk)
+
+let test_bitmap_runs () =
+  let b = Bitmap.create 12 in
+  List.iter (fun i -> Bitmap.set b i true) [ 0; 1; 2; 5; 8; 9; 11 ];
+  let runs = Bitmap.fold_runs b ~init:[] ~f:(fun acc ~pos ~len -> (pos, len) :: acc) in
+  Alcotest.(check (list (pair int int)))
+    "maximal runs"
+    [ (0, 3); (5, 1); (8, 2); (11, 1) ]
+    (List.rev runs)
+
+let test_bitmap_iter_set () =
+  let b = Bitmap.create 6 in
+  List.iter (fun i -> Bitmap.set b i true) [ 1; 4 ];
+  let seen = ref [] in
+  Bitmap.iter_set b (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "ascending" [ 1; 4 ] (List.rev !seen)
+
+(* -- Prot -- *)
+
+let test_prot () =
+  Alcotest.(check string) "rw" "rw-" (Prot.to_string Prot.rw);
+  Alcotest.(check string) "rx" "r-x" (Prot.to_string Prot.rx);
+  Alcotest.(check string) "none" "---" (Prot.to_string Prot.none);
+  check_bool "equal" true (Prot.equal Prot.rw Prot.rw);
+  check_bool "not equal" false (Prot.equal Prot.rw Prot.r)
+
+(* -- Vma -- *)
+
+let test_vma_geometry () =
+  let v = Vma.create ~id:1 ~start_addr:0x10000 ~n_pages:4 ~prot:Prot.rw Vma.Anon in
+  check_int "end" (0x10000 + (4 * 4096)) (Vma.end_addr v);
+  check_bool "contains start" true (Vma.contains v 0x10000);
+  check_bool "contains last byte" true (Vma.contains v (Vma.end_addr v - 1));
+  check_bool "not past end" false (Vma.contains v (Vma.end_addr v));
+  check_int "page index" 2 (Vma.page_index v (0x10000 + (2 * 4096)))
+
+let test_vma_resize_preserves_prefix () =
+  let v = Vma.create ~id:1 ~start_addr:0 ~n_pages:4 ~prot:Prot.rw Vma.Anon in
+  v.Vma.data.(1) <- 42;
+  Bitmap.set v.Vma.present 1 true;
+  Vma.resize v 8;
+  check_int "kept data" 42 v.Vma.data.(1);
+  check_bool "kept present" true (Bitmap.get v.Vma.present 1);
+  check_int "new pages zero" 0 v.Vma.data.(6);
+  Vma.resize v 1;
+  check_int "shrunk" 1 v.Vma.n_pages
+
+let test_vma_clone_cow () =
+  let v = Vma.create ~id:1 ~start_addr:0 ~n_pages:4 ~prot:Prot.rw Vma.Anon in
+  v.Vma.data.(0) <- 9;
+  Bitmap.set v.Vma.present 0 true;
+  let c = Vma.clone_cow v in
+  check_int "data copied" 9 c.Vma.data.(0);
+  check_bool "cow armed on present page" true (Bitmap.get c.Vma.cow_pending 0);
+  check_bool "cow not armed on lazy page" false (Bitmap.get c.Vma.cow_pending 1);
+  c.Vma.data.(0) <- 1;
+  check_int "copy is deep" 9 v.Vma.data.(0)
+
+let test_vma_unaligned_raises () =
+  Alcotest.check_raises "unaligned" (Invalid_argument "Vma.create: unaligned start") (fun () ->
+      ignore (Vma.create ~id:0 ~start_addr:123 ~n_pages:1 ~prot:Prot.rw Vma.Anon))
+
+(* -- Address space: layout -- *)
+
+let test_as_initial_layout () =
+  let m = fresh () in
+  check_int "four initial regions" 4 (Address_space.vma_count m);
+  let heap = Address_space.heap m in
+  check_bool "heap writable" true heap.Vma.prot.Prot.write;
+  check_int "brk at heap end" (Vma.end_addr heap) (Address_space.brk m);
+  (* Text and data are present (loader-touched); heap and stack lazy. *)
+  check_int "heap starts lazy" 0 (Bitmap.count heap.Vma.present)
+
+let test_as_no_initial_overlap () =
+  (* Node-sized text/data used to collide with the fixed heap base. *)
+  let m = Address_space.create ~text_pages:2600 ~data_pages:700 ~heap_pages:1000 ~cost () in
+  let rec check_sorted = function
+    | (a : Vma.t) :: (b : Vma.t) :: rest ->
+        check_bool "disjoint ascending" true (Vma.end_addr a <= b.Vma.start_addr);
+        check_sorted (b :: rest)
+    | _ -> ()
+  in
+  check_sorted (Address_space.vmas m)
+
+let test_as_map_unmap () =
+  let m = fresh () in
+  let v = Address_space.map m ~n_pages:16 ~prot:Prot.rw Vma.Anon in
+  check_int "five regions" 5 (Address_space.vma_count m);
+  Alcotest.(check bool) "findable by id" true (Address_space.find_vma_by_id m v.Vma.id <> None);
+  Alcotest.(check bool)
+    "findable by address" true
+    (Address_space.find_vma m v.Vma.start_addr <> None);
+  Address_space.unmap m v;
+  check_int "four again" 4 (Address_space.vma_count m);
+  Alcotest.check_raises "double unmap" (Invalid_argument "Address_space.unmap: foreign VMA")
+    (fun () -> Address_space.unmap m v)
+
+let test_as_map_at_overlap_rejected () =
+  let m = fresh () in
+  let heap = Address_space.heap m in
+  Alcotest.check_raises "overlap" (Invalid_argument "Address_space.map_at: overlapping mapping")
+    (fun () ->
+      ignore
+        (Address_space.map_at m ~start_addr:heap.Vma.start_addr ~n_pages:1 ~prot:Prot.rw
+           Vma.Anon))
+
+let test_as_brk () =
+  let m = fresh () in
+  let heap = Address_space.heap m in
+  let before_pages = heap.Vma.n_pages in
+  let new_brk = Address_space.brk m + (8 * Vma.page_size) in
+  Address_space.set_brk m new_brk;
+  check_int "brk moved" new_brk (Address_space.brk m);
+  check_int "heap grew" (before_pages + 8) heap.Vma.n_pages;
+  Address_space.set_brk m (new_brk - (10 * Vma.page_size));
+  check_int "heap shrank" (before_pages - 2) heap.Vma.n_pages;
+  Alcotest.check_raises "below base" (Invalid_argument "Address_space.set_brk: below heap base")
+    (fun () -> Address_space.set_brk m 0)
+
+let test_as_madvise () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  Address_space.dirty_range m a heap ~pos:0 ~len:4 ~value:5;
+  check_int "present" 4 (Bitmap.count heap.Vma.present);
+  Address_space.madvise_dontneed m heap ~pos:1 ~len:2;
+  check_int "dropped" 2 (Bitmap.count heap.Vma.present);
+  check_int "zeroed" 0 (Address_space.peek heap 1);
+  check_int "kept" 5 (Address_space.peek heap 0)
+
+let test_as_resize_collision () =
+  let m = fresh () in
+  let a = Address_space.map m ~n_pages:4 ~prot:Prot.rw Vma.Anon in
+  let b = Address_space.map m ~n_pages:4 ~prot:Prot.rw Vma.Anon in
+  ignore b;
+  Alcotest.check_raises "collision"
+    (Invalid_argument "Address_space.resize_vma: growth collides with a neighbour") (fun () ->
+      Address_space.resize_vma m a 4096)
+
+(* -- Address space: access + fault accounting -- *)
+
+let test_demand_zero_charged_once () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  Address_space.write_page m a heap 0 7;
+  let first = Account.total a in
+  check_bool "demand-zero + write" true (first >= cost.Cost.demand_zero_fault_ns);
+  Address_space.write_page m a heap 0 8;
+  let second = Account.total a - first in
+  check_int "subsequent write is cheap" cost.Cost.page_write_ns second
+
+let test_read_fault_marks_new_pte_soft_dirty () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  let v = Address_space.read_page m a heap 3 in
+  check_int "reads zero" 0 v;
+  check_bool "present now" true (Bitmap.get heap.Vma.present 3);
+  (* Linux marks freshly created PTEs soft-dirty; CRIU and Groundhog rely
+     on it to catch zapped-then-read pages. *)
+  check_bool "new PTE born soft-dirty" true (Bitmap.get heap.Vma.soft_dirty 3);
+  (* A read of an already-present clean page stays clean. *)
+  Address_space.clear_refs m;
+  ignore (Address_space.read_page m a heap 3);
+  check_bool "read of present page stays clean" false (Bitmap.get heap.Vma.soft_dirty 3)
+
+let test_sd_rearm_fault_only_after_clear_refs () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  (* Page in, then measure a steady-state write: no SD fault (tracking off). *)
+  Address_space.write_page m a heap 0 1;
+  let before = Account.total a in
+  Address_space.write_page m a heap 0 2;
+  check_int "no tracking, no fault" cost.Cost.page_write_ns (Account.total a - before);
+  (* Arm tracking: next write pays the re-arm fault, the one after doesn't. *)
+  Address_space.clear_refs m;
+  check_bool "tracking on" true (Address_space.sd_enabled m);
+  let before = Account.total a in
+  Address_space.write_page m a heap 0 3;
+  check_int "re-arm fault" (cost.Cost.sd_fault_ns + cost.Cost.page_write_ns)
+    (Account.total a - before);
+  let before = Account.total a in
+  Address_space.write_page m a heap 0 4;
+  check_int "no second fault" cost.Cost.page_write_ns (Account.total a - before)
+
+let test_fault_granularity_divides_faults () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  (* Page in 64 pages, arm tracking, then redirty with gran 16. *)
+  Address_space.dirty_range m a heap ~pos:0 ~len:64 ~value:1;
+  Address_space.clear_refs m;
+  heap.Vma.fault_gran <- 16;
+  let before = Account.total a in
+  Address_space.dirty_range m a heap ~pos:0 ~len:64 ~value:2;
+  let expect = (4 * cost.Cost.sd_fault_ns) + (64 * cost.Cost.page_write_ns) in
+  check_int "4 block faults for 64 pages" expect (Account.total a - before)
+
+let test_cow_and_first_touch_in_clone () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  Address_space.dirty_range m a heap ~pos:0 ~len:8 ~value:3;
+  let child = Address_space.clone_cow m in
+  let child_heap = Address_space.heap child in
+  let ca = acct () in
+  (* First read: first-touch only. *)
+  ignore (Address_space.read_page child ca child_heap 0);
+  check_int "first touch on read" (cost.Cost.first_touch_fault_ns + cost.Cost.page_read_ns)
+    (Account.total ca);
+  (* First write to an already-touched page: CoW copy. *)
+  let before = Account.total ca in
+  Address_space.write_page child ca child_heap 0 9;
+  check_int "cow on write" (cost.Cost.cow_fault_ns + cost.Cost.page_write_ns)
+    (Account.total ca - before);
+  (* Parent unaffected. *)
+  check_int "parent data intact" 3 (Address_space.peek heap 0)
+
+let test_clone_is_deep () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  Address_space.dirty_range m a heap ~pos:0 ~len:4 ~value:11;
+  let child = Address_space.clone_cow m in
+  let child_heap = Address_space.heap child in
+  Address_space.write_page child (acct ()) child_heap 0 99;
+  check_int "parent keeps value" 11 (Address_space.peek heap 0);
+  check_int "child sees write" 99 (Address_space.peek child_heap 0);
+  (* Layout changes in the child don't touch the parent. *)
+  let v = Address_space.map child ~n_pages:4 ~prot:Prot.rw Vma.Anon in
+  ignore v;
+  check_int "parent vma count" 4 (Address_space.vma_count m);
+  check_int "child vma count" 5 (Address_space.vma_count child)
+
+let test_arm_cow_all () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  Address_space.dirty_range m a heap ~pos:0 ~len:4 ~value:1;
+  Address_space.arm_cow_all m;
+  let before = Account.total a in
+  Address_space.write_page m a heap 0 2;
+  check_bool "cow fault charged" true (Account.total a - before >= cost.Cost.cow_fault_ns)
+
+let test_write_protection_enforced () =
+  let m = fresh () in
+  let a = acct () in
+  let text = List.hd (Address_space.vmas m) in
+  Alcotest.check_raises "write to text"
+    (Invalid_argument "Address_space: write to non-writable VMA") (fun () ->
+      Address_space.write_page m a text 0 1)
+
+let test_segfault_on_unmapped () =
+  let m = fresh () in
+  let a = acct () in
+  Alcotest.check_raises "segfault"
+    (Invalid_argument "Address_space.write_addr: segfault (unmapped address)") (fun () ->
+      Address_space.write_addr m a 0x6000_0000_0000 1)
+
+let test_addr_access_roundtrip () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  let addr = heap.Vma.start_addr + (3 * Vma.page_size) in
+  Address_space.write_addr m a addr 1234;
+  check_int "readback" 1234 (Address_space.read_addr m a addr)
+
+let test_stats_counts () =
+  let m = fresh () in
+  let a = acct () in
+  let total = Address_space.total_pages m in
+  check_bool "has pages" true (total > 0);
+  let heap = Address_space.heap m in
+  let present0 = Address_space.present_pages m in
+  Address_space.dirty_range m a heap ~pos:0 ~len:10 ~value:1;
+  check_int "present grew by 10" (present0 + 10) (Address_space.present_pages m);
+  check_int "dirty 10" 10 (Address_space.dirty_pages m)
+
+let test_poke_bypasses_protection_and_faults () =
+  let m = fresh () in
+  let heap = Address_space.heap m in
+  Address_space.poke heap 5 77;
+  check_int "data" 77 (Address_space.peek heap 5);
+  check_bool "present" true (Bitmap.get heap.Vma.present 5);
+  check_bool "marked dirty" true (Bitmap.get heap.Vma.soft_dirty 5)
+
+(* -- CoW salvage hook (incremental snapshots) -- *)
+
+let test_salvage_hook_paths () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  Address_space.dirty_range m a heap ~pos:0 ~len:8 ~value:11;
+  let extra = Address_space.map m ~n_pages:4 ~prot:Prot.rw Vma.Anon in
+  Address_space.dirty_range m a extra ~pos:0 ~len:4 ~value:22;
+  Address_space.arm_cow_all m;
+  let saved = ref [] in
+  Address_space.set_cow_hook m
+    (Some (fun vma i -> saved := (vma.Vma.id, i, Address_space.peek vma i) :: !saved));
+  (* Write path: fires once with the pre-write value. *)
+  Address_space.write_page m a heap 0 99;
+  check_bool "write salvages old value" true (List.mem (heap.Vma.id, 0, 11) !saved);
+  Address_space.write_page m a heap 0 100;
+  check_int "fires once per page" 1
+    (List.length (List.filter (fun (_, i, _) -> i = 0) !saved));
+  (* Madvise path. *)
+  Address_space.madvise_dontneed m heap ~pos:1 ~len:1;
+  check_bool "madvise salvages" true (List.mem (heap.Vma.id, 1, 11) !saved);
+  (* brk-shrink path. *)
+  let heap_pages = heap.Vma.n_pages in
+  Address_space.set_brk m (Address_space.brk m - ((heap_pages - 4) * Vma.page_size));
+  check_bool "brk shrink salvages dropped armed pages" true
+    (List.exists (fun (id, i, _) -> id = heap.Vma.id && i >= 4) !saved);
+  (* Unmap path. *)
+  Address_space.unmap m extra;
+  check_bool "unmap salvages" true (List.mem (extra.Vma.id, 3, 22) !saved);
+  (* Detached hook stays silent. *)
+  Address_space.set_cow_hook m None;
+  let before = List.length !saved in
+  Address_space.write_page m a heap 2 7;
+  check_int "no hook, no salvage" before (List.length !saved)
+
+let test_fork_child_has_no_hook () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  Address_space.dirty_range m a heap ~pos:0 ~len:4 ~value:5;
+  Address_space.arm_cow_all m;
+  let fired = ref 0 in
+  Address_space.set_cow_hook m (Some (fun _ _ -> incr fired));
+  let child = Address_space.clone_cow m in
+  Address_space.write_page child (acct ()) (Address_space.heap child) 0 9;
+  check_int "child CoW does not fire the parent's hook" 0 !fired
+
+let () =
+  Alcotest.run "gh_mem"
+    [
+      ( "bitmap",
+        [
+          Alcotest.test_case "basics" `Quick test_bitmap_basics;
+          Alcotest.test_case "resize" `Quick test_bitmap_resize;
+          Alcotest.test_case "fold_runs" `Quick test_bitmap_runs;
+          Alcotest.test_case "iter_set" `Quick test_bitmap_iter_set;
+        ] );
+      ("prot", [ Alcotest.test_case "flags" `Quick test_prot ]);
+      ( "vma",
+        [
+          Alcotest.test_case "geometry" `Quick test_vma_geometry;
+          Alcotest.test_case "resize preserves prefix" `Quick test_vma_resize_preserves_prefix;
+          Alcotest.test_case "clone cow" `Quick test_vma_clone_cow;
+          Alcotest.test_case "unaligned raises" `Quick test_vma_unaligned_raises;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "initial layout" `Quick test_as_initial_layout;
+          Alcotest.test_case "no initial overlap" `Quick test_as_no_initial_overlap;
+          Alcotest.test_case "map/unmap" `Quick test_as_map_unmap;
+          Alcotest.test_case "map_at overlap rejected" `Quick test_as_map_at_overlap_rejected;
+          Alcotest.test_case "brk" `Quick test_as_brk;
+          Alcotest.test_case "madvise" `Quick test_as_madvise;
+          Alcotest.test_case "resize collision" `Quick test_as_resize_collision;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "demand-zero charged once" `Quick test_demand_zero_charged_once;
+          Alcotest.test_case "read fault marks new PTE soft-dirty" `Quick
+            test_read_fault_marks_new_pte_soft_dirty;
+          Alcotest.test_case "SD re-arm only after clear_refs" `Quick
+            test_sd_rearm_fault_only_after_clear_refs;
+          Alcotest.test_case "fault granularity (THP)" `Quick test_fault_granularity_divides_faults;
+          Alcotest.test_case "CoW and first-touch in clone" `Quick test_cow_and_first_touch_in_clone;
+          Alcotest.test_case "clone is deep" `Quick test_clone_is_deep;
+          Alcotest.test_case "arm_cow_all" `Quick test_arm_cow_all;
+          Alcotest.test_case "write protection" `Quick test_write_protection_enforced;
+          Alcotest.test_case "segfault on unmapped" `Quick test_segfault_on_unmapped;
+          Alcotest.test_case "address access roundtrip" `Quick test_addr_access_roundtrip;
+          Alcotest.test_case "statistics" `Quick test_stats_counts;
+          Alcotest.test_case "poke/peek" `Quick test_poke_bypasses_protection_and_faults;
+        ] );
+      ( "salvage-hook",
+        [
+          Alcotest.test_case "all paths fire" `Quick test_salvage_hook_paths;
+          Alcotest.test_case "fork child detached" `Quick test_fork_child_has_no_hook;
+        ] );
+    ]

@@ -1,0 +1,421 @@
+(* Property-based tests (qcheck): the restore-exactness invariant under
+   randomized mutation sequences, plus invariants of the core data
+   structures. *)
+
+module As = Gh_mem.Address_space
+module Vma = Gh_mem.Vma
+module Bitmap = Gh_mem.Bitmap
+module Prot = Gh_mem.Prot
+module Process = Gh_proc.Process
+module Registers = Gh_proc.Registers
+module Thread = Gh_proc.Thread
+module Account = Gh_sim.Account
+module Rng = Gh_sim.Rng
+module Stats = Gh_sim.Stats
+module Heap = Gh_sim.Heap
+open Groundhog_core
+
+let cost = Gh_kernel.Cost.default
+
+(* ---------------------------------------------------------------- *)
+(* The big one: any sequence of process mutations is fully reverted. *)
+(* ---------------------------------------------------------------- *)
+
+type op =
+  | Write of int * int * int  (* heap pos, len, value *)
+  | Read of int * int
+  | Mmap of int  (* pages *)
+  | Munmap_last
+  | Brk_grow of int  (* pages *)
+  | Brk_shrink of int
+  | Mprotect_heap_r
+  | Madvise of int * int
+  | Stack_write of int * int
+  | Scramble_regs of int  (* seed *)
+  | Spawn_thread
+  | Mmap_and_write of int
+
+let op_gen =
+  let open QCheck2.Gen in
+  frequency
+    [
+      (6, map3 (fun a b c -> Write (a, b, c)) (int_bound 200) (int_range 1 40) (int_range 1 1000));
+      (3, map2 (fun a b -> Read (a, b)) (int_bound 220) (int_range 1 30));
+      (2, map (fun n -> Mmap (n + 1)) (int_bound 30));
+      (2, return Munmap_last);
+      (2, map (fun n -> Brk_grow (n + 1)) (int_bound 32));
+      (1, map (fun n -> Brk_shrink (n + 1)) (int_bound 8));
+      (1, return Mprotect_heap_r);
+      (2, map2 (fun a b -> Madvise (a, b + 1)) (int_bound 100) (int_bound 20));
+      (2, map2 (fun a b -> Stack_write (a, b + 1)) (int_bound 20) (int_bound 6));
+      (2, map (fun s -> Scramble_regs s) (int_bound 1000));
+      (1, return Spawn_thread);
+      (2, map (fun n -> Mmap_and_write (n + 1)) (int_bound 20));
+    ]
+
+let ops_gen = QCheck2.Gen.(list_size (int_range 0 40) op_gen)
+
+let rec print_op = function
+  | Write (a, b, c) -> Printf.sprintf "Write(%d,%d,%d)" a b c
+  | Read (a, b) -> Printf.sprintf "Read(%d,%d)" a b
+  | Mmap n -> Printf.sprintf "Mmap(%d)" n
+  | Munmap_last -> "Munmap_last"
+  | Brk_grow n -> Printf.sprintf "Brk_grow(%d)" n
+  | Brk_shrink n -> Printf.sprintf "Brk_shrink(%d)" n
+  | Mprotect_heap_r -> "Mprotect_heap_r"
+  | Madvise (a, b) -> Printf.sprintf "Madvise(%d,%d)" a b
+  | Stack_write (a, b) -> Printf.sprintf "Stack_write(%d,%d)" a b
+  | Scramble_regs s -> Printf.sprintf "Scramble_regs(%d)" s
+  | Spawn_thread -> "Spawn_thread"
+  | Mmap_and_write n -> Printf.sprintf "Mmap_and_write(%d)" n
+
+and print_ops ops = String.concat "; " (List.map print_op ops)
+
+let apply_op p mapped op =
+  let a = Account.create () in
+  let m = p.Process.mem in
+  let clamp_range vma pos len =
+    let pos = min pos (max 0 (vma.Vma.n_pages - 1)) in
+    let len = min len (vma.Vma.n_pages - pos) in
+    (pos, max 0 len)
+  in
+  match op with
+  | Write (pos, len, value) ->
+      let heap = As.heap m in
+      let pos, len = clamp_range heap pos len in
+      if len > 0 && heap.Vma.prot.Prot.write then
+        As.dirty_range m a heap ~pos ~len ~value
+  | Read (pos, len) ->
+      let heap = As.heap m in
+      let pos, len = clamp_range heap pos len in
+      if len > 0 && heap.Vma.prot.Prot.read then As.read_range m a heap ~pos ~len
+  | Mmap n -> mapped := Process.sys_mmap p a ~n_pages:n ~prot:Prot.rw Vma.Anon :: !mapped
+  | Munmap_last -> begin
+      match !mapped with
+      | v :: rest ->
+          Process.sys_munmap p a v;
+          mapped := rest
+      | [] -> ()
+    end
+  | Brk_grow n -> Process.sys_brk p a (As.brk m + (n * Vma.page_size))
+  | Brk_shrink n ->
+      let target = As.brk m - (n * Vma.page_size) in
+      let heap = As.heap m in
+      if target > heap.Vma.start_addr then Process.sys_brk p a target
+  | Mprotect_heap_r -> Process.sys_mprotect p a (As.heap m) Prot.r
+  | Madvise (pos, len) ->
+      let heap = As.heap m in
+      let pos, len = clamp_range heap pos len in
+      if len > 0 then Process.sys_madvise_dontneed p a heap ~pos ~len
+  | Stack_write (pos, len) ->
+      let stack = As.stack m in
+      let pos, len = clamp_range stack pos len in
+      if len > 0 then As.dirty_range m a stack ~pos ~len ~value:4242
+  | Scramble_regs seed ->
+      let rng = Rng.create seed in
+      List.iter (fun th -> Registers.scramble th.Thread.regs rng) p.Process.threads
+  | Spawn_thread -> ignore (Process.spawn_thread p a)
+  | Mmap_and_write n ->
+      let v = Process.sys_mmap p a ~n_pages:n ~prot:Prot.rw Vma.Anon in
+      As.dirty_range m a v ~pos:0 ~len:n ~value:777;
+      mapped := v :: !mapped
+
+let restore_exactness_prop ops =
+  let mem = As.create ~heap_pages:256 ~stack_pages:32 ~cost () in
+  let p = Process.create ~mem ~n_threads:2 () in
+  (* Warm a little, then snapshot. *)
+  let a = Account.create () in
+  As.dirty_range mem a (As.heap mem) ~pos:0 ~len:64 ~value:7;
+  let warm_map = As.map mem ~n_pages:8 ~prot:Prot.rw Vma.Anon in
+  As.dirty_range mem a warm_map ~pos:0 ~len:8 ~value:8;
+  let snap = Snapshot.capture (Account.create ()) p in
+  (* Random mutations, then restore. *)
+  let mapped = ref [] in
+  List.iter (apply_op p mapped) ops;
+  ignore (Restore.run (Account.create ()) snap p);
+  match Verify.state_matches snap p with
+  | Ok () -> true
+  | Error m ->
+      QCheck2.Test.fail_reportf "restore diverged (%a) after ops: %s" Verify.pp_mismatch m
+        (print_ops ops)
+
+let restore_exactness =
+  QCheck2.Test.make ~name:"restore reverts any mutation sequence exactly" ~count:150
+    ~print:print_ops ops_gen restore_exactness_prop
+
+(* Incremental (CoW-salvage) snapshots restore bit-identically to eager
+   ones: capture both over the same clean state, mutate randomly, restore
+   from the incremental one, verify against the eager one. *)
+let incremental_matches_eager =
+  QCheck2.Test.make ~name:"incremental restore matches the eager snapshot" ~count:120
+    ~print:print_ops ops_gen (fun ops ->
+      let mem = As.create ~heap_pages:256 ~stack_pages:32 ~cost () in
+      let p = Process.create ~mem ~n_threads:2 () in
+      let a = Account.create () in
+      As.dirty_range mem a (As.heap mem) ~pos:0 ~len:64 ~value:7;
+      let warm_map = As.map mem ~n_pages:8 ~prot:Prot.rw Vma.Anon in
+      As.dirty_range mem a warm_map ~pos:0 ~len:8 ~value:8;
+      (* Eager reference first (it arms nothing persistent), then the
+         incremental capture installs the salvage hook. *)
+      let reference = Snapshot.capture (Account.create ()) p in
+      let incr = Incremental.capture (Account.create ()) p in
+      let mapped = ref [] in
+      List.iter (apply_op p mapped) ops;
+      ignore (Incremental.restore (Account.create ()) incr p);
+      match Verify.state_matches reference p with
+      | Ok () -> true
+      | Error m ->
+          QCheck2.Test.fail_reportf "incremental restore diverged (%a) after ops: %s"
+            Verify.pp_mismatch m (print_ops ops))
+
+(* Restoring twice in a row from the same snapshot also holds. *)
+let restore_twice =
+  QCheck2.Test.make ~name:"second restore is exact too" ~count:50 ~print:print_ops ops_gen
+    (fun ops ->
+      let mem = As.create ~heap_pages:200 ~cost () in
+      let p = Process.create ~mem ~n_threads:1 () in
+      let snap = Snapshot.capture (Account.create ()) p in
+      let mapped = ref [] in
+      List.iter (apply_op p mapped) ops;
+      ignore (Restore.run (Account.create ()) snap p);
+      let mapped = ref [] in
+      List.iter (apply_op p mapped) ops;
+      ignore (Restore.run (Account.create ()) snap p);
+      Verify.state_matches snap p = Ok ())
+
+(* After a restore, no page anywhere holds a request's secret. *)
+let no_residue_after_restore =
+  let open QCheck2 in
+  Test.make ~name:"no secret survives a restore" ~count:60
+    Gen.(pair (int_range 1 400) (int_range 1 1000))
+    (fun (dirtied, nonce) ->
+      let spec =
+        {
+          Gh_faas.Function_model.default_spec with
+          Gh_faas.Function_model.name = "prop";
+          mapped_pages = 2_000;
+          dirtied_pages = dirtied;
+          read_pages = 500;
+        }
+      in
+      let inst = Gh_faas.Function_model.build spec in
+      let rng = Rng.create nonce in
+      ignore (Gh_faas.Function_model.warmup inst (Account.create ()) rng);
+      Gh_faas.Function_model.mark_clean inst;
+      let mgr = Manager.create (Gh_faas.Function_model.proc inst) in
+      ignore (Manager.take_snapshot mgr);
+      let alice = Gh_faas.Principal.make ~id:7 ~name:"alice" in
+      let req = Gh_faas.Request.make ~id:nonce ~principal:alice () in
+      ignore
+        (Gh_faas.Function_model.invoke inst (Account.create ()) rng ~post_restore:false req);
+      Manager.mark_dirty mgr;
+      ignore (Manager.restore mgr);
+      let bob = Gh_faas.Principal.make ~id:8 ~name:"bob" in
+      Gh_faas.Function_model.residue_oracle inst bob = 0)
+
+(* ------------------------------ *)
+(* Data-structure property tests. *)
+(* ------------------------------ *)
+
+let bitmap_runs_cover_set_bits =
+  let open QCheck2 in
+  Test.make ~name:"fold_runs covers exactly the set bits" ~count:200
+    Gen.(list_size (int_range 0 200) bool)
+    (fun bits ->
+      let b = Bitmap.create (List.length bits) in
+      List.iteri (fun i v -> Bitmap.set b i v) bits;
+      let covered = Array.make (List.length bits) false in
+      Bitmap.fold_runs b ~init:() ~f:(fun () ~pos ~len ->
+          for i = pos to pos + len - 1 do
+            covered.(i) <- true
+          done);
+      List.for_all2 (fun bit cov -> bit = cov) bits (Array.to_list covered))
+
+let bitmap_runs_are_maximal =
+  let open QCheck2 in
+  Test.make ~name:"fold_runs yields maximal, disjoint, ascending runs" ~count:200
+    Gen.(list_size (int_range 0 200) bool)
+    (fun bits ->
+      let n = List.length bits in
+      let b = Bitmap.create n in
+      List.iteri (fun i v -> Bitmap.set b i v) bits;
+      let runs = List.rev (Bitmap.fold_runs b ~init:[] ~f:(fun acc ~pos ~len -> (pos, len) :: acc)) in
+      let ok_run (pos, len) =
+        len > 0
+        && (pos = 0 || not (Bitmap.get b (pos - 1)))
+        && (pos + len >= n || not (Bitmap.get b (pos + len)))
+      in
+      let rec disjoint = function
+        | (p1, l1) :: ((p2, _) :: _ as rest) -> p1 + l1 < p2 && disjoint rest
+        | _ -> true
+      in
+      List.for_all ok_run runs && disjoint runs)
+
+let heap_pops_sorted =
+  let open QCheck2 in
+  Test.make ~name:"heap pops keys in nondecreasing order" ~count:200
+    Gen.(list_size (int_range 0 300) (int_bound 1000))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h ~key:k k) keys;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some (k, _) -> k >= prev && drain k
+      in
+      drain min_int)
+
+let percentile_bounds =
+  let open QCheck2 in
+  Test.make ~name:"percentiles lie within [min,max] and grow with q" ~count:200
+    Gen.(list_size (int_range 1 100) (float_bound_inclusive 1000.0))
+    (fun samples ->
+      let a = Array.of_list samples in
+      let s = Stats.summarize a in
+      s.Stats.p10 >= s.Stats.min -. 1e-9
+      && s.Stats.p10 <= s.Stats.p25 +. 1e-9
+      && s.Stats.p25 <= s.Stats.median +. 1e-9
+      && s.Stats.median <= s.Stats.p75 +. 1e-9
+      && s.Stats.p75 <= s.Stats.p90 +. 1e-9
+      && s.Stats.p90 <= s.Stats.p95 +. 1e-9
+      && s.Stats.p95 <= s.Stats.max +. 1e-9)
+
+let rng_int_bounds =
+  let open QCheck2 in
+  Test.make ~name:"Rng.int respects bounds" ~count:500
+    Gen.(pair int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let online_stats_match =
+  let open QCheck2 in
+  Test.make ~name:"online mean/std match direct computation" ~count:100
+    Gen.(list_size (int_range 2 200) (float_bound_inclusive 1000.0))
+    (fun samples ->
+      let a = Array.of_list samples in
+      let acc = Stats.Online.create () in
+      Array.iter (Stats.Online.add acc) a;
+      Float.abs (Stats.Online.mean acc -. Stats.mean a) < 1e-6
+      && Float.abs (Stats.Online.std acc -. Stats.std a) < 1e-6)
+
+let dirty_range_sets_exactly =
+  let open QCheck2 in
+  Test.make ~name:"dirty_range dirties exactly the range" ~count:200
+    Gen.(pair (int_bound 100) (int_range 1 50))
+    (fun (pos, len) ->
+      let mem = As.create ~heap_pages:200 ~cost () in
+      let heap = As.heap mem in
+      let len = min len (heap.Vma.n_pages - pos) in
+      QCheck2.assume (len > 0);
+      As.clear_refs mem;
+      As.dirty_range mem (Account.create ()) heap ~pos ~len ~value:1;
+      let ok = ref true in
+      for i = 0 to heap.Vma.n_pages - 1 do
+        let expected = i >= pos && i < pos + len in
+        if Bitmap.get heap.Vma.soft_dirty i <> expected then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------ *)
+(* Strategy invariants over randomly generated functions.  *)
+(* ------------------------------------------------------ *)
+
+let synthetic_gen =
+  QCheck2.Gen.map
+    (fun seed -> Gh_workloads.Synthetic.draw ~profile:Gh_workloads.Synthetic.tiny_profile
+        (Rng.create seed))
+    QCheck2.Gen.(int_bound 1_000_000)
+
+let print_spec (s : Gh_faas.Function_model.spec) =
+  Printf.sprintf "%s lang=%s mapped=%d dirtied=%d read=%d gran=%d buggy=%b leak=%d"
+    s.Gh_faas.Function_model.name
+    (Gh_faas.Runtime.lang_to_string s.Gh_faas.Function_model.lang)
+    s.Gh_faas.Function_model.mapped_pages s.Gh_faas.Function_model.dirtied_pages
+    s.Gh_faas.Function_model.read_pages s.Gh_faas.Function_model.fault_gran
+    s.Gh_faas.Function_model.buggy_residue_leak s.Gh_faas.Function_model.memleak_pages
+
+let alice = Gh_faas.Principal.make ~id:21 ~name:"alice"
+let bob = Gh_faas.Principal.make ~id:22 ~name:"bob"
+
+(* GH isolates any synthetic function, even pathological ones. *)
+let gh_isolates_synthetic =
+  QCheck2.Test.make ~name:"GH isolates every synthetic function" ~count:40
+    ~print:print_spec synthetic_gen (fun spec ->
+      let spec = { spec with Gh_faas.Function_model.buggy_residue_leak = true } in
+      let strat = Gh_isolation.Gh.make ~rng:(Rng.create 77) spec in
+      let ok = ref true in
+      for i = 1 to 6 do
+        let principal = if i land 1 = 1 then alice else bob in
+        let inv =
+          strat.Gh_faas.Strategy_intf.invoke (Gh_faas.Request.make ~id:i ~principal ())
+        in
+        if
+          List.exists
+            (fun w -> not (Gh_faas.Principal.owns_word principal w))
+            inv.Gh_faas.Strategy_intf.response.Gh_faas.Function_model.residue
+        then ok := false
+      done;
+      !ok)
+
+(* Every supported strategy yields nonnegative, finite costs and responses
+   for every synthetic function. *)
+let strategies_total_on_synthetic =
+  QCheck2.Test.make ~name:"every strategy handles every synthetic function" ~count:25
+    ~print:print_spec synthetic_gen (fun spec ->
+      List.for_all
+        (fun id ->
+          if not (Gh_isolation.Registry.supports id spec) then true
+          else begin
+            match Gh_isolation.Registry.make id ~rng:(Rng.create 3) spec with
+            | Error _ -> false
+            | Ok strat ->
+                let inv =
+                  strat.Gh_faas.Strategy_intf.invoke
+                    (Gh_faas.Request.make ~id:1 ~principal:alice ())
+                in
+                inv.Gh_faas.Strategy_intf.on_path_ns >= 0
+                && inv.Gh_faas.Strategy_intf.post_ns >= 0
+          end)
+        Gh_isolation.Registry.all)
+
+(* GH's restore leaves the process residue-free for any synthetic spec. *)
+let gh_oracle_clean_on_synthetic =
+  QCheck2.Test.make ~name:"GH restore leaves no residue for synthetic functions" ~count:30
+    ~print:print_spec synthetic_gen (fun spec ->
+      let strategy, state = Gh_isolation.Gh.make_with_state ~rng:(Rng.create 5) spec in
+      for i = 1 to 3 do
+        ignore
+          (strategy.Gh_faas.Strategy_intf.invoke (Gh_faas.Request.make ~id:i ~principal:alice ()))
+      done;
+      Gh_faas.Function_model.residue_oracle (Gh_isolation.Gh.instance state) bob = 0)
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [
+      ( "restore",
+        [
+          to_alcotest restore_exactness;
+          to_alcotest restore_twice;
+          to_alcotest incremental_matches_eager;
+          to_alcotest no_residue_after_restore;
+        ] );
+      ( "strategies",
+        [
+          to_alcotest gh_isolates_synthetic;
+          to_alcotest strategies_total_on_synthetic;
+          to_alcotest gh_oracle_clean_on_synthetic;
+        ] );
+      ( "structures",
+        [
+          to_alcotest bitmap_runs_cover_set_bits;
+          to_alcotest bitmap_runs_are_maximal;
+          to_alcotest heap_pops_sorted;
+          to_alcotest percentile_bounds;
+          to_alcotest rng_int_bounds;
+          to_alcotest online_stats_match;
+          to_alcotest dirty_range_sets_exactly;
+        ] );
+    ]

@@ -162,8 +162,113 @@ let bechamel_tests =
     test_table3;
   ]
 
-let run_bechamel () =
-  print_endline "== Bechamel micro-benchmarks (one per table/figure) ==";
+(* -- Bitmap kernel: packed 63-bit words vs the byte-per-page
+   representation it replaced. [Byte_bitmap] is a faithful copy of the old
+   [Gh_mem.Bitmap], kept here so before/after numbers come from a single
+   binary run. -- *)
+
+module Bitmap = Gh_mem.Bitmap
+
+module Byte_bitmap = struct
+  let create n = Bytes.make n '\000'
+  let set t i v = Bytes.unsafe_set t i (if v then '\001' else '\000')
+
+  let count t =
+    let c = ref 0 in
+    for i = 0 to Bytes.length t - 1 do
+      if Bytes.unsafe_get t i <> '\000' then incr c
+    done;
+    !c
+
+  let iter_set t f =
+    for i = 0 to Bytes.length t - 1 do
+      if Bytes.unsafe_get t i <> '\000' then f i
+    done
+
+  let fold_runs t ~init ~f =
+    let n = Bytes.length t in
+    let acc = ref init in
+    let i = ref 0 in
+    while !i < n do
+      if Bytes.unsafe_get t !i <> '\000' then begin
+        let start = !i in
+        while !i < n && Bytes.unsafe_get t !i <> '\000' do
+          incr i
+        done;
+        acc := f !acc ~pos:start ~len:(!i - start)
+      end
+      else incr i
+    done;
+    !acc
+end
+
+(* Sparse: runs of 4 dirty pages every 512 (~0.8 % set) — the shape a
+   lightly-dirtying request leaves in the soft-dirty map. Dense: 7 of every
+   8 pages set — a memory-hungry request's present map. *)
+let sparse_pattern n set =
+  let i = ref 0 in
+  while !i < n do
+    for j = !i to min (n - 1) (!i + 3) do
+      set j
+    done;
+    i := !i + 512
+  done
+
+let dense_pattern n set =
+  for i = 0 to n - 1 do
+    if i land 7 <> 0 then set i
+  done
+
+let bitmap_pair n pattern =
+  let packed = Bitmap.create n in
+  let bytes = Byte_bitmap.create n in
+  pattern n (fun i ->
+      Bitmap.set packed i true;
+      Byte_bitmap.set bytes i true);
+  (packed, bytes)
+
+let bitmap_tests =
+  let sizes = [ (1_024, "1K"); (65_536, "64K"); (1_048_576, "1M") ] in
+  let densities = [ (sparse_pattern, "sparse"); (dense_pattern, "dense") ] in
+  List.concat_map
+    (fun (n, size_name) ->
+      List.concat_map
+        (fun (pattern, density_name) ->
+          let packed, bytes = bitmap_pair n pattern in
+          let name op impl =
+            Printf.sprintf "bitmap/%s-%s-%s/%s" op size_name density_name impl
+          in
+          [
+            Test.make ~name:(name "count" "packed")
+              (Staged.stage (fun () -> Sys.opaque_identity (Bitmap.count packed)));
+            Test.make ~name:(name "count" "bytes")
+              (Staged.stage (fun () -> Sys.opaque_identity (Byte_bitmap.count bytes)));
+            Test.make ~name:(name "iter_set" "packed")
+              (Staged.stage (fun () ->
+                   let s = ref 0 in
+                   Bitmap.iter_set packed (fun i -> s := !s + i);
+                   Sys.opaque_identity !s));
+            Test.make ~name:(name "iter_set" "bytes")
+              (Staged.stage (fun () ->
+                   let s = ref 0 in
+                   Byte_bitmap.iter_set bytes (fun i -> s := !s + i);
+                   Sys.opaque_identity !s));
+            Test.make ~name:(name "fold_runs" "packed")
+              (Staged.stage (fun () ->
+                   Sys.opaque_identity
+                     (Bitmap.fold_runs packed ~init:0 ~f:(fun acc ~pos ~len ->
+                          acc + pos + len))));
+            Test.make ~name:(name "fold_runs" "bytes")
+              (Staged.stage (fun () ->
+                   Sys.opaque_identity
+                     (Byte_bitmap.fold_runs bytes ~init:0 ~f:(fun acc ~pos ~len ->
+                          acc + pos + len))));
+          ])
+        densities)
+    sizes
+
+let run_bechamel_list title tests =
+  print_endline title;
   Printf.printf "%-32s %14s\n" "benchmark" "time/run";
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:(Some 100) () in
@@ -186,8 +291,14 @@ let run_bechamel () =
               Printf.printf "%-32s %14s\n" name time_str
           | _ -> Printf.printf "%-32s %14s\n" name "n/a")
         results)
-    bechamel_tests;
+    tests;
   print_newline ()
+
+let run_bechamel () =
+  run_bechamel_list "== Bechamel micro-benchmarks (one per table/figure) ==" bechamel_tests
+
+let run_bitmap_bench () =
+  run_bechamel_list "== Bitmap kernel: packed words vs byte-per-page ==" bitmap_tests
 
 let run_figures profile =
   print_endline "== Regenerating every table and figure of the evaluation ==";
@@ -201,6 +312,13 @@ let () =
   let quick = List.mem "--quick" args in
   let bechamel_only = List.mem "--bechamel-only" args in
   let figures_only = List.mem "--figures-only" args in
+  let bitmap_only = List.mem "--bitmap-only" args in
   let profile = if quick then Gh_harness.Config.quick else Gh_harness.Config.default in
-  if not figures_only then run_bechamel ();
-  if not bechamel_only then run_figures profile
+  if bitmap_only then run_bitmap_bench ()
+  else begin
+    if not figures_only then begin
+      run_bechamel ();
+      run_bitmap_bench ()
+    end;
+    if not bechamel_only then run_figures profile
+  end

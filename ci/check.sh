@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 CI gate: build everything, run every test suite.
+# Usage: sh ci/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+dune build
+dune runtest

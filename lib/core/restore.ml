@@ -9,39 +9,107 @@ module Procfs = Gh_proc.Procfs
 module Thread = Gh_proc.Thread
 module Registers = Gh_proc.Registers
 
-(* What to do with one page of a matched region. *)
+(* What to do with one page of a matched region. Pages that are clean with
+   unchanged presence are kept as-is and never reach an action run. *)
 type action =
-  | Keep  (* clean and presence unchanged *)
   | Copy  (* write the snapshot's content back *)
   | Zero  (* stack page whose snapshot content is zero: memset, no source read *)
   | Madvise  (* newly paged during the invocation: return to lazy *)
 
-let classify (snap : Snapshot.region) (vma : Vma.t) dirty i =
-  let snap_present = Bitmap.get snap.Snapshot.present i in
-  let now_present = Bitmap.get vma.Vma.present i in
-  let was_dirty = i < Bitmap.length dirty && Bitmap.get dirty i in
-  if snap_present then
-    if was_dirty || not now_present then
-      if snap.Snapshot.kind = Vma.Stack && snap.Snapshot.data.(i) = 0 then Zero else Copy
-    else Keep
-  else if now_present then Madvise
-  else Keep
+(* Per-page classification, word-batched. For each packed word of the
+   region's bitmaps we compute
+
+     restore = snap_present land (dirty lor lnot now_present)
+     madvise = lnot snap_present land now_present
+
+   and everything else is Keep. Pages past the end of the [dirty] map are
+   treated as dirty — tracking information is missing for them (the VMA was
+   resized between the pagemap scan and now), and restoring an unmodified
+   page is safe where keeping a modified one is a leak. Pages past the end
+   of [vma]'s own maps read as non-present, matching a freshly re-created
+   mapping. The Copy/Zero split (stack pages whose snapshot content is
+   zero: memset, no source read) is decided per page, but only inside
+   restore runs of stack regions. *)
+
+let full_word = -1 (* all 63 bits; OCaml ints are 63-bit two's complement *)
 
 (* Apply [f pos len action] to each maximal run of equal non-Keep actions. *)
-let iter_action_runs snap vma dirty f =
+let iter_action_runs (snap : Snapshot.region) (vma : Vma.t) dirty f =
   let n = snap.Snapshot.n_pages in
-  let i = ref 0 in
-  while !i < n do
-    let a = classify snap vma dirty !i in
-    if a = Keep then incr i
+  let bpw = Bitmap.bits_per_word in
+  let nw = (n + bpw - 1) / bpw in
+  let dirty_len = Bitmap.length dirty in
+  let is_stack = snap.Snapshot.kind = Vma.Stack in
+  let emit pos len cls =
+    if cls = 2 then f pos len Madvise
+    else if not is_stack then f pos len Copy
     else begin
-      let start = !i in
-      while !i < n && classify snap vma dirty !i = a do
-        incr i
-      done;
-      f start (!i - start) a
+      (* Split a stack restore run into Zero / Copy stretches. *)
+      let stop = pos + len in
+      let i = ref pos in
+      while !i < stop do
+        let z = snap.Snapshot.data.(!i) = 0 in
+        let start = !i in
+        while !i < stop && (snap.Snapshot.data.(!i) = 0) = z do
+          incr i
+        done;
+        f start (!i - start) (if z then Zero else Copy)
+      done
     end
-  done
+  in
+  (* Run state across words: class 0 = Keep (no open run), 1 = restore,
+     2 = madvise. *)
+  let cur = ref 0 and run_start = ref 0 in
+  let flush stop =
+    if !cur <> 0 then begin
+      emit !run_start (stop - !run_start) !cur;
+      cur := 0
+    end
+  in
+  for wi = 0 to nw - 1 do
+    let base = wi * bpw in
+    let valid = if base + bpw <= n then full_word else (1 lsl (n - base)) - 1 in
+    let sp = Bitmap.word snap.Snapshot.present wi in
+    let np = Bitmap.word vma.Vma.present wi in
+    let dirty_pad =
+      if base + bpw <= dirty_len then 0
+      else if base >= dirty_len then full_word
+      else full_word lsl (dirty_len - base)
+    in
+    let dv = Bitmap.word dirty wi lor dirty_pad in
+    let restore_mask = sp land (dv lor lnot np) land valid in
+    let madv_mask = lnot sp land np land valid in
+    if restore_mask = 0 && madv_mask = 0 then flush base
+    else begin
+      (* Hop between class boundaries with trailing-zero-count. *)
+      let stop = min bpw (n - base) in
+      let pos = ref 0 in
+      while !pos < stop do
+        let cls =
+          if (restore_mask lsr !pos) land 1 = 1 then 1
+          else if (madv_mask lsr !pos) land 1 = 1 then 2
+          else 0
+        in
+        let mask =
+          match cls with
+          | 1 -> restore_mask
+          | 2 -> madv_mask
+          | _ -> lnot (restore_mask lor madv_mask)
+        in
+        let inv = lnot mask lsr !pos in
+        let run_stop = if inv = 0 then stop else min stop (!pos + Bitmap.ctz inv) in
+        if cls <> !cur then begin
+          flush (base + !pos);
+          if cls <> 0 then begin
+            cur := cls;
+            run_start := base + !pos
+          end
+        end;
+        pos := run_stop
+      done
+    end
+  done;
+  flush n
 
 (* Returns (pages copied/zeroed, pages madvised, madvise syscall count,
    time spent in madvise injections) — the injections are part of the
@@ -62,8 +130,7 @@ let restore_region session acct (snap : Snapshot.region) (vma : Vma.t) dirty =
           ignore (Ptrace.inject_syscall session acct (Ptrace.Madvise_dontneed { vma; pos; len }));
           inject_ns := !inject_ns + Account.since acct m;
           incr injected;
-          madvised := !madvised + len
-      | Keep -> assert false);
+          madvised := !madvised + len);
   (!restored, !madvised, !injected, !inject_ns)
 
 let empty_dirty = Bitmap.create 0
@@ -142,7 +209,15 @@ let run acct (snapshot : Snapshot.t) (p : Process.t) =
           in
           recreated := (snap, Option.get vma) :: !recreated
       | Layout_diff.Resized { now; snap } ->
-          if snap.Snapshot.kind <> Vma.Heap then begin
+          (* Heap resizes that moved brk are folded into the single brk
+             restoration below. A heap that was mremap-grown with brk left
+             in place (resize_vma, not set_brk) would be missed by that
+             fold and keep its dirtied tail across the restore, so it needs
+             an explicit mremap like any other region. *)
+          let folded_into_brk =
+            snap.Snapshot.kind = Vma.Heap && As.brk p.Process.mem <> snapshot.Snapshot.brk
+          in
+          if not folded_into_brk then begin
             match As.find_vma_by_id p.Process.mem now.Procfs.vma_id with
             | Some vma -> ignore (inject (Ptrace.Mremap { vma; n_pages = snap.Snapshot.n_pages }))
             | None -> ()

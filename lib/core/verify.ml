@@ -14,21 +14,23 @@ let check_region (snap : Snapshot.region) (vma : Vma.t) =
   if vma.Vma.n_pages <> snap.Snapshot.n_pages then fail "region size" where
   else if not (Gh_mem.Prot.equal vma.Vma.prot snap.Snapshot.prot) then fail "protection" where
   else begin
-    let result = ref (Ok ()) in
-    (try
-       for i = 0 to snap.Snapshot.n_pages - 1 do
-         let where = Printf.sprintf "region %x page %d" snap.Snapshot.start_addr i in
-         if Bitmap.get vma.Vma.present i <> Bitmap.get snap.Snapshot.present i then begin
-           result := fail "presence" where;
-           raise Exit
-         end;
-         if vma.Vma.data.(i) <> snap.Snapshot.data.(i) then begin
-           result := fail "page content" where;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    !result
+    (* Presence first, word-wise; then the page contents. *)
+    match Bitmap.first_diff vma.Vma.present snap.Snapshot.present with
+    | Some i ->
+        fail "presence" (Printf.sprintf "region %x page %d" snap.Snapshot.start_addr i)
+    | None ->
+        let result = ref (Ok ()) in
+        (try
+           for i = 0 to snap.Snapshot.n_pages - 1 do
+             if vma.Vma.data.(i) <> snap.Snapshot.data.(i) then begin
+               result :=
+                 fail "page content"
+                   (Printf.sprintf "region %x page %d" snap.Snapshot.start_addr i);
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !result
   end
 
 let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e

@@ -433,14 +433,11 @@ let residue_oracle t principal =
   let count = ref 0 in
   List.iter
     (fun (vma : Vma.t) ->
-      for i = 0 to vma.Vma.n_pages - 1 do
-        if Bitmap.get vma.Vma.present i then begin
+      Bitmap.iter_set vma.Vma.present (fun i ->
           let w = vma.Vma.data.(i) in
           if w <> 0 && w land 0xFFFF <> 0 && w land 0xFFFF <> 0xFFFF
              && (not (Principal.owns_word principal w))
              && w lsr 16 <> 0
-          then incr count
-        end
-      done)
+          then incr count))
     (As.vmas t.process.Process.mem);
   !count

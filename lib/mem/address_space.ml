@@ -115,13 +115,13 @@ let fire_cow_hook t vma i =
 (* Salvage every still-armed page of a range whose contents are about to
    disappear (munmap, madvise, brk shrink). *)
 let salvage_range t (vma : Vma.t) ~pos ~len =
-  if t.cow_hook <> None then
-    for i = pos to min (pos + len) vma.Vma.n_pages - 1 do
-      if Bitmap.get vma.Vma.cow_pending i then begin
-        fire_cow_hook t vma i;
-        Bitmap.set vma.Vma.cow_pending i false
-      end
-    done
+  if t.cow_hook <> None then begin
+    let len = min len (vma.Vma.n_pages - pos) in
+    if len > 0 then
+      Bitmap.iter_set_range vma.Vma.cow_pending ~pos ~len (fun i ->
+          fire_cow_hook t vma i;
+          Bitmap.set vma.Vma.cow_pending i false)
+  end
 
 let charge_faults t acct fc ~gran ~reads ~writes =
   let c = t.cost in
@@ -276,12 +276,10 @@ let madvise_dontneed t vma ~pos ~len =
   if len < 0 || pos < 0 || pos + len > vma.Vma.n_pages then
     invalid_arg "Address_space.madvise_dontneed: range out of bounds";
   salvage_range t vma ~pos ~len;
-  for i = pos to pos + len - 1 do
-    Bitmap.set vma.Vma.present i false;
-    Bitmap.set vma.Vma.soft_dirty i false;
-    Bitmap.set vma.Vma.cow_pending i false;
-    vma.Vma.data.(i) <- 0
-  done
+  Bitmap.set_range vma.Vma.present ~pos ~len false;
+  Bitmap.set_range vma.Vma.soft_dirty ~pos ~len false;
+  Bitmap.set_range vma.Vma.cow_pending ~pos ~len false;
+  Array.fill vma.Vma.data pos len 0
 
 let resize_vma t vma n_pages =
   if not (List.memq vma t.vmas) then invalid_arg "Address_space.resize_vma: foreign VMA";

@@ -1,41 +1,239 @@
-type t = Bytes.t
+(* Packed bitmap: 63 usable bits per OCaml-native word. The hot loops —
+   count, iter_set, fold_runs — go word-at-a-time and use popcount /
+   trailing-zero bit tricks, so all-clean and all-set stretches cost one
+   compare per 63 pages instead of one branch per page. *)
 
-let create n = Bytes.make n '\000'
-let length = Bytes.length
-let get t i = Bytes.unsafe_get t i <> '\000'
-let set t i v = Bytes.unsafe_set t i (if v then '\001' else '\000')
-let fill t v = Bytes.fill t 0 (Bytes.length t) (if v then '\001' else '\000')
-let copy = Bytes.copy
+let bits_per_word = 63
 
-let resize t n =
-  let nt = Bytes.make n '\000' in
-  Bytes.blit t 0 nt 0 (min (Bytes.length t) n);
+(* All 63 bits set. OCaml ints are 63-bit two's complement, so -1 is the
+   full mask and [lsr]/[land]/[lor] treat words as plain bit vectors. *)
+let full = -1
+
+type t = { len : int; words : int array }
+
+let n_words len = (len + bits_per_word - 1) / bits_per_word
+
+(* Invariant: bits at positions >= len in the last word are 0, so count /
+   iter_set / fold_runs never have to special-case the tail. *)
+let tail_mask len =
+  let r = len mod bits_per_word in
+  if r = 0 then full else (1 lsl r) - 1
+
+let clamp_tail t =
+  let nw = Array.length t.words in
+  if nw > 0 && t.len mod bits_per_word <> 0 then
+    t.words.(nw - 1) <- t.words.(nw - 1) land tail_mask t.len
+
+let create len =
+  if len < 0 then invalid_arg "Bitmap.create: negative length";
+  { len; words = Array.make (n_words len) 0 }
+
+let length t = t.len
+
+let check_index t i op =
+  if i < 0 || i >= t.len then invalid_arg ("Bitmap." ^ op ^ ": index out of bounds")
+
+let get t i =
+  check_index t i "get";
+  (Array.unsafe_get t.words (i / bits_per_word) lsr (i mod bits_per_word)) land 1 <> 0
+
+let set t i v =
+  check_index t i "set";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  let cur = Array.unsafe_get t.words w in
+  Array.unsafe_set t.words w (if v then cur lor (1 lsl b) else cur land lnot (1 lsl b))
+
+let fill t v =
+  Array.fill t.words 0 (Array.length t.words) (if v then full else 0);
+  if v then clamp_tail t
+
+let copy t = { len = t.len; words = Array.copy t.words }
+
+let resize t len =
+  if len < 0 then invalid_arg "Bitmap.resize: negative length";
+  let nt = { len; words = Array.make (n_words len) 0 } in
+  Array.blit t.words 0 nt.words 0 (min (Array.length t.words) (Array.length nt.words));
+  clamp_tail nt;
   nt
+
+let word t i = if i < Array.length t.words then Array.unsafe_get t.words i else 0
+
+(* Branch-free popcount, split into two halves so every mask literal fits
+   in OCaml's 63-bit int. *)
+let popcount32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (* OCaml ints don't truncate at 32 bits, so mask the byte-sum down. *)
+  (x * 0x01010101) lsr 24 land 0xFF
+
+let popcount w = popcount32 (w land 0xFFFFFFFF) + popcount32 (w lsr 32)
+
+(* Trailing zeros: isolate the lowest set bit, then binary-search its
+   position with shifts — about half the ALU work of a popcount-based
+   count, and this sits in the inner loop of every set-bit iteration.
+   Returns [bits_per_word] for zero. *)
+let ctz w =
+  if w = 0 then bits_per_word
+  else begin
+    let w = ref (w land -w) in
+    let n = ref 0 in
+    if !w land 0xFFFFFFFF = 0 then begin
+      n := 32;
+      w := !w lsr 32
+    end;
+    if !w land 0xFFFF = 0 then begin
+      n := !n + 16;
+      w := !w lsr 16
+    end;
+    if !w land 0xFF = 0 then begin
+      n := !n + 8;
+      w := !w lsr 8
+    end;
+    if !w land 0xF = 0 then begin
+      n := !n + 4;
+      w := !w lsr 4
+    end;
+    if !w land 0x3 = 0 then begin
+      n := !n + 2;
+      w := !w lsr 2
+    end;
+    if !w land 0x1 = 0 then incr n;
+    !n
+  end
 
 let count t =
   let c = ref 0 in
-  for i = 0 to Bytes.length t - 1 do
-    if Bytes.unsafe_get t i <> '\000' then incr c
+  for i = 0 to Array.length t.words - 1 do
+    let w = Array.unsafe_get t.words i in
+    if w <> 0 then c := !c + popcount w
   done;
   !c
 
+let check_range t ~pos ~len op =
+  if len < 0 || pos < 0 || pos + len > t.len then
+    invalid_arg ("Bitmap." ^ op ^ ": range out of bounds")
+
+(* Mask of bit positions [pos, pos+len) within one word; [len = bits_per_word]
+   only occurs with [pos = 0]. *)
+let range_mask ~pos ~len =
+  if len >= bits_per_word then full else ((1 lsl len) - 1) lsl pos
+
+let set_range t ~pos ~len v =
+  check_range t ~pos ~len "set_range";
+  let i = ref pos in
+  let stop = pos + len in
+  while !i < stop do
+    let w = !i / bits_per_word and b = !i mod bits_per_word in
+    let n = min (stop - !i) (bits_per_word - b) in
+    let m = range_mask ~pos:b ~len:n in
+    t.words.(w) <- (if v then t.words.(w) lor m else t.words.(w) land lnot m);
+    i := !i + n
+  done
+
+(* Call [f] on each set bit of [w], offset by [base]. Mostly-set words are
+   cheaper to scan linearly than to ctz-hop bit by bit; mostly-clear words
+   are the opposite, and skipping straight to each set bit is the whole
+   point of the packed representation. *)
+let iter_word base w f =
+  if w <> 0 then begin
+    if popcount w > 31 then
+      for b = 0 to bits_per_word - 1 do
+        if (w lsr b) land 1 = 1 then f (base + b)
+      done
+    else begin
+      let w = ref w in
+      while !w <> 0 do
+        f (base + ctz !w);
+        w := !w land (!w - 1)
+      done
+    end
+  end
+
 let iter_set t f =
-  for i = 0 to Bytes.length t - 1 do
-    if Bytes.unsafe_get t i <> '\000' then f i
+  for wi = 0 to Array.length t.words - 1 do
+    iter_word (wi * bits_per_word) (Array.unsafe_get t.words wi) f
+  done
+
+let iter_set_range t ~pos ~len f =
+  check_range t ~pos ~len "iter_set_range";
+  let stop = pos + len in
+  let wi_lo = pos / bits_per_word in
+  let wi_hi = if len = 0 then wi_lo - 1 else (stop - 1) / bits_per_word in
+  for wi = wi_lo to wi_hi do
+    let base = wi * bits_per_word in
+    let m =
+      let lo = max 0 (pos - base) and hi = min bits_per_word (stop - base) in
+      range_mask ~pos:lo ~len:(hi - lo)
+    in
+    iter_word base (Array.unsafe_get t.words wi land m) f
   done
 
 let fold_runs t ~init ~f =
-  let n = Bytes.length t in
   let acc = ref init in
-  let i = ref 0 in
-  while !i < n do
-    if Bytes.unsafe_get t !i <> '\000' then begin
-      let start = !i in
-      while !i < n && Bytes.unsafe_get t !i <> '\000' do
-        incr i
-      done;
-      acc := f !acc ~pos:start ~len:(!i - start)
+  let run_start = ref (-1) in
+  let nw = Array.length t.words in
+  for wi = 0 to nw - 1 do
+    let w = Array.unsafe_get t.words wi in
+    let base = wi * bits_per_word in
+    if w = 0 then begin
+      if !run_start >= 0 then begin
+        acc := f !acc ~pos:!run_start ~len:(base - !run_start);
+        run_start := -1
+      end
     end
-    else incr i
+    else if w = full then begin
+      if !run_start < 0 then run_start := base
+    end
+    else begin
+      (* Mixed word: hop between set-bit and clear-bit boundaries with ctz. *)
+      let pos = ref 0 in
+      while !pos < bits_per_word do
+        if !run_start >= 0 then begin
+          let inv = lnot w lsr !pos in
+          if inv = 0 then pos := bits_per_word
+          else begin
+            let zero_pos = !pos + ctz inv in
+            acc := f !acc ~pos:!run_start ~len:(base + zero_pos - !run_start);
+            run_start := -1;
+            pos := zero_pos
+          end
+        end
+        else begin
+          let rem = w lsr !pos in
+          if rem = 0 then pos := bits_per_word
+          else begin
+            pos := !pos + ctz rem;
+            run_start := base + !pos
+          end
+        end
+      done
+    end
   done;
+  if !run_start >= 0 then acc := f !acc ~pos:!run_start ~len:(t.len - !run_start);
   !acc
+
+let assign dst src =
+  let n = min (Array.length dst.words) (Array.length src.words) in
+  Array.blit src.words 0 dst.words 0 n;
+  Array.fill dst.words n (Array.length dst.words - n) 0;
+  (* [src]'s own tail invariant covers bits in [src.len, n*63); only bits
+     past [dst.len] (when [src] is the longer map) need clearing. *)
+  clamp_tail dst
+
+let equal a b =
+  a.len = b.len && Array.for_all2 ( = ) a.words b.words
+
+let first_diff a b =
+  if a.len <> b.len then invalid_arg "Bitmap.first_diff: length mismatch";
+  let res = ref None in
+  (try
+     for wi = 0 to Array.length a.words - 1 do
+       let d = Array.unsafe_get a.words wi lxor Array.unsafe_get b.words wi in
+       if d <> 0 then begin
+         res := Some ((wi * bits_per_word) + ctz d);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !res

@@ -1,28 +1,75 @@
 (** Dense per-page bit maps (present, soft-dirty, CoW-pending, ...).
 
-    One byte per page: address spaces top out around 210K pages in our
-    workloads, so compactness matters less than scan speed and simplicity. *)
+    Packed 63 pages per OCaml-native word. Restoration cost is dominated by
+    O(mapped pages) scans over these maps (paper §4.4, Fig. 8), so the scan
+    entry points — {!count}, {!iter_set}, {!fold_runs} — work
+    word-at-a-time: popcount for counting, trailing-zero-count hops for run
+    boundaries, and whole-word skips over all-clean / all-set stretches.
+
+    Invariant maintained throughout: bits at positions [>= length t] in the
+    final word are zero. *)
 
 type t
+
+val bits_per_word : int
+(** Pages per packed word (63: OCaml-native ints). *)
 
 val create : int -> t
 (** [create n] is an all-zero map over [n] pages. *)
 
 val length : t -> int
+
 val get : t -> int -> bool
+(** @raise Invalid_argument if the index is out of bounds. *)
+
 val set : t -> int -> bool -> unit
+(** @raise Invalid_argument if the index is out of bounds. *)
+
 val fill : t -> bool -> unit
+
+val set_range : t -> pos:int -> len:int -> bool -> unit
+(** Set [len] consecutive bits from [pos], whole words at a time.
+    @raise Invalid_argument if the range is out of bounds. *)
+
 val copy : t -> t
+
+val assign : t -> t -> unit
+(** [assign dst src] overwrites [dst] with [src] over the common prefix and
+    clears the rest of [dst]; lengths are unchanged. Word-level blit. *)
 
 val resize : t -> int -> t
 (** [resize t n] keeps the common prefix, zero-extends when growing. *)
 
 val count : t -> int
-(** Number of set bits. *)
+(** Number of set bits (per-word popcount). *)
+
+val popcount : int -> int
+(** Set bits in one packed word (branch-free SWAR). *)
+
+val ctz : int -> int
+(** Trailing zeros of a packed word; [bits_per_word] for zero. *)
+
+val word : t -> int -> int
+(** [word t i] is the [i]-th packed word — bits
+    [i * bits_per_word .. (i+1) * bits_per_word - 1] — or [0] when [i] is
+    past the last word. For word-batched consumers (the restore engine's
+    classifier); bits past [length t] are always zero. *)
 
 val iter_set : t -> (int -> unit) -> unit
-(** Apply to each set index, ascending. *)
+(** Apply to each set index, ascending; zero words are skipped whole. *)
+
+val iter_set_range : t -> pos:int -> len:int -> (int -> unit) -> unit
+(** [iter_set] restricted to [\[pos, pos+len)].
+    @raise Invalid_argument if the range is out of bounds. *)
 
 val fold_runs : t -> init:'a -> f:('a -> pos:int -> len:int -> 'a) -> 'a
 (** Fold over maximal runs of consecutive set bits, ascending — used by the
-    restore engine's copy coalescing. *)
+    restore engine's copy coalescing. Run boundaries are located with
+    trailing-zero-count on the word and its complement. *)
+
+val equal : t -> t -> bool
+(** Same length and same bits (word-wise compare). *)
+
+val first_diff : t -> t -> int option
+(** Index of the first differing bit between two equal-length maps.
+    @raise Invalid_argument on a length mismatch. *)

@@ -74,11 +74,8 @@ let clone_cow t =
 let restore_data_from t data present =
   let n = min t.n_pages (Array.length data) in
   Array.blit data 0 t.data 0 n;
-  for i = 0 to min t.n_pages (Bitmap.length present) - 1 do
-    Bitmap.set t.present i (Bitmap.get present i)
-  done;
+  Bitmap.assign t.present present;
   for i = Bitmap.length present to t.n_pages - 1 do
-    Bitmap.set t.present i false;
     t.data.(i) <- 0
   done
 

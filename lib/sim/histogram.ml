@@ -2,6 +2,8 @@ type t = {
   min_value : float;
   ratio : float;  (* bucket upper/lower bound ratio *)
   counts : int array;
+  mutable overflow : int;  (* samples above the last bucket's upper bound *)
+  mutable max_seen : float;
   mutable total : int;
 }
 
@@ -13,21 +15,29 @@ let create ?(buckets_per_decade = 5) ~min_value ~max_value () =
   let n =
     int_of_float (ceil (log (max_value /. min_value) /. log ratio)) |> max 1
   in
-  { min_value; ratio; counts = Array.make n 0; total = 0 }
+  { min_value; ratio; counts = Array.make n 0; overflow = 0; max_seen = neg_infinity; total = 0 }
 
+(* Index of the covering bucket, or the bucket count for values above the
+   covered range — those are tallied separately so tail quantiles don't get
+   silently under-reported as the last bucket's bound. *)
 let bucket_of t v =
   if v <= t.min_value then 0
   else begin
     let i = int_of_float (log (v /. t.min_value) /. log t.ratio) in
-    min i (Array.length t.counts - 1)
+    min i (Array.length t.counts)
   end
 
 let add t v =
-  t.counts.(bucket_of t v) <- t.counts.(bucket_of t v) + 1;
+  let i = bucket_of t v in
+  if i = Array.length t.counts then t.overflow <- t.overflow + 1
+  else t.counts.(i) <- t.counts.(i) + 1;
+  if v > t.max_seen then t.max_seen <- v;
   t.total <- t.total + 1
 
 let add_all t a = Array.iter (add t) a
 let count t = t.total
+let overflow t = t.overflow
+let max_seen t = t.max_seen
 
 let bounds t i =
   let lo = t.min_value *. (t.ratio ** float_of_int i) in
@@ -43,7 +53,10 @@ let quantile t q =
   if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q out of range";
   let target = int_of_float (ceil (q *. float_of_int t.total)) |> max 1 in
   let rec go i seen =
-    if i >= Array.length t.counts then fst (bounds t (Array.length t.counts - 1)) *. t.ratio
+    if i >= Array.length t.counts then
+      (* The q-th sample is in the overflow bucket, which has no upper
+         bound; the largest value actually observed is the honest answer. *)
+      t.max_seen
     else begin
       let seen = seen + t.counts.(i) in
       if seen >= target then snd (bounds t i) else go (i + 1) seen
@@ -52,11 +65,18 @@ let quantile t q =
   go 0 0
 
 let render ?(width = 40) ppf t =
-  let peak = Array.fold_left max 1 t.counts in
+  let peak = Array.fold_left max 1 t.counts |> max t.overflow in
   List.iter
     (fun (lo, hi, n) ->
       if n > 0 then begin
         let bar = String.make (max 1 (n * width / peak)) '#' in
         Format.fprintf ppf "%10.2f - %10.2f  %6d  %s@." lo hi n bar
       end)
-    (buckets t)
+    (buckets t);
+  if t.overflow > 0 then begin
+    let lo = fst (bounds t (Array.length t.counts)) in
+    let bar = String.make (max 1 (t.overflow * width / peak)) '#' in
+    Format.fprintf ppf "%10.2f - %10s  %6d  %s@." lo
+      (Printf.sprintf "%.2f" t.max_seen)
+      t.overflow bar
+  end

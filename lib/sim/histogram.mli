@@ -8,20 +8,33 @@
 type t
 
 val create : ?buckets_per_decade:int -> min_value:float -> max_value:float -> unit -> t
-(** Geometric buckets covering [\[min_value, max_value\]]; out-of-range
-    samples clamp into the edge buckets. Defaults to 5 buckets/decade.
+(** Geometric buckets covering [\[min_value, max_value\]]; samples below
+    [min_value] clamp into the first bucket, samples above the covered
+    range are tallied in an explicit overflow bucket (see {!overflow})
+    rather than clamped, so tail quantiles stay honest. Defaults to 5
+    buckets/decade.
     @raise Invalid_argument unless [0 < min_value < max_value]. *)
 
 val add : t -> float -> unit
 val add_all : t -> float array -> unit
 val count : t -> int
 
+val overflow : t -> int
+(** Samples that fell above the last bucket's upper bound. *)
+
+val max_seen : t -> float
+(** Largest sample added so far ([neg_infinity] when empty). *)
+
 val buckets : t -> (float * float * int) list
-(** (lower bound, upper bound, count) for each bucket, ascending. *)
+(** (lower bound, upper bound, count) for each regular bucket, ascending;
+    overflow samples are not included. *)
 
 val quantile : t -> float -> float
 (** [quantile t q] for [q] in [\[0,1\]]: the upper bound of the bucket
-    holding the q-th sample (a bucket-resolution approximation).
+    holding the q-th sample (a bucket-resolution approximation). When the
+    q-th sample lies in the overflow bucket — which has no upper bound —
+    the largest observed sample ({!max_seen}) is returned instead of a
+    fabricated bound.
     @raise Invalid_argument if empty or [q] out of range. *)
 
 val render : ?width:int -> Format.formatter -> t -> unit

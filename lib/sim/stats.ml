@@ -43,8 +43,9 @@ let percentile sorted q =
 
 let summarize a =
   if Array.length a = 0 then invalid_arg "Stats.summarize: empty sample";
+  if Array.exists Float.is_nan a then invalid_arg "Stats.summarize: NaN in sample";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let p q = percentile sorted q in
   {
     n = Array.length a;

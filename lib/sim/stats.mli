@@ -21,12 +21,16 @@ type summary = {
 }
 
 val summarize : float array -> summary
-(** Exact summary of a non-empty sample. Sorts a copy of the input.
-    @raise Invalid_argument on an empty array. *)
+(** Exact summary of a non-empty sample. Sorts a copy of the input with
+    [Float.compare] (total, deterministic order).
+    @raise Invalid_argument on an empty array, or if the sample contains a
+    NaN — there is no meaningful rank for NaN, so it is rejected rather
+    than silently sorted to one end. *)
 
 val percentile : float array -> float -> float
-(** [percentile sorted q] with [q] in [\[0,100\]] over a {e sorted} array,
-    using linear interpolation between closest ranks. *)
+(** [percentile sorted q] with [q] in [\[0,100\]] over a {e sorted,
+    NaN-free} array, using linear interpolation between closest ranks.
+    ({!summarize} enforces the NaN-free precondition for its callers.) *)
 
 val mean : float array -> float
 val std : float array -> float

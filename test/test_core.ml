@@ -217,6 +217,46 @@ let test_restore_function_madvised_pages_refilled () =
   check_bool "present again" true (Bitmap.get heap.Vma.present 0);
   check_bool "pages restored" true (breakdown.Breakdown.pages_restored >= 8)
 
+(* Regression: a VMA grown mid-invocation (mremap-style, via resize_vma)
+   has pages past the end of the snapshot's dirty map. Classify must treat
+   those as dirty, and the layout reversal must shrink the region back so
+   the dirtied tail cannot leak into the next request. *)
+let test_restore_grown_vma_dirty_tail () =
+  let p = fresh () in
+  let arena = warm p in
+  let snap = Snapshot.capture (acct ()) p in
+  let a = acct () in
+  As.resize_vma p.Process.mem arena 24;
+  As.dirty_range p.Process.mem a arena ~pos:16 ~len:8 ~value:31337;
+  let b = Restore.run (acct ()) snap p in
+  assert_matches snap p;
+  let arena = Option.get (As.find_vma_by_id p.Process.mem arena.Vma.id) in
+  check_int "arena shrunk back" 16 arena.Vma.n_pages;
+  check_bool "mremap injected" true (b.Breakdown.syscalls_injected >= 1)
+
+(* Regression: growing the heap with mremap (resize_vma) leaves brk where
+   it was, so the brk-restoration fold never fires; without an explicit
+   mremap the dirtied tail would survive the restore as stale data. *)
+let test_restore_heap_grown_by_mremap () =
+  let p = fresh () in
+  ignore (warm p);
+  let snap = Snapshot.capture (acct ()) p in
+  let a = acct () in
+  let heap = As.heap p.Process.mem in
+  let old_n = heap.Vma.n_pages in
+  As.resize_vma p.Process.mem heap (old_n + 8);
+  check_int "brk untouched by mremap growth" snap.Snapshot.brk (As.brk p.Process.mem);
+  As.dirty_range p.Process.mem a heap ~pos:old_n ~len:8 ~value:666;
+  ignore (Restore.run (acct ()) snap p);
+  assert_matches snap p;
+  let heap = As.heap p.Process.mem in
+  check_int "heap shrunk back" old_n heap.Vma.n_pages;
+  (* The next request growing the heap again must see zeros, not the
+     previous request's writes. *)
+  Process.sys_brk p a (As.brk p.Process.mem + (8 * Vma.page_size));
+  let heap = As.heap p.Process.mem in
+  check_int "no stale data in regrown tail" 0 (As.peek heap old_n)
+
 let test_restore_stack_zeroing () =
   let breakdown, p, _ =
     roundtrip (fun p a ->
@@ -431,6 +471,8 @@ let () =
           Alcotest.test_case "newly paged madvised" `Quick test_restore_newly_paged_pages_madvised;
           Alcotest.test_case "madvised pages refilled" `Quick
             test_restore_function_madvised_pages_refilled;
+          Alcotest.test_case "grown vma dirty tail" `Quick test_restore_grown_vma_dirty_tail;
+          Alcotest.test_case "heap grown by mremap" `Quick test_restore_heap_grown_by_mremap;
           Alcotest.test_case "stack zeroing" `Quick test_restore_stack_zeroing;
           Alcotest.test_case "combined mutations" `Quick test_restore_combined;
           Alcotest.test_case "idempotent" `Quick test_restore_idempotent;

@@ -54,6 +54,137 @@ let test_bitmap_iter_set () =
   Bitmap.iter_set b (fun i -> seen := i :: !seen);
   Alcotest.(check (list int)) "ascending" [ 1; 4 ] (List.rev !seen)
 
+let test_bitmap_word_boundaries () =
+  (* Exercise positions straddling the packed-word seams. *)
+  let bpw = Bitmap.bits_per_word in
+  let n = (3 * bpw) + 5 in
+  let b = Bitmap.create n in
+  let edges = [ 0; bpw - 1; bpw; (2 * bpw) - 1; 2 * bpw; n - 1 ] in
+  List.iter (fun i -> Bitmap.set b i true) edges;
+  check_int "count over seams" (List.length edges) (Bitmap.count b);
+  let seen = ref [] in
+  Bitmap.iter_set b (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "iter over seams" edges (List.rev !seen);
+  let runs = List.rev (Bitmap.fold_runs b ~init:[] ~f:(fun acc ~pos ~len -> (pos, len) :: acc)) in
+  Alcotest.(check (list (pair int int)))
+    "run straddles the seam"
+    [ (0, 1); (bpw - 1, 2); ((2 * bpw) - 1, 2); (n - 1, 1) ]
+    runs;
+  Bitmap.fill b true;
+  check_int "fill clamps to length" n (Bitmap.count b);
+  Alcotest.(check (list (pair int int)))
+    "single full run" [ (0, n) ]
+    (List.rev (Bitmap.fold_runs b ~init:[] ~f:(fun acc ~pos ~len -> (pos, len) :: acc)))
+
+let test_bitmap_set_range () =
+  let bpw = Bitmap.bits_per_word in
+  let n = (2 * bpw) + 7 in
+  let b = Bitmap.create n in
+  Bitmap.set_range b ~pos:3 ~len:(bpw + 10) true;
+  check_int "range set" (bpw + 10) (Bitmap.count b);
+  check_bool "below clear" false (Bitmap.get b 2);
+  check_bool "start set" true (Bitmap.get b 3);
+  check_bool "end set" true (Bitmap.get b (bpw + 12));
+  check_bool "past end clear" false (Bitmap.get b (bpw + 13));
+  Bitmap.set_range b ~pos:4 ~len:bpw false;
+  check_int "hole punched" 10 (Bitmap.count b);
+  (* Survivors are bit 3 and bits bpw+4 .. bpw+12; [0, bpw+5) sees two. *)
+  let seen = ref [] in
+  Bitmap.iter_set_range b ~pos:0 ~len:(bpw + 5) (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "ranged iteration" [ 3; bpw + 4 ] (List.rev !seen)
+
+let test_bitmap_bounds_checked () =
+  let b = Bitmap.create 10 in
+  Alcotest.check_raises "get oob" (Invalid_argument "Bitmap.get: index out of bounds") (fun () ->
+      ignore (Bitmap.get b 10));
+  Alcotest.check_raises "set oob" (Invalid_argument "Bitmap.set: index out of bounds") (fun () ->
+      Bitmap.set b (-1) true);
+  Alcotest.check_raises "range oob" (Invalid_argument "Bitmap.set_range: range out of bounds")
+    (fun () -> Bitmap.set_range b ~pos:8 ~len:3 true)
+
+(* Differential property: random op sequences behave identically on the
+   packed bitmap and a naive bool-array reference model. *)
+
+type bitmap_op =
+  | Op_set of int * bool  (* position as a fraction of the current length *)
+  | Op_fill of bool
+  | Op_set_range of int * int * bool
+  | Op_resize of int
+
+let bitmap_op_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map2 (fun i v -> Op_set (i, v)) (int_bound 1000) bool;
+      map (fun v -> Op_fill v) bool;
+      map3 (fun p l v -> Op_set_range (p, l, v)) (int_bound 1000) (int_bound 300) bool;
+      map (fun n -> Op_resize n) (int_bound 200);
+    ]
+
+let bitmap_differential =
+  let open QCheck2 in
+  Test.make ~name:"packed bitmap matches the bool-array model" ~count:300
+    Gen.(pair (int_range 0 180) (list_size (int_range 0 40) bitmap_op_gen))
+    (fun (n0, ops) ->
+      let b = ref (Bitmap.create n0) in
+      let m = ref (Array.make n0 false) in
+      let clamp_pos len p = if len = 0 then 0 else p mod len in
+      List.iter
+        (fun op ->
+          let len = Bitmap.length !b in
+          match op with
+          | Op_set (i, v) ->
+              if len > 0 then begin
+                let i = clamp_pos len i in
+                Bitmap.set !b i v;
+                !m.(i) <- v
+              end
+          | Op_fill v ->
+              Bitmap.fill !b v;
+              Array.fill !m 0 len v
+          | Op_set_range (p, l, v) ->
+              let p = clamp_pos len p in
+              let l = min l (len - p) in
+              Bitmap.set_range !b ~pos:p ~len:l v;
+              Array.fill !m p l v
+          | Op_resize n ->
+              b := Bitmap.resize !b n;
+              let nm = Array.make n false in
+              Array.blit !m 0 nm 0 (min (Array.length !m) n);
+              m := nm)
+        ops;
+      let len = Bitmap.length !b in
+      (* get / length / count *)
+      len = Array.length !m
+      && Array.for_all (fun x -> x) (Array.init len (fun i -> Bitmap.get !b i = !m.(i)))
+      && Bitmap.count !b = Array.fold_left (fun n v -> if v then n + 1 else n) 0 !m
+      (* iter_set visits exactly the set indices, ascending *)
+      && begin
+           let seen = ref [] in
+           Bitmap.iter_set !b (fun i -> seen := i :: !seen);
+           let expect = List.filter (fun i -> !m.(i)) (List.init len Fun.id) in
+           List.rev !seen = expect
+         end
+      (* fold_runs produces the model's maximal runs *)
+      && begin
+           let runs =
+             List.rev (Bitmap.fold_runs !b ~init:[] ~f:(fun acc ~pos ~len -> (pos, len) :: acc))
+           in
+           let model_runs =
+             let out = ref [] and i = ref 0 in
+             while !i < len do
+               if !m.(!i) then begin
+                 let s = !i in
+                 while !i < len && !m.(!i) do incr i done;
+                 out := (s, !i - s) :: !out
+               end
+               else incr i
+             done;
+             List.rev !out
+           in
+           runs = model_runs
+         end)
+
 (* -- Prot -- *)
 
 let test_prot () =
@@ -382,6 +513,10 @@ let () =
           Alcotest.test_case "resize" `Quick test_bitmap_resize;
           Alcotest.test_case "fold_runs" `Quick test_bitmap_runs;
           Alcotest.test_case "iter_set" `Quick test_bitmap_iter_set;
+          Alcotest.test_case "word boundaries" `Quick test_bitmap_word_boundaries;
+          Alcotest.test_case "set_range" `Quick test_bitmap_set_range;
+          Alcotest.test_case "bounds checked" `Quick test_bitmap_bounds_checked;
+          QCheck_alcotest.to_alcotest bitmap_differential;
         ] );
       ("prot", [ Alcotest.test_case "flags" `Quick test_prot ]);
       ( "vma",

@@ -259,11 +259,36 @@ let test_histogram_bucketing () =
   Histogram.add_all h [| 0.5; 2.0; 20.0; 200.0; 5000.0 |];
   check_int "all counted" 5 (Histogram.count h);
   let nonempty = List.filter (fun (_, _, n) -> n > 0) (Histogram.buckets h) in
-  (* Three decade buckets: 0.5 clamps into the first, 5000 into the last. *)
+  (* 0.5 clamps into the first decade bucket; 5000 is above the covered
+     range and lands in the explicit overflow bucket, not the last one. *)
   check_int "three occupied buckets (decades)" 3 (List.length nonempty);
+  check_int "overflow tallied" 1 (Histogram.overflow h);
+  check_float "max seen" 5000.0 (Histogram.max_seen h);
   List.iter
     (fun (lo, hi, _) -> check_bool "bounds ordered" true (lo < hi))
     (Histogram.buckets h)
+
+let test_histogram_overflow_quantile () =
+  let h = Histogram.create ~buckets_per_decade:5 ~min_value:1.0 ~max_value:100.0 () in
+  for _ = 1 to 99 do
+    Histogram.add h 10.0
+  done;
+  Histogram.add h 1.0e6;
+  (* The p100 sample is out of range; it used to be reported as the last
+     bucket's upper bound (~100), under-reporting the tail by 4 decades. *)
+  check_float "tail quantile reports the observed maximum" 1.0e6 (Histogram.quantile h 1.0);
+  check_bool "p50 still in range" true (Histogram.quantile h 0.5 < 20.0);
+  (* Rendering shows the overflow row's observed maximum. *)
+  let out = Format.asprintf "%a" (Histogram.render ~width:10) h in
+  let contains s sub =
+    let n = String.length sub in
+    let ok = ref false in
+    for i = 0 to String.length s - n do
+      if String.sub s i n = sub then ok := true
+    done;
+    !ok
+  in
+  check_bool "overflow rendered" true (contains out "1000000.00")
 
 let test_histogram_quantile () =
   let h = Histogram.create ~buckets_per_decade:5 ~min_value:1.0 ~max_value:10_000.0 () in
@@ -388,6 +413,7 @@ let () =
         [
           Alcotest.test_case "bucketing" `Quick test_histogram_bucketing;
           Alcotest.test_case "quantile" `Quick test_histogram_quantile;
+          Alcotest.test_case "overflow quantile" `Quick test_histogram_overflow_quantile;
           Alcotest.test_case "render" `Quick test_histogram_render;
         ] );
       ( "trace",

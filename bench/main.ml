@@ -117,19 +117,19 @@ let test_fig7 =
 (* fig8: the restore engine alone, on a dirtied process. *)
 let test_fig8 =
   let p = bench_process () in
-  let snap = Snapshot.capture (Account.create ()) p in
+  let snap = Snapshot.capture_exn (Account.create ()) p in
   let scratch = Account.create () in
   Test.make ~name:"fig8/restore-run"
     (Staged.stage (fun () ->
          As.dirty_range p.Process.mem scratch (As.heap p.Process.mem) ~pos:0 ~len:256 ~value:3;
-         ignore (Restore.run scratch snap p)))
+         ignore (Restore.run_exn scratch snap p)))
 
 (* table1: snapshot capture (the one-time cost column). *)
 let test_table1 =
   Test.make ~name:"table1/snapshot-capture"
     (Staged.stage (fun () ->
          let p = bench_process () in
-         ignore (Snapshot.capture (Account.create ()) p)))
+         ignore (Snapshot.capture_exn (Account.create ()) p)))
 
 (* table2: the soft-dirty pagemap scan (the per-request tracking cost). *)
 let test_table2 =
@@ -141,13 +141,15 @@ let test_table2 =
 (* table3: layout diffing plus fork cloning (restore-vs-fork economics). *)
 let test_table3 =
   let p = bench_process () in
-  let snap = Snapshot.capture (Account.create ()) p in
+  let snap = Snapshot.capture_exn (Account.create ()) p in
   let scratch = Account.create () in
   Test.make ~name:"table3/layout-diff+fork"
     (Staged.stage (fun () ->
-         let maps = Procfs.read_maps scratch p in
-         ignore (Layout_diff.diff scratch ~cost snap maps);
-         ignore (Process.fork p scratch)))
+         match Procfs.read_maps scratch p with
+         | Error _ -> assert false
+         | Ok maps ->
+             ignore (Layout_diff.diff scratch ~cost snap maps);
+             ignore (Process.fork p scratch)))
 
 let bechamel_tests =
   [

@@ -318,9 +318,47 @@ let security_cmd =
   let doc = "Demonstrate which isolation strategies stop a residue-leaking bug." in
   Cmd.v (Cmd.info "security-check" ~doc) Term.(ret (const run $ seed_arg $ n_arg))
 
+(* -- fault: the fail-closed recovery pipeline under seeded faults -- *)
+
+let fault_cmd =
+  let bench_arg =
+    Arg.(
+      value & opt string "deltablue (p)"
+      & info [ "benchmark"; "b" ] ~docv:"BENCHMARK" ~doc:"Benchmark to inject faults into.")
+  in
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"Tiny CI run: one nonzero rate, few requests.")
+  in
+  let n_arg =
+    Arg.(value & opt int 120 & info [ "n" ] ~doc:"Requests per (strategy, rate) cell.")
+  in
+  let run profile seed bench smoke n =
+    let cfg = with_seed profile seed in
+    match Gh_workloads.Catalog.find bench with
+    | None -> `Error (false, Printf.sprintf "benchmark %S not in catalog" bench)
+    | Some entry ->
+        let rates = if smoke then [ 0.0; 1e-3 ] else Gh_harness.Fault_exp.default_rates in
+        let requests = if smoke then 30 else n in
+        let points = Gh_harness.Fault_exp.run cfg ~rates ~requests entry in
+        Gh_harness.Fault_exp.print Format.std_formatter entry points;
+        let unsafe = Gh_harness.Fault_exp.total_unsafe points in
+        if unsafe > 0 then
+          `Error
+            ( false,
+              Printf.sprintf
+                "FAIL-CLOSED VIOLATION: %d request(s) served by a non-clean process" unsafe )
+        else `Ok ()
+  in
+  let doc =
+    "Sweep seeded fault rates through the fail-closed recovery pipeline; exits nonzero if \
+     any request was served by a non-clean process."
+  in
+  Cmd.v (Cmd.info "fault" ~doc)
+    Term.(ret (const run $ profile_arg $ seed_arg $ bench_arg $ smoke_arg $ n_arg))
+
 let main =
   let doc = "Groundhog reproduction: regenerate the paper's evaluation." in
   Cmd.group (Cmd.info "gh-bench" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; catalog_cmd; invoke_cmd; compare_cmd; security_cmd; trace_cmd ]
+    [ run_cmd; list_cmd; catalog_cmd; invoke_cmd; compare_cmd; security_cmd; trace_cmd; fault_cmd ]
 
 let () = exit (Cmd.eval main)

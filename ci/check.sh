@@ -1,7 +1,19 @@
 #!/bin/sh
-# Tier-1 CI gate: build everything, run every test suite.
+# Tier-1 CI gate: build everything, run every test suite, then exercise
+# the fault-injection pipeline.
 # Usage: sh ci/check.sh
 set -eu
 cd "$(dirname "$0")/.."
 dune build
 dune runtest
+
+# Fault suite under three fixed seeds: the plan schedules and the whole
+# recovery pipeline must replay bit-identically from each.
+for seed in 1 42 1337; do
+  GH_FAULT_SEED=$seed dune exec test/test_fault.exe >/dev/null
+done
+
+# End-to-end smoke sweep. The subcommand exits nonzero if any request was
+# served by a non-clean process (the fail-closed gate).
+dune exec bin/gh_bench.exe -- fault --smoke --seed 42 >/dev/null
+echo "ci/check.sh: OK"

@@ -39,7 +39,7 @@ let serve inst rng mgr n =
       (Fm.invoke inst acct rng ~post_restore:(i > 1)
          (Gh_faas.Request.make ~id:i ~principal ~input_kb:spec.Fm.input_kb ()));
     Manager.mark_dirty mgr;
-    ignore (Manager.restore mgr);
+    ignore (Manager.restore_exn mgr);
     on_path := !on_path + Account.total acct
   done;
   Time_ns.to_ms (!on_path / n)
@@ -51,7 +51,7 @@ let () =
   (* Eager (the paper's evaluated configuration). *)
   let inst, rng = build_and_warm 1 in
   let mgr = Manager.create (Fm.proc inst) in
-  let capture_ns = Manager.take_snapshot mgr in
+  let capture_ns = Manager.take_snapshot_exn mgr in
   let mean_on_path = serve inst rng mgr 10 in
   Format.printf "EAGER:       capture %8.2f ms   manager buffer %7.1f MB   mean on-path %6.2f ms@."
     (Time_ns.to_ms capture_ns)
@@ -61,14 +61,14 @@ let () =
   (* Incremental (§5.5's proposed optimization). *)
   let inst, rng = build_and_warm 1 in
   let mgr = Manager.create ~mode:Manager.Incremental (Fm.proc inst) in
-  let capture_ns = Manager.take_snapshot mgr in
+  let capture_ns = Manager.take_snapshot_exn mgr in
   let first_req =
     let acct = Account.create () in
     ignore
       (Fm.invoke inst acct rng ~post_restore:false
          (Gh_faas.Request.make ~id:1 ~principal:alice ~input_kb:spec.Fm.input_kb ()));
     Manager.mark_dirty mgr;
-    ignore (Manager.restore mgr);
+    ignore (Manager.restore_exn mgr);
     Time_ns.to_ms (Account.total acct)
   in
   let mean_on_path = serve inst rng mgr 9 in

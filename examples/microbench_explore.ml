@@ -42,7 +42,7 @@ let gh_with_cost cost spec =
   ignore (Fm.warmup inst init rng);
   Fm.mark_clean inst;
   let mgr = Groundhog_core.Manager.create (Fm.proc inst) in
-  ignore (Groundhog_core.Manager.take_snapshot mgr);
+  ignore (Groundhog_core.Manager.take_snapshot_exn mgr);
   let restored = ref false in
   {
     Intf.name = "gh-ablation";
@@ -52,7 +52,7 @@ let gh_with_cost cost spec =
         let acct = Account.create () in
         let response = Fm.invoke inst acct rng ~post_restore:!restored req in
         Groundhog_core.Manager.mark_dirty mgr;
-        let b = Groundhog_core.Manager.restore mgr in
+        let b = Groundhog_core.Manager.restore_exn mgr in
         restored := true;
         {
           Intf.on_path_ns = Account.total acct;
@@ -60,9 +60,12 @@ let gh_with_cost cost spec =
           response;
           breakdown = Some b;
           isolated = true;
+          outcome = Intf.outcome_of_response response;
         });
     snapshot_pages = (fun () -> 0);
     describe = (fun () -> "gh with a variant cost model");
+    status = Intf.no_status;
+    kill = Intf.no_kill;
   }
 
 let () =

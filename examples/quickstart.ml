@@ -30,7 +30,7 @@ let () =
 
   (* The manager snapshots the warm, secret-free state (§4.2). *)
   let mgr = Manager.create ~paranoid:true proc in
-  let snapshot_ns = Manager.take_snapshot mgr in
+  let snapshot_ns = Manager.take_snapshot_exn mgr in
   Format.printf "snapshot taken in %a (%d pages copied)@." Time_ns.pp snapshot_ns
     (match Manager.snapshot mgr with
     | Some s -> s.Snapshot.present_pages
@@ -50,7 +50,7 @@ let () =
     (As.dirty_pages mem) (As.vma_count mem) Time_ns.pp (Account.total req);
 
   (* Between requests, Groundhog restores — off the critical path (§4.4). *)
-  let breakdown = Manager.restore mgr in
+  let breakdown = Manager.restore_exn mgr in
   Format.printf "@.%a@." Breakdown.pp breakdown;
 
   (* Paranoid mode already verified it, but show the check explicitly. *)

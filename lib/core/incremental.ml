@@ -26,56 +26,74 @@ let shell_region (v : Vma.t) =
     present = Bitmap.copy v.Vma.present;
   }
 
+exception Stop of Gh_sim.Fault.site
+
+let ok_or_stop = function Ok v -> v | Error site -> raise (Stop site)
+
 let capture acct (p : Process.t) =
   let start = Account.mark acct in
   let cost = As.cost p.Process.mem in
-  let session = Ptrace.attach acct p in
-  let regs =
-    List.map
-      (fun th -> (th.Gh_proc.Thread.tid, Ptrace.getregs session acct th))
-      p.Process.threads
-  in
-  let _maps = Procfs.read_maps acct p in
-  let vmas = As.vmas p.Process.mem in
-  let by_id = Hashtbl.create 64 in
-  let regions =
-    List.map
-      (fun (v : Vma.t) ->
-        let region = shell_region v in
-        Hashtbl.replace by_id v.Vma.id (region, Bitmap.create v.Vma.n_pages);
-        region)
-      vmas
-  in
-  (* Arm both tracking mechanisms: soft-dirty for the restore engine's
-     dirty sets, CoW write-protection for lazy content salvage. The arming
-     walk costs about a clear_refs pass. *)
-  Procfs.clear_refs acct p;
-  As.arm_cow_all p.Process.mem;
-  Account.charge acct (As.present_pages p.Process.mem * cost.Cost.clear_refs_per_page_ns);
-  Ptrace.detach session acct;
-  let present_pages = List.fold_left (fun n (v : Vma.t) -> n + Bitmap.count v.Vma.present) 0 vmas in
-  let snap =
-    {
-      Snapshot.brk = As.brk p.Process.mem;
-      regs;
-      regions;
-      present_pages;
-      capture_ns = Account.since acct start;
-    }
-  in
-  let t = { snap; proc = p; by_id; saved = 0 } in
-  As.set_cow_hook p.Process.mem
-    (Some
-       (fun vma i ->
-         match Hashtbl.find_opt t.by_id vma.Vma.id with
-         | Some (region, saved) when i < region.Snapshot.n_pages ->
-             if not (Bitmap.get saved i) then begin
-               region.Snapshot.data.(i) <- vma.Vma.data.(i);
-               Bitmap.set saved i true;
-               t.saved <- t.saved + 1
-             end
-         | _ -> ()));
-  t
+  match Ptrace.attach acct p with
+  | Error _ as e -> e
+  | Ok session -> (
+      try
+        let regs =
+          List.map
+            (fun th ->
+              (th.Gh_proc.Thread.tid, ok_or_stop (Ptrace.getregs session acct th)))
+            p.Process.threads
+        in
+        let _maps = ok_or_stop (Procfs.read_maps acct p) in
+        let vmas = As.vmas p.Process.mem in
+        let by_id = Hashtbl.create 64 in
+        let regions =
+          List.map
+            (fun (v : Vma.t) ->
+              let region = shell_region v in
+              Hashtbl.replace by_id v.Vma.id (region, Bitmap.create v.Vma.n_pages);
+              region)
+            vmas
+        in
+        (* Arm both tracking mechanisms: soft-dirty for the restore engine's
+           dirty sets, CoW write-protection for lazy content salvage. The arming
+           walk costs about a clear_refs pass. *)
+        ok_or_stop (Procfs.clear_refs acct p);
+        As.arm_cow_all p.Process.mem;
+        Account.charge acct (As.present_pages p.Process.mem * cost.Cost.clear_refs_per_page_ns);
+        Ptrace.detach session acct;
+        let present_pages =
+          List.fold_left (fun n (v : Vma.t) -> n + Bitmap.count v.Vma.present) 0 vmas
+        in
+        let snap =
+          {
+            Snapshot.brk = As.brk p.Process.mem;
+            regs;
+            regions;
+            present_pages;
+            capture_ns = Account.since acct start;
+          }
+        in
+        let t = { snap; proc = p; by_id; saved = 0 } in
+        As.set_cow_hook p.Process.mem
+          (Some
+             (fun vma i ->
+               match Hashtbl.find_opt t.by_id vma.Vma.id with
+               | Some (region, saved) when i < region.Snapshot.n_pages ->
+                   if not (Bitmap.get saved i) then begin
+                     region.Snapshot.data.(i) <- vma.Vma.data.(i);
+                     Bitmap.set saved i true;
+                     t.saved <- t.saved + 1
+                   end
+               | _ -> ()));
+        Ok t
+      with Stop site ->
+        Ptrace.detach session acct;
+        Error site)
+
+let capture_exn acct p =
+  match capture acct p with
+  | Ok t -> t
+  | Error site -> failwith ("Incremental.capture: fault at " ^ Gh_sim.Fault.site_name site)
 
 let snapshot t = t.snap
 let restore acct t p = Restore.run acct t.snap p

@@ -18,10 +18,14 @@
 
 type t
 
-val capture : Gh_sim.Account.t -> Gh_proc.Process.t -> t
+val capture : Gh_sim.Account.t -> Gh_proc.Process.t -> (t, Gh_sim.Fault.site) result
 (** Interrupt, record metadata, arm CoW + soft-dirty tracking, resume.
-    Charged without the per-page copies of an eager capture.
+    Charged without the per-page copies of an eager capture. On a fault the
+    process is resumed and nothing is armed.
     @raise Gh_proc.Ptrace.Already_attached if a tracer holds the process. *)
+
+val capture_exn : Gh_sim.Account.t -> Gh_proc.Process.t -> t
+(** {!capture} for fault-free contexts. @raise Failure on a fault. *)
 
 val snapshot : t -> Snapshot.t
 (** The progressively materialized snapshot — pass to {!Restore.run}.
@@ -30,7 +34,8 @@ val snapshot : t -> Snapshot.t
     pages have been salvaged; restores themselves never read unsalvaged
     pages, because an unsalvaged page is by construction unmodified.) *)
 
-val restore : Gh_sim.Account.t -> t -> Gh_proc.Process.t -> Breakdown.t
+val restore :
+  Gh_sim.Account.t -> t -> Gh_proc.Process.t -> (Breakdown.t, Gh_sim.Fault.site) result
 (** {!Restore.run} on the materialized snapshot. Unlike the eager path,
     restored pages are {e not} re-armed for CoW: their originals are
     already saved, so later invocations pay no further salvage faults

@@ -1,7 +1,12 @@
 module Account = Gh_sim.Account
+module Fault = Gh_sim.Fault
 module Process = Gh_proc.Process
 
 type mode = Eager | Incremental
+
+type status = Clean | Dirty | Restoring | Poisoned
+
+type failure = { what : string; spent_ns : Gh_sim.Time_ns.t }
 
 type t = {
   proc : Process.t;
@@ -10,8 +15,10 @@ type t = {
   mode : mode;
   mutable snap : Snapshot.t option;
   mutable incr : Incremental.t option;
-  mutable clean : bool;
+  mutable status : status;
   mutable restores : int;
+  mutable failures : int;
+  mutable last_failure : failure option;
 }
 
 let create ?(paranoid = false) ?(mode = Eager) proc =
@@ -24,49 +31,114 @@ let create ?(paranoid = false) ?(mode = Eager) proc =
     mode;
     snap = None;
     incr = None;
-    clean = false;
+    status = Dirty;
     restores = 0;
+    failures = 0;
+    last_failure = None;
   }
 
 let process t = t.proc
 let account t = t.acct
+let status t = t.status
+
+let status_name = function
+  | Clean -> "clean"
+  | Dirty -> "dirty"
+  | Restoring -> "restoring"
+  | Poisoned -> "poisoned"
+
+let fail t what start =
+  let f = { what; spent_ns = Account.since t.acct start } in
+  t.status <- Poisoned;
+  t.failures <- t.failures + 1;
+  t.last_failure <- Some f;
+  Error f
 
 let take_snapshot t =
   (match t.snap with
   | Some _ -> failwith "Groundhog manager: snapshot already taken"
   | None -> ());
+  let start = Account.mark t.acct in
   let snap =
     match t.mode with
     | Eager -> Snapshot.capture t.acct t.proc
-    | Incremental ->
-        let incr = Incremental.capture t.acct t.proc in
-        t.incr <- Some incr;
-        Incremental.snapshot incr
+    | Incremental -> (
+        match Incremental.capture t.acct t.proc with
+        | Ok incr ->
+            t.incr <- Some incr;
+            Ok (Incremental.snapshot incr)
+        | Error _ as e -> e)
   in
-  t.snap <- Some snap;
-  t.clean <- true;
-  snap.Snapshot.capture_ns
+  match snap with
+  | Ok snap ->
+      t.snap <- Some snap;
+      t.status <- Clean;
+      Ok snap.Snapshot.capture_ns
+  | Error site -> fail t ("snapshot fault at " ^ Fault.site_name site) start
+
+let take_snapshot_exn t =
+  match take_snapshot t with
+  | Ok ns -> ns
+  | Error f -> failwith ("Groundhog manager: " ^ f.what)
 
 let snapshot t = t.snap
-let mark_dirty t = t.clean <- false
-let is_clean t = t.clean
+
+let mark_dirty t = match t.status with Poisoned -> () | _ -> t.status <- Dirty
+
+let is_clean t = t.status = Clean
 
 let restore t =
+  if t.status = Poisoned then
+    (* Absorbing: once the process state is unknown, no restore may prove
+       it clean again — only kill + cold restart. *)
+    Error { what = "manager is poisoned (fail closed)"; spent_ns = 0 }
+  else
   match t.snap with
   | None -> failwith "Groundhog manager: restore before snapshot"
-  | Some snap ->
-      let breakdown = Restore.run t.acct snap t.proc in
-      if t.paranoid then begin
-        match Verify.state_matches snap t.proc with
-        | Ok () -> ()
-        | Error m -> failwith (Format.asprintf "restore verification failed: %a" Verify.pp_mismatch m)
-      end;
-      t.clean <- true;
-      t.restores <- t.restores + 1;
-      breakdown
+  | Some snap -> (
+      let start = Account.mark t.acct in
+      t.status <- Restoring;
+      match Restore.run t.acct snap t.proc with
+      | Error site -> fail t ("restore fault at " ^ Fault.site_name site) start
+      | Ok breakdown ->
+          let verified =
+            if not t.paranoid then Ok ()
+            else
+              match Verify.state_matches snap t.proc with
+              | Ok () -> Ok ()
+              | Error m ->
+                  fail t
+                    (Format.asprintf "restore verification failed: %a" Verify.pp_mismatch m)
+                    start
+          in
+          (match verified with
+          | Ok () ->
+              (* The only transition into [Clean] besides the snapshot
+                 itself: a restore that ran to completion (and verified,
+                 when paranoid). *)
+              t.status <- Clean;
+              t.restores <- t.restores + 1
+          | Error _ -> ());
+          Result.map (fun () -> breakdown) verified)
 
-let skip_restore t = t.clean <- true
+let restore_exn t =
+  match restore t with
+  | Ok b -> b
+  | Error f -> failwith ("Groundhog manager: " ^ f.what)
+
+let skip_restore t =
+  if t.status = Poisoned then
+    invalid_arg "Manager.skip_restore: container is poisoned (fail closed)";
+  t.status <- Clean
+
+let poison t what =
+  t.status <- Poisoned;
+  t.failures <- t.failures + 1;
+  t.last_failure <- Some { what; spent_ns = 0 }
+
 let restores_performed t = t.restores
+let failures t = t.failures
+let last_failure t = t.last_failure
 let total_manager_ns t = Account.total t.acct
 
 let buffer_pages t =

@@ -9,6 +9,23 @@
     gates request delivery — Groundhog buffers inputs until the process is
     clean, §4.5).
 
+    The lifecycle is fail-closed: the status lattice is
+
+    {v
+            take_snapshot ok            restore ok (+ verify ok)
+      Dirty ---------------> Clean <------------------ Restoring
+        ^                      |                            |
+        |      mark_dirty      |     restore started        |
+        +----------------------+  (Dirty -> Restoring)      |
+                                                            v
+                 any snapshot/restore/verify failure --> Poisoned
+    v}
+
+    [Poisoned] is absorbing: no operation on this manager ever returns it
+    to [Clean] — the only way forward is to kill the process and build a
+    fresh manager (cold restart + re-snapshot), which the [Gh_faas]
+    recovery pipeline drives.
+
     The manager's CPU time accumulates on its own {!account}: this work is
     off the request's critical path, which is why it only shows up in
     throughput (high-load) measurements. *)
@@ -24,40 +41,77 @@ type mode =
           grows with the pages ever modified, at the price of a one-time
           on-critical-path CoW fault per unique page. *)
 
+type status =
+  | Clean  (** Provably holds no residue; may serve a request. *)
+  | Dirty  (** A request has touched the process; restore pending. *)
+  | Restoring  (** A restore is in flight. *)
+  | Poisoned
+      (** A snapshot, restore, or verification failed: the process state is
+          unknown. Absorbing — only kill + cold restart recovers. *)
+
+type failure = {
+  what : string;  (** Human-readable cause (fault site or verify mismatch). *)
+  spent_ns : Gh_sim.Time_ns.t;  (** Manager time burned by the failed attempt. *)
+}
+
 val create : ?paranoid:bool -> ?mode:mode -> Gh_proc.Process.t -> t
 (** [paranoid] makes every {!restore} verify the result against the
-    snapshot and raise [Failure] on any mismatch (testing aid; off by
-    default; incompatible with [Incremental]). [mode] defaults to
-    [Eager]. *)
+    snapshot and poison the manager on any mismatch (off by default;
+    incompatible with [Incremental]). [mode] defaults to [Eager]. The
+    fresh manager starts [Dirty] — nothing is proven until the snapshot. *)
 
 val process : t -> Gh_proc.Process.t
 val account : t -> Gh_sim.Account.t
 
-val take_snapshot : t -> Gh_sim.Time_ns.t
-(** Capture the clean state; returns the capture cost. Must be called
-    exactly once, before the first {!restore}.
+val status : t -> status
+val status_name : status -> string
+
+val take_snapshot : t -> (Gh_sim.Time_ns.t, failure) result
+(** Capture the clean state; returns the capture cost and transitions to
+    [Clean]. Must be called exactly once, before the first {!restore}; a
+    fault during capture poisons the manager.
     @raise Failure if a snapshot was already taken. *)
+
+val take_snapshot_exn : t -> Gh_sim.Time_ns.t
+(** {!take_snapshot} for fault-free contexts. @raise Failure on a fault. *)
 
 val snapshot : t -> Snapshot.t option
 
 val mark_dirty : t -> unit
 (** Note that a request reached the function process: the container is no
-    longer clean and the next request must wait for a restore. *)
+    longer clean and the next request must wait for a restore. Does not
+    un-poison. *)
 
 val is_clean : t -> bool
 (** True when the process provably holds no residue of a previous request:
     right after the snapshot, or right after a restore. *)
 
-val restore : t -> Breakdown.t
-(** Revert to the snapshot (§4.4). @raise Failure if no snapshot exists. *)
+val restore : t -> (Breakdown.t, failure) result
+(** Revert to the snapshot (§4.4). [Ok] transitions to [Clean]; any fault
+    or (paranoid) verification mismatch transitions to [Poisoned] and
+    reports how much manager time the failed attempt burned.
+    @raise Failure if no snapshot exists. *)
+
+val restore_exn : t -> Breakdown.t
+(** {!restore} for fault-free contexts. @raise Failure on a fault. *)
 
 val skip_restore : t -> unit
 (** The same-security-domain optimization (§4.4): consecutive requests from
     mutually trusting callers may skip the rollback. Marks the container
     clean {e without} restoring — the caller is responsible for the policy
-    decision (see [Gh_isolation.Policy]). *)
+    decision (see [Gh_isolation.Policy]).
+    @raise Invalid_argument on a [Poisoned] manager: trust between callers
+    never licenses serving from a process in an unknown state. *)
+
+val poison : t -> string -> unit
+(** External failure (kill after a hang, timeout): force [Poisoned]. *)
 
 val restores_performed : t -> int
+
+val failures : t -> int
+(** Snapshot/restore/verify failures so far (including {!poison} calls). *)
+
+val last_failure : t -> failure option
 
 val total_manager_ns : t -> Gh_sim.Time_ns.t
 (** All manager CPU time so far: snapshot + every restore. *)

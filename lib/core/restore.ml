@@ -1,4 +1,5 @@
 module Account = Gh_sim.Account
+module Fault = Gh_sim.Fault
 module Cost = Gh_kernel.Cost
 module As = Gh_mem.Address_space
 module Vma = Gh_mem.Vma
@@ -111,6 +112,12 @@ let iter_action_runs (snap : Snapshot.region) (vma : Vma.t) dirty f =
   done;
   flush n
 
+(* Early exit out of the iteration callbacks below; caught at the [run]
+   boundary, never escapes this module. *)
+exception Stop of Fault.site
+
+let ok_or_stop = function Ok v -> v | Error site -> raise (Stop site)
+
 (* Returns (pages copied/zeroed, pages madvised, madvise syscall count,
    time spent in madvise injections) — the injections are part of the
    layout-reversal budget, not the memory-copy budget. *)
@@ -120,14 +127,17 @@ let restore_region session acct (snap : Snapshot.region) (vma : Vma.t) dirty =
   iter_action_runs snap vma dirty (fun pos len action ->
       match action with
       | Copy ->
-          Ptrace.write_pages session acct vma ~pos ~len ~src:snap.Snapshot.data ~src_pos:pos;
+          ok_or_stop
+            (Ptrace.write_pages session acct vma ~pos ~len ~src:snap.Snapshot.data ~src_pos:pos);
           restored := !restored + len
       | Zero ->
-          Ptrace.zero_pages session acct vma ~pos ~len;
+          ok_or_stop (Ptrace.zero_pages session acct vma ~pos ~len);
           restored := !restored + len
       | Madvise ->
           let m = Account.mark acct in
-          ignore (Ptrace.inject_syscall session acct (Ptrace.Madvise_dontneed { vma; pos; len }));
+          ignore
+            (ok_or_stop
+               (Ptrace.inject_syscall session acct (Ptrace.Madvise_dontneed { vma; pos; len })));
           inject_ns := !inject_ns + Account.since acct m;
           incr injected;
           madvised := !madvised + len);
@@ -141,12 +151,15 @@ let run acct (snapshot : Snapshot.t) (p : Process.t) =
   let t0 = mark () in
 
   (* 1. Interrupt the function process. *)
-  let session = Ptrace.attach acct p in
+  match Ptrace.attach acct p with
+  | Error _ as e -> e
+  | Ok session ->
+  try
   let interrupt_ns = Account.since acct t0 in
 
   (* 2. Read the memory-mapped regions. *)
   let m = mark () in
-  let maps = Procfs.read_maps acct p in
+  let maps = ok_or_stop (Procfs.read_maps acct p) in
   let read_maps_ns = Account.since acct m in
 
   (* 3. Identify dirtied pages. Soft-dirty tracking pays a scan of every
@@ -155,7 +168,7 @@ let run acct (snapshot : Snapshot.t) (p : Process.t) =
   let m = mark () in
   let pages_scanned, dirty_list =
     match cost.Cost.tracking with
-    | Cost.Soft_dirty -> (As.total_pages p.Process.mem, Procfs.scan_soft_dirty acct p)
+    | Cost.Soft_dirty -> (As.total_pages p.Process.mem, ok_or_stop (Procfs.scan_soft_dirty acct p))
     | Cost.Uffd ->
         (* The manager already holds the dirty set (it took the faults). *)
         let sets = Procfs.dirty_sets p in
@@ -186,7 +199,7 @@ let run acct (snapshot : Snapshot.t) (p : Process.t) =
   let recreated = ref [] in
   let inject call =
     incr injected;
-    Ptrace.inject_syscall session acct call
+    ok_or_stop (Ptrace.inject_syscall session acct call)
   in
   List.iter
     (fun change ->
@@ -271,7 +284,7 @@ let run acct (snapshot : Snapshot.t) (p : Process.t) =
             p.Process.threads <- p.Process.threads @ [ th ];
             th
       in
-      Ptrace.setregs session acct th regs)
+      ok_or_stop (Ptrace.setregs session acct th regs))
     snapshot.Snapshot.regs;
   let extras =
     List.filter
@@ -284,7 +297,7 @@ let run acct (snapshot : Snapshot.t) (p : Process.t) =
   (* 8. Reset dirty tracking for the next invocation. *)
   let m = mark () in
   (match cost.Cost.tracking with
-  | Cost.Soft_dirty -> Procfs.clear_refs acct p
+  | Cost.Soft_dirty -> ok_or_stop (Procfs.clear_refs acct p)
   | Cost.Uffd | Cost.Kernel_list ->
       (* Re-arm only the pages that were dirtied. *)
       Account.charge acct (!restored * cost.Cost.clear_refs_per_page_ns);
@@ -296,20 +309,32 @@ let run acct (snapshot : Snapshot.t) (p : Process.t) =
   Ptrace.detach session acct;
   let detach_ns = Account.since acct m in
 
-  {
-    Breakdown.interrupt_ns;
-    read_maps_ns;
-    scan_ns;
-    diff_ns;
-    syscalls_ns;
-    copy_ns;
-    regs_ns;
-    reset_ns;
-    detach_ns;
-    total_ns = Account.since acct t0;
-    pages_scanned;
-    pages_restored = !restored;
-    pages_madvised = !madvised;
-    syscalls_injected = !injected;
-    threads = Process.n_threads p;
-  }
+  Ok
+    {
+      Breakdown.interrupt_ns;
+      read_maps_ns;
+      scan_ns;
+      diff_ns;
+      syscalls_ns;
+      copy_ns;
+      regs_ns;
+      reset_ns;
+      detach_ns;
+      total_ns = Account.since acct t0;
+      pages_scanned;
+      pages_restored = !restored;
+      pages_madvised = !madvised;
+      syscalls_injected = !injected;
+      threads = Process.n_threads p;
+    }
+  with Stop site ->
+    (* Fail closed: the process is in an unknown, partially-reverted state.
+       Resume it (so a kill can reap it) and report the site — the caller
+       must poison the container, never serve from it. *)
+    Ptrace.detach session acct;
+    Error site
+
+let run_exn acct snapshot p =
+  match run acct snapshot p with
+  | Ok b -> b
+  | Error site -> failwith ("Restore.run: fault at " ^ Fault.site_name site)

@@ -11,8 +11,15 @@
     {!Verify.state_matches} checks this bit-for-bit, and the property tests
     exercise it against randomized mutation sequences. *)
 
-val run : Gh_sim.Account.t -> Snapshot.t -> Gh_proc.Process.t -> Breakdown.t
+val run :
+  Gh_sim.Account.t -> Snapshot.t -> Gh_proc.Process.t -> (Breakdown.t, Gh_sim.Fault.site) result
 (** Restore the process; all costs are charged to the manager's account and
-    itemized in the returned breakdown.
+    itemized in the returned breakdown. On [Error site] an injected fault
+    interrupted the restore: the process was resumed but is in an unknown,
+    partially-reverted state — the caller must treat it as poisoned and
+    never serve a request from it (fail closed, §4.4).
 
     @raise Gh_proc.Ptrace.Already_attached if a tracer holds the process. *)
+
+val run_exn : Gh_sim.Account.t -> Snapshot.t -> Gh_proc.Process.t -> Breakdown.t
+(** {!run} for fault-free contexts. @raise Failure on a fault. *)

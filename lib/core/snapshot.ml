@@ -1,4 +1,5 @@
 module Account = Gh_sim.Account
+module Fault = Gh_sim.Fault
 module Cost = Gh_kernel.Cost
 module As = Gh_mem.Address_space
 module Vma = Gh_mem.Vma
@@ -24,10 +25,17 @@ type t = {
   capture_ns : Gh_sim.Time_ns.t;
 }
 
-let copy_region acct cost (v : Vma.t) =
+(* Early exit out of the iteration callbacks below; caught at the
+   [capture] boundary, never escapes this module. *)
+exception Stop of Fault.site
+
+let ok_or_stop = function Ok v -> v | Error site -> raise (Stop site)
+
+let copy_region acct fault cost (v : Vma.t) =
   let present = Bitmap.copy v.Vma.present in
   let n_present = Bitmap.count present in
   Account.charge acct (n_present * cost.Cost.snapshot_copy_per_page_ns);
+  if Fault.fire fault Fault.Snapshot_copy then raise (Stop Fault.Snapshot_copy);
   {
     start_addr = v.Vma.start_addr;
     n_pages = v.Vma.n_pages;
@@ -40,21 +48,39 @@ let copy_region acct cost (v : Vma.t) =
 let capture acct (p : Process.t) =
   let start = Account.mark acct in
   let cost = As.cost p.Process.mem in
-  let session = Ptrace.attach acct p in
-  let regs =
-    List.map
-      (fun th -> (th.Gh_proc.Thread.tid, Ptrace.getregs session acct th))
-      p.Process.threads
-  in
-  (* Walking /proc/pid/maps tells us what to copy. *)
-  let _maps = Procfs.read_maps acct p in
-  let regions = List.map (copy_region acct cost) (As.vmas p.Process.mem) in
-  let brk = As.brk p.Process.mem in
-  (* Arm tracking: from here on, modified pages are observable. *)
-  Procfs.clear_refs acct p;
-  Ptrace.detach session acct;
-  let present_pages = List.fold_left (fun n r -> n + Bitmap.count r.present) 0 regions in
-  { brk; regs; regions; present_pages; capture_ns = Account.since acct start }
+  match Ptrace.attach acct p with
+  | Error _ as e -> e
+  | Ok session -> (
+      try
+        let regs =
+          List.map
+            (fun th ->
+              (th.Gh_proc.Thread.tid, ok_or_stop (Ptrace.getregs session acct th)))
+            p.Process.threads
+        in
+        (* Walking /proc/pid/maps tells us what to copy. *)
+        let _maps = ok_or_stop (Procfs.read_maps acct p) in
+        let regions =
+          List.map (copy_region acct p.Process.fault cost) (As.vmas p.Process.mem)
+        in
+        let brk = As.brk p.Process.mem in
+        (* Arm tracking: from here on, modified pages are observable. *)
+        ok_or_stop (Procfs.clear_refs acct p);
+        Ptrace.detach session acct;
+        let present_pages =
+          List.fold_left (fun n r -> n + Bitmap.count r.present) 0 regions
+        in
+        Ok { brk; regs; regions; present_pages; capture_ns = Account.since acct start }
+      with Stop site ->
+        (* Fail closed: resume the process and report; the partial copy is
+           discarded, the caller must not treat the process as clean. *)
+        Ptrace.detach session acct;
+        Error site)
+
+let capture_exn acct p =
+  match capture acct p with
+  | Ok t -> t
+  | Error site -> failwith ("Snapshot.capture: fault at " ^ Fault.site_name site)
 
 let find_region t ~start_addr = List.find_opt (fun r -> r.start_addr = start_addr) t.regions
 

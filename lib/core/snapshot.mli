@@ -23,11 +23,16 @@ type t = {
   capture_ns : Gh_sim.Time_ns.t;  (** Cost of taking this snapshot. *)
 }
 
-val capture : Gh_sim.Account.t -> Gh_proc.Process.t -> t
+val capture : Gh_sim.Account.t -> Gh_proc.Process.t -> (t, Gh_sim.Fault.site) result
 (** Interrupt, copy, arm soft-dirty tracking, resume. All costs are charged
-    to the manager's account; [capture_ns] records the total.
+    to the manager's account; [capture_ns] records the total. On a fault
+    the process is resumed, the partial copy discarded, and the site
+    returned — the caller must not treat the process as clean.
     @raise Gh_proc.Ptrace.Already_attached if a tracer already holds the
     process. *)
+
+val capture_exn : Gh_sim.Account.t -> Gh_proc.Process.t -> t
+(** {!capture} for fault-free contexts. @raise Failure on a fault. *)
 
 val find_region : t -> start_addr:int -> region option
 

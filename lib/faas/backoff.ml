@@ -1,0 +1,34 @@
+module Rng = Gh_sim.Rng
+module Time_ns = Gh_sim.Time_ns
+
+type t = {
+  base_ns : Time_ns.t;
+  cap_ns : Time_ns.t;
+  multiplier : float;
+  jitter : float;
+}
+
+let default =
+  { base_ns = Time_ns.of_ms 10.0; cap_ns = Time_ns.of_sec 2.0; multiplier = 2.0; jitter = 0.1 }
+
+let make ?(base_ns = default.base_ns) ?(cap_ns = default.cap_ns)
+    ?(multiplier = default.multiplier) ?(jitter = default.jitter) () =
+  if base_ns < 0 || cap_ns < base_ns then invalid_arg "Backoff.make: need 0 <= base <= cap";
+  if multiplier < 1.0 then invalid_arg "Backoff.make: multiplier < 1";
+  if jitter < 0.0 || jitter >= 1.0 then invalid_arg "Backoff.make: jitter outside [0,1)";
+  { base_ns; cap_ns; multiplier; jitter }
+
+let delay ?rng t ~attempt =
+  if attempt < 1 then invalid_arg "Backoff.delay: attempt < 1";
+  let raw = float_of_int t.base_ns *. (t.multiplier ** float_of_int (attempt - 1)) in
+  let capped = Float.min raw (float_of_int t.cap_ns) in
+  let jittered =
+    match rng with
+    | None -> capped
+    | Some rng when t.jitter > 0.0 ->
+        (* Uniform in [1-jitter, 1+jitter): de-synchronizes retry storms
+           without ever exceeding the cap by more than the jitter band. *)
+        capped *. (1.0 -. t.jitter +. Rng.float rng (2.0 *. t.jitter))
+    | Some _ -> capped
+  in
+  min t.cap_ns (max 0 (int_of_float jittered))

@@ -1,0 +1,34 @@
+(** Capped exponential backoff with optional jitter, in simulated time.
+
+    Used by the recovery pipeline to pace request retries and container
+    rebuild attempts: delays grow geometrically from [base_ns] up to
+    [cap_ns] (so a persistently failing container never hot-loops but also
+    never waits unboundedly), and an optional rng spreads concurrent
+    retries apart. Fully deterministic: without an rng the delay is a pure
+    function of the attempt number; with one, it draws from the caller's
+    seeded stream. *)
+
+type t = {
+  base_ns : Gh_sim.Time_ns.t;
+  cap_ns : Gh_sim.Time_ns.t;
+  multiplier : float;
+  jitter : float;  (** Relative half-width of the jitter band, [0, 1). *)
+}
+
+val default : t
+(** 10 ms base, 2 s cap, doubling, 10 % jitter. *)
+
+val make :
+  ?base_ns:Gh_sim.Time_ns.t ->
+  ?cap_ns:Gh_sim.Time_ns.t ->
+  ?multiplier:float ->
+  ?jitter:float ->
+  unit ->
+  t
+(** @raise Invalid_argument unless [0 <= base <= cap], [multiplier >= 1]
+    and [jitter] is in [0, 1). *)
+
+val delay : ?rng:Gh_sim.Rng.t -> t -> attempt:int -> Gh_sim.Time_ns.t
+(** Delay before retry number [attempt] (1-based: attempt 1 waits
+    [base_ns]). Never exceeds [cap_ns]. @raise Invalid_argument if
+    [attempt < 1]. *)

@@ -1,20 +1,67 @@
 module Engine = Gh_sim.Engine
 module Trace = Gh_sim.Trace
+module Time_ns = Gh_sim.Time_ns
+module Rng = Gh_sim.Rng
 
-type state = Idle | Busy | Restoring
+type state = Idle | Busy | Restoring | Replacing | Quarantined
+
+type failure = Timed_out | Poisoned_restore
+
+type recovery = {
+  timeout_ns : Time_ns.t option;
+  quarantine_after : int;
+  rebuild_backoff : Backoff.t;
+  max_rebuild_attempts : int;
+}
+
+let default_recovery =
+  {
+    timeout_ns = Some (Time_ns.of_sec 1.0);
+    quarantine_after = 3;
+    rebuild_backoff = Backoff.default;
+    max_rebuild_attempts = 5;
+  }
 
 type t = {
   id : int;
-  strategy : Strategy_intf.t;
+  mutable strategy : Strategy_intf.t;
   engine : Engine.t;
   trace : Trace.t option;
+  recovery : recovery;
+  rebuild : (unit -> (Strategy_intf.t, string) result) option;
+  rng : Rng.t option;
   mutable state : state;
   mutable completed : int;
   mutable on_idle : t -> unit;
+  mutable on_failure : t -> failure -> Request.t -> unit;
+  mutable on_retired : t -> unit;
+  mutable consecutive_failures : int;
+  mutable failures : int;
+  mutable timeouts : int;
+  mutable replacements : int;
+  mutable recovery_ns : Time_ns.t list;
 }
 
-let create ?trace engine ~id strategy =
-  { id; strategy; engine; trace; state = Idle; completed = 0; on_idle = ignore }
+let create ?trace ?(recovery = default_recovery) ?rebuild ?rng engine ~id strategy =
+  {
+    id;
+    strategy;
+    engine;
+    trace;
+    recovery;
+    rebuild;
+    rng;
+    state = Idle;
+    completed = 0;
+    on_idle = ignore;
+    on_failure = (fun _ _ _ -> ());
+    on_retired = ignore;
+    consecutive_failures = 0;
+    failures = 0;
+    timeouts = 0;
+    replacements = 0;
+    recovery_ns = [];
+  }
 
 let trace_emit t ~what detail =
   match t.trace with
@@ -25,14 +72,64 @@ let trace_emit t ~what detail =
 let id t = t.id
 let state t = t.state
 let is_idle t = t.state = Idle
+let is_quarantined t = t.state = Quarantined
 let completed t = t.completed
 let strategy t = t.strategy
+let failures t = t.failures
+let timeouts t = t.timeouts
+let replacements t = t.replacements
+let recovery_ns t = t.recovery_ns
 let set_on_idle t f = t.on_idle <- f
+let set_on_failure t f = t.on_failure <- f
+let set_on_retired t f = t.on_retired <- f
 
 let become_idle t =
   t.state <- Idle;
   trace_emit t ~what:"idle" "";
   t.on_idle t
+
+(* Quarantine: k consecutive recovery failures (or no way to rebuild) mean
+   this container is wasting its core on a hot loop — retire it for good.
+   The owner (invoker / node) frees the core and memory in [on_retired]. *)
+let retire t =
+  t.state <- Quarantined;
+  trace_emit t ~what:"quarantine"
+    (Printf.sprintf "after %d consecutive failures" t.consecutive_failures);
+  t.on_retired t
+
+(* Cold restart: re-exec the function process, warm it up, re-snapshot —
+   all charged to the fresh strategy's manager and occupying this core for
+   the strategy's [init_ns]. A rebuild that itself fails (e.g. a fault
+   during the re-snapshot) retries under capped exponential backoff. *)
+let rec replace t rebuild ~started ~attempt =
+  t.state <- Replacing;
+  trace_emit t ~what:"replace" (Printf.sprintf "cold-restart attempt %d" attempt);
+  match rebuild () with
+  | Ok (s : Strategy_intf.t) ->
+      Engine.schedule t.engine ~after:s.Strategy_intf.init_ns (fun () ->
+          t.strategy <- s;
+          t.replacements <- t.replacements + 1;
+          t.recovery_ns <- (Engine.now t.engine - started) :: t.recovery_ns;
+          trace_emit t ~what:"replaced"
+            (Printf.sprintf "recovered in %.2fms" (Time_ns.to_ms (Engine.now t.engine - started)));
+          become_idle t)
+  | Error msg ->
+      trace_emit t ~what:"rebuild-failed" msg;
+      if attempt >= t.recovery.max_rebuild_attempts then retire t
+      else
+        let delay = Backoff.delay t.recovery.rebuild_backoff ?rng:t.rng ~attempt in
+        Engine.schedule t.engine ~after:delay (fun () ->
+            replace t rebuild ~started ~attempt:(attempt + 1))
+
+let fail t failure req =
+  t.failures <- t.failures + 1;
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  t.on_failure t failure req;
+  if t.consecutive_failures >= t.recovery.quarantine_after then retire t
+  else
+    match t.rebuild with
+    | None -> retire t
+    | Some rebuild -> replace t rebuild ~started:(Engine.now t.engine) ~attempt:1
 
 let submit ?(dispatch_ns = 0) t req ~on_response =
   if t.state <> Idle then invalid_arg "Container.submit: container busy";
@@ -41,15 +138,50 @@ let submit ?(dispatch_ns = 0) t req ~on_response =
   (* The strategy computes costs immediately (the simulated work is pure);
      the engine realizes them as elapsed simulated time. *)
   let inv = t.strategy.Strategy_intf.invoke req in
-  Engine.schedule t.engine ~after:(dispatch_ns + inv.Strategy_intf.on_path_ns) (fun () ->
-      t.completed <- t.completed + 1;
-      trace_emit t ~what:"respond"
-        (Printf.sprintf "req#%d isolated=%b" req.Request.id inv.Strategy_intf.isolated);
-      on_response req inv;
-      if inv.Strategy_intf.post_ns > 0 then begin
-        t.state <- Restoring;
-        trace_emit t ~what:"restore"
-          (Printf.sprintf "%.2fms deferred" (Gh_sim.Time_ns.to_ms inv.Strategy_intf.post_ns));
-        Engine.schedule t.engine ~after:inv.Strategy_intf.post_ns (fun () -> become_idle t)
-      end
-      else become_idle t)
+  match inv.Strategy_intf.outcome with
+  | Strategy_intf.Hung -> (
+      (* No response will ever arrive. Hang detection is the engine clock
+         reaching the platform's per-request timeout, after which the
+         process is killed and the container cold-restarted. *)
+      match t.recovery.timeout_ns with
+      | Some timeout ->
+          Engine.schedule t.engine ~after:(dispatch_ns + timeout) (fun () ->
+              t.timeouts <- t.timeouts + 1;
+              trace_emit t ~what:"timeout"
+                (Printf.sprintf "req#%d killed after %.0fms" req.Request.id
+                   (Time_ns.to_ms timeout));
+              t.strategy.Strategy_intf.kill ();
+              fail t Timed_out req)
+      | None ->
+          (* No timeout configured: the container is stuck for good. *)
+          trace_emit t ~what:"hang" (Printf.sprintf "req#%d (no timeout)" req.Request.id))
+  | outcome ->
+      Engine.schedule t.engine ~after:(dispatch_ns + inv.Strategy_intf.on_path_ns) (fun () ->
+          t.completed <- t.completed + 1;
+          trace_emit t ~what:"respond"
+            (Printf.sprintf "req#%d isolated=%b" req.Request.id inv.Strategy_intf.isolated);
+          on_response req inv;
+          match outcome with
+          | Strategy_intf.Poisoned ->
+              (* The deferred restore failed: the burned time still occupies
+                 the core, then the recovery pipeline takes over. *)
+              if inv.Strategy_intf.post_ns > 0 then begin
+                t.state <- Restoring;
+                trace_emit t ~what:"restore-failed"
+                  (Printf.sprintf "%.2fms burned" (Time_ns.to_ms inv.Strategy_intf.post_ns));
+                Engine.schedule t.engine ~after:inv.Strategy_intf.post_ns (fun () ->
+                    fail t Poisoned_restore req)
+              end
+              else fail t Poisoned_restore req
+          | _ ->
+              (* A request served and recovered end-to-end: the container
+                 earned its health back. *)
+              t.consecutive_failures <- 0;
+              if inv.Strategy_intf.post_ns > 0 then begin
+                t.state <- Restoring;
+                trace_emit t ~what:"restore"
+                  (Printf.sprintf "%.2fms deferred" (Time_ns.to_ms inv.Strategy_intf.post_ns));
+                Engine.schedule t.engine ~after:inv.Strategy_intf.post_ns (fun () ->
+                    become_idle t)
+              end
+              else become_idle t)

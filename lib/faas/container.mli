@@ -5,23 +5,81 @@
     strategy's deferred work ([Restoring]) before becoming [Idle] again.
     Requests never reach the function process while it is restoring —
     Groundhog's buffering rule (§4.5) — which the state machine enforces
-    for every strategy uniformly. *)
+    for every strategy uniformly.
 
-type state = Idle | Busy | Restoring
+    Failures extend the state machine fail-closed: a hung request is
+    detected by the engine clock reaching the per-request timeout, a failed
+    restore surfaces as a [Poisoned] invocation outcome; both kill the
+    function process and enter [Replacing] (cold restart: re-exec +
+    warm-up + re-snapshot, paying the strategy's [init_ns] on this core,
+    with capped-backoff retries if the rebuild itself fails). A container
+    that fails [quarantine_after] consecutive recoveries is [Quarantined]:
+    permanently retired, core and memory handed back via [on_retired] —
+    never a hot loop, and never a request served from a non-clean
+    process. *)
+
+type state = Idle | Busy | Restoring | Replacing | Quarantined
+
+type failure =
+  | Timed_out  (** Request hung; process killed at the timeout. *)
+  | Poisoned_restore  (** Deferred restore/verify failed after the response. *)
+
+type recovery = {
+  timeout_ns : Gh_sim.Time_ns.t option;
+      (** Per-request hang timeout; [None] disables detection (a hung
+          request then wedges the container forever). *)
+  quarantine_after : int;  (** Consecutive failures before retirement. *)
+  rebuild_backoff : Backoff.t;  (** Pacing for failed rebuild retries. *)
+  max_rebuild_attempts : int;
+}
+
+val default_recovery : recovery
+(** 1 s timeout, quarantine after 3, {!Backoff.default}, 5 rebuild tries. *)
 
 type t
 
-val create : ?trace:Gh_sim.Trace.t -> Gh_sim.Engine.t -> id:int -> Strategy_intf.t -> t
-(** [trace] records serve/respond/restore/idle transitions. *)
+val create :
+  ?trace:Gh_sim.Trace.t ->
+  ?recovery:recovery ->
+  ?rebuild:(unit -> (Strategy_intf.t, string) result) ->
+  ?rng:Gh_sim.Rng.t ->
+  Gh_sim.Engine.t ->
+  id:int ->
+  Strategy_intf.t ->
+  t
+(** [trace] records serve/respond/restore/idle transitions (and the
+    recovery transitions). [rebuild] builds a replacement strategy for the
+    cold-restart path; without it any failure retires the container.
+    [rng] jitters the rebuild backoff. *)
 
 val id : t -> int
 val state : t -> state
 val is_idle : t -> bool
+val is_quarantined : t -> bool
 val completed : t -> int
+
 val strategy : t -> Strategy_intf.t
+(** The {e current} strategy — replaced on every cold restart. *)
+
+val failures : t -> int
+val timeouts : t -> int
+val replacements : t -> int
+
+val recovery_ns : t -> Gh_sim.Time_ns.t list
+(** Time from each failure detection to the container serving again
+    (MTTR samples), newest first. *)
 
 val set_on_idle : t -> (t -> unit) -> unit
 (** Called (at simulated time) whenever the container becomes idle. *)
+
+val set_on_failure : t -> (t -> failure -> Request.t -> unit) -> unit
+(** Called at failure detection, before recovery starts. For [Timed_out]
+    the request produced no response — the owner may retry it elsewhere;
+    for [Poisoned_restore] the response was already delivered. *)
+
+val set_on_retired : t -> (t -> unit) -> unit
+(** Called when the container is quarantined: the owner must free its core
+    and memory and stop routing to it. *)
 
 val submit :
   ?dispatch_ns:Gh_sim.Time_ns.t ->
@@ -31,6 +89,7 @@ val submit :
   unit
 (** Start serving a request now (claiming the container immediately; the
     optional dispatch overhead delays the work). The response callback
-    fires after dispatch plus on-path time; the container goes idle only
-    after the strategy's deferred work completes as well.
+    fires after dispatch plus on-path time — never for a hung request; the
+    container goes idle only after the strategy's deferred work completes
+    as well.
     @raise Invalid_argument if the container is not idle. *)

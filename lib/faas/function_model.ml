@@ -1,4 +1,5 @@
 module Account = Gh_sim.Account
+module Fault = Gh_sim.Fault
 module Rng = Gh_sim.Rng
 module Time_ns = Gh_sim.Time_ns
 module As = Gh_mem.Address_space
@@ -28,6 +29,7 @@ type spec = {
   scattered_writes : bool;
   service_ops : int;
   crash_rate : float;
+  hang_rate : float;
 }
 
 (* One round trip to a platform service (local key-value store). *)
@@ -54,6 +56,7 @@ let default_spec =
     scattered_writes = false;
     service_ops = 0;
     crash_rate = 0.0;
+    hang_rate = 0.0;
   }
 
 type response = {
@@ -62,6 +65,7 @@ type response = {
   output_kb : int;
   service_denials : int;
   crashed : bool;
+  hung : bool;
 }
 
 (* A plan is a set of (vma, chunk position, chunk length) ranges covering a
@@ -386,11 +390,33 @@ let crash_ctx t ctx acct rng (req : Request.t) =
   Account.charge acct (t.spec.exec_ns / 2);
   scramble_registers ctx rng;
   t.invocations <- t.invocations + 1;
-  { value = 0; residue = []; output_kb = 0; service_denials = 0; crashed = true }
+  { value = 0; residue = []; output_kb = 0; service_denials = 0; crashed = true; hung = false }
+
+(* A hang: the process did part of its work and then stopped making
+   progress (deadlock, infinite loop, lost I/O). No response is ever
+   produced — the platform's timeout is the only way out. The charge here
+   is only the work done before the hang; the stall itself occupies the
+   container until the timeout fires, which the container layer models. *)
+let hang_ctx t ctx acct rng (req : Request.t) =
+  let secret = Request.secret req in
+  churn t ctx acct rng;
+  dirty_plan t ctx acct ~nonce:req.Request.nonce ~value:secret;
+  Account.charge acct (t.spec.exec_ns / 2);
+  scramble_registers ctx rng;
+  t.invocations <- t.invocations + 1;
+  { value = 0; residue = []; output_kb = 0; service_denials = 0; crashed = false; hung = true }
 
 let invoke_ctx t ctx acct rng ~post_restore (req : Request.t) =
-  if t.spec.crash_rate > 0.0 && Rng.float rng 1.0 < t.spec.crash_rate then
-    crash_ctx t ctx acct rng req
+  (* Draw the spec's own misbehaviour first (guarded, so rate-0 specs draw
+     nothing and streams stay bit-identical), then the fault plan's — the
+     model rng stream is thus independent of the installed plan. *)
+  let spec_hang = t.spec.hang_rate > 0.0 && Rng.float rng 1.0 < t.spec.hang_rate in
+  let spec_crash = t.spec.crash_rate > 0.0 && Rng.float rng 1.0 < t.spec.crash_rate in
+  let fault = ctx.proc.Process.fault in
+  let fault_hang = Fault.fire fault Fault.Fn_hang in
+  let fault_crash = Fault.fire fault Fault.Fn_crash in
+  if spec_hang || fault_hang then hang_ctx t ctx acct rng req
+  else if spec_crash || fault_crash then crash_ctx t ctx acct rng req
   else begin
   let leaked_before = leak_resident_pages t ctx in
   churn t ctx acct rng;
@@ -410,7 +436,7 @@ let invoke_ctx t ctx acct rng ~post_restore (req : Request.t) =
   scramble_registers ctx rng;
   t.invocations <- t.invocations + 1;
   let value = secret lxor (t.invocations lsl 8) in
-  { value; residue; output_kb = t.spec.output_kb; service_denials; crashed = false }
+  { value; residue; output_kb = t.spec.output_kb; service_denials; crashed = false; hung = false }
   end
 
 let invoke t acct rng ~post_restore req = invoke_ctx t (self_ctx t) acct rng ~post_restore req

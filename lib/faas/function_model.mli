@@ -58,6 +58,11 @@ type spec = {
           mid-request, leaving the process in an arbitrary state. Restore-
           capable strategies recover by rolling back; BASE must rebuild the
           container. *)
+  hang_rate : float;
+      (** Probability per invocation that the function never returns
+          (deadlock, infinite loop): no response is produced, the container
+          is stuck until the platform's request timeout kills and replaces
+          it. *)
 }
 
 val default_spec : spec
@@ -75,6 +80,10 @@ type response = {
           credentials. *)
   crashed : bool;
       (** The function process died mid-request; no usable result. *)
+  hung : bool;
+      (** The function never returned; this response object exists only for
+          the simulator's bookkeeping — the platform sees nothing until its
+          timeout fires. *)
 }
 
 type instance

@@ -1,8 +1,28 @@
 module Engine = Gh_sim.Engine
+module Rng = Gh_sim.Rng
+module Time_ns = Gh_sim.Time_ns
 
 type pending = {
   req : Request.t;
   on_response : Request.t -> Strategy_intf.invocation -> unit;
+}
+
+type recovery = {
+  container : Container.recovery;
+  max_attempts : int;
+  retry_backoff : Backoff.t;
+}
+
+let default_recovery =
+  { container = Container.default_recovery; max_attempts = 3; retry_backoff = Backoff.default }
+
+type recovery_stats = {
+  timeouts : int;
+  retries : int;
+  failed_requests : int;
+  quarantined : int;
+  replacements : int;
+  mttr_ns : Time_ns.t list;
 }
 
 type t = {
@@ -11,6 +31,16 @@ type t = {
   queue : pending Queue.t;
   dispatch_ns : Gh_sim.Time_ns.t;
   init_ns : Gh_sim.Time_ns.t;
+  recovery : recovery option;
+  rng : Rng.t option;
+  (* Request-retry bookkeeping, only populated when recovery is on. *)
+  attempts : (int, int) Hashtbl.t;  (* req id -> tries so far *)
+  inflight : (int, Request.t -> Strategy_intf.invocation -> unit) Hashtbl.t;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable failed_requests : int;
+  mutable quarantined : int;
+  mutable on_failed : Request.t -> unit;
 }
 
 (* A cold container pays its one-time initialization (runtime boot,
@@ -33,35 +63,130 @@ let with_cold_start (s : Strategy_intf.t) =
         end);
   }
 
-let create ?(prestarted = true) ?trace engine ~n_containers ~dispatch_ns ~make_strategy =
+(* Without recovery, containers get no rebuild path and no hang timeout:
+   a hang wedges its container (the pre-recovery behaviour) and a poisoned
+   restore retires it — fail closed either way. *)
+let passive_recovery =
+  {
+    Container.default_recovery with
+    Container.timeout_ns = None;
+    quarantine_after = max_int;
+  }
+
+let rec submit t req ~on_response =
+  (match t.recovery with
+  | Some _ -> Hashtbl.replace t.inflight req.Request.id on_response
+  | None -> ());
+  match find_idle t with
+  | Some c -> Container.submit ~dispatch_ns:t.dispatch_ns c req ~on_response
+  | None -> Queue.add { req; on_response } t.queue
+
+and find_idle t = Array.find_opt Container.is_idle t.containers
+
+let handle_failure t r c failure (req : Request.t) =
+  match failure with
+  | Container.Poisoned_restore ->
+      (* The response was already delivered; the container replaces or
+         quarantines itself — nothing to retry. *)
+      ()
+  | Container.Timed_out ->
+      t.timeouts <- t.timeouts + 1;
+      ignore c;
+      let tries =
+        match Hashtbl.find_opt t.attempts req.Request.id with Some n -> n | None -> 1
+      in
+      if tries >= r.max_attempts then begin
+        Hashtbl.remove t.attempts req.Request.id;
+        (match Hashtbl.find_opt t.inflight req.Request.id with
+        | Some _ -> Hashtbl.remove t.inflight req.Request.id
+        | None -> ());
+        t.failed_requests <- t.failed_requests + 1;
+        t.on_failed req
+      end
+      else begin
+        Hashtbl.replace t.attempts req.Request.id (tries + 1);
+        t.retries <- t.retries + 1;
+        let delay = Backoff.delay r.retry_backoff ?rng:t.rng ~attempt:tries in
+        Engine.schedule t.engine ~after:delay (fun () ->
+            match Hashtbl.find_opt t.inflight req.Request.id with
+            | Some on_response -> submit t req ~on_response
+            | None -> ())
+      end
+
+let create ?(prestarted = true) ?trace ?recovery ?rng engine ~n_containers ~dispatch_ns
+    ~make_strategy =
   if n_containers < 1 then invalid_arg "Invoker.create: need at least one container";
   let strategies = Array.init n_containers make_strategy in
   let strategies = if prestarted then strategies else Array.map with_cold_start strategies in
+  let container_recovery =
+    match recovery with Some r -> r.container | None -> passive_recovery
+  in
+  let rebuild_for i =
+    match recovery with
+    | None -> None
+    | Some _ ->
+        Some
+          (fun () ->
+            match make_strategy i with
+            | s -> Ok s
+            | exception Failure msg -> Error msg)
+  in
   let containers =
-    Array.mapi (fun i strategy -> Container.create ?trace engine ~id:i strategy) strategies
+    Array.mapi
+      (fun i strategy ->
+        Container.create ?trace ~recovery:container_recovery ?rebuild:(rebuild_for i) ?rng
+          engine ~id:i strategy)
+      strategies
   in
   let init_ns =
     Array.fold_left (fun n (s : Strategy_intf.t) -> n + s.Strategy_intf.init_ns) 0 strategies
   in
-  let t = { engine; containers; queue = Queue.create (); dispatch_ns; init_ns } in
+  let t =
+    {
+      engine;
+      containers;
+      queue = Queue.create ();
+      dispatch_ns;
+      init_ns;
+      recovery;
+      rng;
+      attempts = Hashtbl.create 64;
+      inflight = Hashtbl.create 64;
+      timeouts = 0;
+      retries = 0;
+      failed_requests = 0;
+      quarantined = 0;
+      on_failed = ignore;
+    }
+  in
   Array.iter
     (fun c ->
       Container.set_on_idle c (fun c ->
           match Queue.take_opt t.queue with
           | Some { req; on_response } ->
               Container.submit ~dispatch_ns:t.dispatch_ns c req ~on_response
-          | None -> ()))
+          | None -> ());
+      (match recovery with
+      | Some r -> Container.set_on_failure c (fun c failure req -> handle_failure t r c failure req)
+      | None -> ());
+      Container.set_on_retired c (fun _ -> t.quarantined <- t.quarantined + 1))
     containers;
   t
 
-let find_idle t = Array.find_opt Container.is_idle t.containers
-
-let submit t req ~on_response =
-  match find_idle t with
-  | Some c -> Container.submit ~dispatch_ns:t.dispatch_ns c req ~on_response
-  | None -> Queue.add { req; on_response } t.queue
-
+let set_on_failed t f = t.on_failed <- f
 let queue_length t = Queue.length t.queue
 let completed t = Array.fold_left (fun n c -> n + Container.completed c) 0 t.containers
 let containers t = t.containers
 let init_ns t = t.init_ns
+
+let recovery_stats t =
+  {
+    timeouts = t.timeouts;
+    retries = t.retries;
+    failed_requests = t.failed_requests;
+    quarantined = t.quarantined;
+    replacements =
+      Array.fold_left (fun n c -> n + Container.replacements c) 0 t.containers;
+    mttr_ns =
+      Array.fold_left (fun acc c -> Container.recovery_ns c @ acc) [] t.containers;
+  }

@@ -1,12 +1,14 @@
 module Engine = Gh_sim.Engine
 module Time_ns = Gh_sim.Time_ns
 module Trace = Gh_sim.Trace
+module Rng = Gh_sim.Rng
 
 type config = {
   total_cores : int;
   memory_mb : int;
   idle_timeout : Time_ns.t;
   dispatch_ns : Time_ns.t;
+  recovery : Invoker.recovery option;
 }
 
 let default_config =
@@ -15,6 +17,7 @@ let default_config =
     memory_mb = 8_192;
     idle_timeout = Time_ns.of_sec 60.0;
     dispatch_ns = Time_ns.of_us 800.0;
+    recovery = None;
   }
 
 type slot = {
@@ -34,6 +37,10 @@ type fn_stats = {
   queue_len : int;
   containers : int;
   e2e_ms : float list;
+  timeouts : int;
+  failed_requests : int;
+  quarantined : int;
+  poisonings : int;
 }
 
 type pool = {
@@ -45,12 +52,18 @@ type pool = {
   mutable cold_starts : int;
   mutable evictions : int;
   mutable e2e_ms : float list;
+  mutable timeouts : int;
+  mutable failed_requests : int;
+  mutable quarantined : int;
+  mutable poisonings : int;
+  attempts : (int, int) Hashtbl.t;  (* req id -> tries, recovery only *)
 }
 
 type t = {
   engine : Engine.t;
   config : config;
   trace : Trace.t option;
+  rng : Rng.t option;
   make_strategy : string -> Function_model.spec -> Strategy_intf.t;
   pools : (string, pool) Hashtbl.t;
   mutable used_mb : int;
@@ -59,11 +72,12 @@ type t = {
   mutable next_container_id : int;
 }
 
-let create ?trace engine config ~make_strategy =
+let create ?trace ?rng engine config ~make_strategy =
   {
     engine;
     config;
     trace;
+    rng;
     make_strategy;
     pools = Hashtbl.create 16;
     used_mb = 0;
@@ -89,6 +103,11 @@ let register t ~name spec =
       cold_starts = 0;
       evictions = 0;
       e2e_ms = [];
+      timeouts = 0;
+      failed_requests = 0;
+      quarantined = 0;
+      poisonings = 0;
+      attempts = Hashtbl.create 16;
     }
 
 (* Memory a container of this function will pin: the process footprint plus
@@ -132,6 +151,46 @@ and evict t pool slot =
   (* Freed memory may unblock a queued cold start elsewhere. *)
   pump_other_pools t
 
+(* Quarantine: the container retired itself after repeated recovery
+   failures. Its in-flight episode started with a dispatch, so the core is
+   handed back here (the counterpart of [on_slot_idle]); memory too. *)
+and on_slot_retired t pool slot =
+  slot.alive <- false;
+  pool.slots <- List.filter (fun s -> s != slot) pool.slots;
+  pool.quarantined <- pool.quarantined + 1;
+  t.used_mb <- t.used_mb - slot.memory_mb;
+  t.busy <- t.busy - 1;
+  trace_emit t "quarantine" (Printf.sprintf "%s (-%d MB)" pool.fn_name slot.memory_mb);
+  pump_pool t pool;
+  pump_other_pools t
+
+(* A hung request was killed: the container replaces itself (still holding
+   its core); the request retries from the queue under backoff, up to the
+   configured attempt budget. *)
+and on_slot_failure t r pool (_slot : slot) failure (req : Request.t) =
+  match failure with
+  | Container.Poisoned_restore ->
+      (* Response already delivered; the container cold-restarts itself. *)
+      pool.poisonings <- pool.poisonings + 1
+  | Container.Timed_out ->
+      pool.timeouts <- pool.timeouts + 1;
+      let tries =
+        match Hashtbl.find_opt pool.attempts req.Request.id with Some n -> n | None -> 1
+      in
+      if tries >= r.Invoker.max_attempts then begin
+        Hashtbl.remove pool.attempts req.Request.id;
+        pool.failed_requests <- pool.failed_requests + 1;
+        trace_emit t "give-up"
+          (Printf.sprintf "%s req#%d after %d tries" pool.fn_name req.Request.id tries)
+      end
+      else begin
+        Hashtbl.replace pool.attempts req.Request.id (tries + 1);
+        let delay = Backoff.delay r.Invoker.retry_backoff ?rng:t.rng ~attempt:tries in
+        Engine.schedule t.engine ~after:delay (fun () ->
+            Queue.push { req; submitted = Engine.now t.engine } pool.queue;
+            pump_pool t pool)
+      end
+
 (* Create a new container for [pool] if a core and memory allow; the new
    container pays its initialization on its first request. *)
 and try_cold_start t pool =
@@ -144,9 +203,41 @@ and try_cold_start t pool =
       let strategy = Invoker.with_cold_start strategy in
       let id = t.next_container_id in
       t.next_container_id <- id + 1;
-      let container = Container.create ?trace:t.trace t.engine ~id strategy in
+      let container_recovery, rebuild =
+        match t.config.recovery with
+        | None ->
+            (* Passive: hangs wedge their container, poisoned restores
+               retire it — fail closed, no replacement (pre-recovery
+               behaviour, and bit-identical in fault-free runs). *)
+            ( Some
+                {
+                  Container.default_recovery with
+                  Container.timeout_ns = None;
+                  quarantine_after = max_int;
+                },
+              None )
+        | Some r ->
+            ( Some r.Invoker.container,
+              (* The rebuild pays its init during [Replacing], so the raw
+                 (not cold-start-wrapped) strategy is wanted here. *)
+              Some
+                (fun () ->
+                  match t.make_strategy pool.fn_name pool.spec with
+                  | s -> Ok s
+                  | exception Failure msg -> Error msg) )
+      in
+      let container =
+        Container.create ?trace:t.trace ?recovery:container_recovery ?rebuild ?rng:t.rng
+          t.engine ~id strategy
+      in
       let slot = { container; memory_mb; epoch = 0; alive = true } in
       Container.set_on_idle container (fun _ -> on_slot_idle t pool slot);
+      (match t.config.recovery with
+      | Some r ->
+          Container.set_on_failure container (fun _ failure req ->
+              on_slot_failure t r pool slot failure req)
+      | None -> ());
+      Container.set_on_retired container (fun _ -> on_slot_retired t pool slot);
       pool.slots <- slot :: pool.slots;
       pool.cold_starts <- pool.cold_starts + 1;
       t.used_mb <- t.used_mb + memory_mb;
@@ -199,6 +290,10 @@ let stats t =
          queue_len = Queue.length pool.queue;
          containers = List.length pool.slots;
          e2e_ms = pool.e2e_ms;
+         timeouts = pool.timeouts;
+         failed_requests = pool.failed_requests;
+         quarantined = pool.quarantined;
+         poisonings = pool.poisonings;
        }
         : fn_stats)
       :: acc)
@@ -210,3 +305,4 @@ let memory_high_water_mb t = t.high_water_mb
 let cores_busy t = t.busy
 let total_cold_starts t = Hashtbl.fold (fun _ p n -> n + p.cold_starts) t.pools 0
 let total_evictions t = Hashtbl.fold (fun _ p n -> n + p.evictions) t.pools 0
+let total_quarantined t = Hashtbl.fold (fun _ p n -> n + p.quarantined) t.pools 0

@@ -22,10 +22,17 @@ type config = {
   memory_mb : int;  (** Budget for containers + manager buffers. *)
   idle_timeout : Gh_sim.Time_ns.t;  (** Idle containers are shut down. *)
   dispatch_ns : Gh_sim.Time_ns.t;
+  recovery : Invoker.recovery option;
+      (** [Some r]: hung requests are killed at [r]'s container timeout and
+          retried under backoff (at most [r.max_attempts] tries), poisoned
+          containers are cold-restarted holding their core, and repeat
+          offenders are quarantined (core + memory freed). [None]: hangs
+          wedge their container and poisoned containers are retired — fail
+          closed, no replacement. *)
 }
 
 val default_config : config
-(** 4 cores, 8 GiB, 60 s idle timeout. *)
+(** 4 cores, 8 GiB, 60 s idle timeout, no recovery. *)
 
 type t
 
@@ -37,16 +44,23 @@ type fn_stats = {
   queue_len : int;
   containers : int;  (** Currently alive. *)
   e2e_ms : float list;  (** Per-request latency incl. queueing, newest first. *)
+  timeouts : int;  (** Hang timeouts fired for this function. *)
+  failed_requests : int;  (** Abandoned after the retry budget. *)
+  quarantined : int;  (** Containers permanently retired. *)
+  poisonings : int;  (** Failed restores that triggered a cold restart. *)
 }
 
 val create :
   ?trace:Gh_sim.Trace.t ->
+  ?rng:Gh_sim.Rng.t ->
   Gh_sim.Engine.t ->
   config ->
   make_strategy:(string -> Function_model.spec -> Strategy_intf.t) ->
   t
 (** [make_strategy name spec] builds a fresh strategy instance for one new
-    container of function [name]. *)
+    container of function [name] — with recovery enabled it is also the
+    cold-restart rebuild path (a [Failure] it raises becomes a failed
+    rebuild attempt). [rng] jitters the recovery backoff delays. *)
 
 val register : t -> name:string -> Function_model.spec -> unit
 (** Deploy a function. @raise Invalid_argument on duplicate names. *)
@@ -62,3 +76,4 @@ val memory_high_water_mb : t -> int
 val cores_busy : t -> int
 val total_cold_starts : t -> int
 val total_evictions : t -> int
+val total_quarantined : t -> int

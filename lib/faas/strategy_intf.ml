@@ -1,10 +1,28 @@
+(* How an invocation ended, from the platform's point of view. *)
+type outcome =
+  | Completed  (** Response produced; deferred work (if any) succeeded. *)
+  | Crashed
+      (** The function died mid-request but the strategy recovered the
+          container (restore or rebuild); an error response is produced. *)
+  | Hung
+      (** The function never returned: no response exists, [on_path_ns] is
+          only the work done before the stall. Only a platform timeout
+          frees the container. *)
+  | Poisoned
+      (** The strategy's deferred recovery (restore / re-snapshot) failed:
+          the response (if any) was already delivered, but the container
+          must never serve again — kill + cold restart required. *)
+
 type invocation = {
   on_path_ns : Gh_sim.Time_ns.t;
   post_ns : Gh_sim.Time_ns.t;
   response : Function_model.response;
   breakdown : Groundhog_core.Breakdown.t option;
   isolated : bool;
+  outcome : outcome;
 }
+
+type status = [ `Clean | `Dirty | `Restoring | `Poisoned ]
 
 type t = {
   name : string;
@@ -12,6 +30,29 @@ type t = {
   invoke : Request.t -> invocation;
   snapshot_pages : unit -> int;
   describe : unit -> string;
+  status : unit -> status option;
+      (** The manager's lifecycle state, [None] for strategies without one
+          (fork, base). The fail-closed trace checker polls this at
+          dispatch time. *)
+  kill : unit -> unit;
+      (** SIGKILL the function process: whatever state it held is gone and
+          the manager (if any) is poisoned. Idempotent. *)
 }
 
 let no_post inv = inv.post_ns = 0
+
+(* Constructor helpers for strategies (and tests) without a manager. *)
+let no_status () = None
+let no_kill () = ()
+
+let outcome_of_response (r : Function_model.response) =
+  if r.Function_model.hung then Hung
+  else if r.Function_model.crashed then Crashed
+  else Completed
+
+let manager_status mgr : status =
+  match Groundhog_core.Manager.status mgr with
+  | Groundhog_core.Manager.Clean -> `Clean
+  | Groundhog_core.Manager.Dirty -> `Dirty
+  | Groundhog_core.Manager.Restoring -> `Restoring
+  | Groundhog_core.Manager.Poisoned -> `Poisoned

@@ -8,7 +8,25 @@
     may enter the container ([post_ns], e.g. Groundhog's restoration).
     Under low load [post_ns] overlaps idle time and is invisible in
     latency; under saturation it eats into throughput — exactly the split
-    the paper's low-load / high-load workloads expose (§5.2). *)
+    the paper's low-load / high-load workloads expose (§5.2).
+
+    The {!outcome} field and the {!t}'s [status]/[kill] operations carry
+    the failure model: a strategy reports hangs and failed recoveries, and
+    the container layer drives kill → cold restart → re-snapshot. *)
+
+type outcome =
+  | Completed  (** Response produced; deferred work (if any) succeeded. *)
+  | Crashed
+      (** The function died mid-request but the strategy recovered the
+          container (restore or rebuild); an error response is produced. *)
+  | Hung
+      (** The function never returned: no response exists, [on_path_ns] is
+          only the work done before the stall. Only a platform timeout
+          frees the container. *)
+  | Poisoned
+      (** The strategy's deferred recovery (restore / re-snapshot) failed:
+          the response (if any) was already delivered, but the container
+          must never serve again — kill + cold restart required. *)
 
 type invocation = {
   on_path_ns : Gh_sim.Time_ns.t;
@@ -16,13 +34,17 @@ type invocation = {
           faults, proxying). Determines invoker-measured latency. *)
   post_ns : Gh_sim.Time_ns.t;
       (** Off-critical-path work (restore / reset / reap) occupying the
-          container's core before it can accept the next request. *)
+          container's core before it can accept the next request. For a
+          [Poisoned] outcome: the time burned by the failed attempt. *)
   response : Function_model.response;
   breakdown : Groundhog_core.Breakdown.t option;
       (** Restoration breakdown, for strategies that restore. *)
   isolated : bool;
       (** Did the strategy guarantee the next request sees a clean state? *)
+  outcome : outcome;
 }
+
+type status = [ `Clean | `Dirty | `Restoring | `Poisoned ]
 
 type t = {
   name : string;
@@ -34,7 +56,27 @@ type t = {
       (** Pages held in the manager's snapshot buffer (0 when the strategy
           keeps none). *)
   describe : unit -> string;
+  status : unit -> status option;
+      (** The manager's lifecycle state, [None] for strategies without one
+          (fork, base). The fail-closed trace checker polls this at
+          dispatch time. *)
+  kill : unit -> unit;
+      (** SIGKILL the function process: whatever state it held is gone and
+          the manager (if any) is poisoned. Idempotent. *)
 }
 
 val no_post : invocation -> bool
 (** True when the invocation leaves no deferred work. *)
+
+val no_status : unit -> status option
+(** [fun () -> None]: for strategies (and test stubs) without a manager. *)
+
+val no_kill : unit -> unit
+(** No-op kill, for test stubs. *)
+
+val outcome_of_response : Function_model.response -> outcome
+(** [Hung]/[Crashed]/[Completed] from the response flags — for strategies
+    whose deferred work cannot fail. *)
+
+val manager_status : Groundhog_core.Manager.t -> status
+(** Lift a manager's lifecycle state into the polymorphic status. *)

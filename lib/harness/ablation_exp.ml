@@ -19,7 +19,7 @@ let measure_with_cost cfg cost spec =
   ignore (Fm.warmup inst init rng);
   Fm.mark_clean inst;
   let mgr = Manager.create (Fm.proc inst) in
-  ignore (Manager.take_snapshot mgr);
+  ignore (Manager.take_snapshot_exn mgr);
   let n = max 3 cfg.Config.microbench_requests in
   let discard = 2 in
   let low = ref 0.0 and restore = ref 0.0 in
@@ -32,7 +32,7 @@ let measure_with_cost cfg cost spec =
     in
     ignore (Fm.invoke inst acct rng ~post_restore:(i > -discard) req);
     Manager.mark_dirty mgr;
-    let b = Manager.restore mgr in
+    let b = Manager.restore_exn mgr in
     if i >= 0 then begin
       low := !low +. Time_ns.to_ms (Account.total acct);
       restore := !restore +. Time_ns.to_ms b.Breakdown.total_ns

@@ -12,8 +12,12 @@
 type point = {
   crash_rate : float;
   occupancy_ms : (Gh_isolation.Registry.id * float) list;
-      (** Mean on-path + recovery time per request. *)
-  crashes : int;  (** Observed in the GH run (same seed across strategies). *)
+      (** Mean on-path + recovery time per {e successful} request: crashed
+          episodes still occupy the container (attempt + recovery) but
+          deliver nothing, so they inflate the numerator only. *)
+  crashes : (Gh_isolation.Registry.id * int) list;
+      (** Observed crash count per strategy (each runs its own seeded
+          stream, so counts differ across strategies). *)
 }
 
 val strategies : Gh_isolation.Registry.id list

@@ -21,6 +21,7 @@ type id =
   | Snapshot_cost
   | Multi_tenant
   | Crash_recovery
+  | Fault_injection
 
 let all =
   [ Fig3_left; Fig3_right; Fig4; Fig5; Fig6; Fig7; Fig8; Table1; Table2; Table3; Headline ]
@@ -35,6 +36,7 @@ let extras =
     Snapshot_cost;
     Multi_tenant;
     Crash_recovery;
+    Fault_injection;
   ]
 
 let to_string = function
@@ -57,6 +59,7 @@ let to_string = function
   | Snapshot_cost -> "snapshot-cost"
   | Multi_tenant -> "multi-tenant"
   | Crash_recovery -> "crash-recovery"
+  | Fault_injection -> "fault-injection"
 
 let of_string s =
   match String.lowercase_ascii s with
@@ -80,6 +83,7 @@ let of_string s =
   | "snapshot-cost" | "snapshot" -> Ok Snapshot_cost
   | "multi-tenant" | "tenant" | "density" -> Ok Multi_tenant
   | "crash-recovery" | "crash" -> Ok Crash_recovery
+  | "fault-injection" | "fault" | "faults" -> Ok Fault_injection
   | other -> Error (Printf.sprintf "unknown experiment %S" other)
 
 let describe = function
@@ -102,6 +106,8 @@ let describe = function
   | Snapshot_cost -> "one-time snapshotting cost across the whole catalog (5.5)"
   | Multi_tenant -> "container density under a shared node: BASE vs eager GH vs incremental GH"
   | Crash_recovery -> "restore as fault recovery: occupancy vs crash rate (extension)"
+  | Fault_injection ->
+      "seeded fault injection: availability/goodput/MTTR/p99 under fail-closed recovery"
 
 (* Within one process, latency/throughput/breakdown sweeps over the catalog
    are shared between the experiments that need them. *)
@@ -189,6 +195,9 @@ let run id cfg ppf =
   | Crash_recovery ->
       let entry = Option.get (Catalog.find "deltablue (p)") in
       Crash_exp.print ppf entry (Crash_exp.run cfg entry)
+  | Fault_injection ->
+      let entry = Option.get (Catalog.find "deltablue (p)") in
+      Fault_exp.print ppf entry (Fault_exp.run cfg entry)
 
 let run_list ids cfg ppf =
   List.iter

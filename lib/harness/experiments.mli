@@ -27,6 +27,10 @@ type id =
   | Crash_recovery
       (** Restore as fault recovery: BASE rebuilds crashed containers,
           snapshot-holders roll back (extension). *)
+  | Fault_injection
+      (** Seeded fault injection through the fail-closed recovery pipeline:
+          availability, goodput, MTTR, p99 vs fault rate (robustness
+          extension). *)
 
 val all : id list
 (** The paper's tables and figures, in order. *)

@@ -30,7 +30,7 @@ let incremental_probe cfg (entry : Catalog.entry) =
   ignore (Fm.warmup inst (Account.create ()) rng);
   Fm.mark_clean inst;
   let mgr = Manager.create ~mode:Manager.Incremental (Fm.proc inst) in
-  let capture_ns = Manager.take_snapshot mgr in
+  let capture_ns = Manager.take_snapshot_exn mgr in
   let n = max 3 (min 8 cfg.Config.breakdown_requests) in
   for i = 1 to n do
     let req =
@@ -40,7 +40,7 @@ let incremental_probe cfg (entry : Catalog.entry) =
     in
     ignore (Fm.invoke inst (Account.create ()) rng ~post_restore:(i > 1) req);
     Manager.mark_dirty mgr;
-    ignore (Manager.restore mgr)
+    ignore (Manager.restore_exn mgr)
   done;
   (Time_ns.to_ms capture_ns, mb_of_pages (Manager.buffer_pages mgr))
 

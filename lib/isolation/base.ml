@@ -13,24 +13,45 @@ let make_on ~rng inst =
      rebuild it from scratch. (The snapshot below is simulation mechanics
      that stands in for the rebuild; the charge is the full cold start.) *)
   let scratch = Account.create () in
-  let rebuild_state = Groundhog_core.Snapshot.capture scratch (Fm.proc inst) in
+  let rebuild_state = Groundhog_core.Snapshot.capture_exn scratch (Fm.proc inst) in
   let invoke req =
     let acct = Account.create () in
     let response = Fm.invoke inst acct rng ~post_restore:false req in
-    let post_ns =
-      if response.Fm.crashed then begin
-        ignore (Groundhog_core.Restore.run scratch rebuild_state (Fm.proc inst));
-        init_ns
-      end
-      else 0
-    in
-    {
-      Intf.on_path_ns = Account.total acct;
-      post_ns;
-      response;
-      breakdown = None;
-      isolated = false;
-    }
+    if response.Fm.hung then
+      {
+        Intf.on_path_ns = Account.total acct;
+        post_ns = 0;
+        response;
+        breakdown = None;
+        isolated = false;
+        outcome = Intf.Hung;
+      }
+    else if response.Fm.crashed then begin
+      (* The rebuild charge is paid either way; if the rebuild mechanics
+         themselves fault, the container is unusable — poisoned. *)
+      let outcome =
+        match Groundhog_core.Restore.run scratch rebuild_state (Fm.proc inst) with
+        | Ok _ -> Intf.Crashed
+        | Error _ -> Intf.Poisoned
+      in
+      {
+        Intf.on_path_ns = Account.total acct;
+        post_ns = init_ns;
+        response;
+        breakdown = None;
+        isolated = false;
+        outcome;
+      }
+    end
+    else
+      {
+        Intf.on_path_ns = Account.total acct;
+        post_ns = 0;
+        response;
+        breakdown = None;
+        isolated = false;
+        outcome = Intf.Completed;
+      }
   in
   {
     Intf.name = "base";
@@ -38,6 +59,11 @@ let make_on ~rng inst =
     invoke;
     snapshot_pages = (fun () -> 0);
     describe = (fun () -> "insecure baseline: warm container reuse, no isolation");
+    status = Intf.no_status;
+    kill = Intf.no_kill;
   }
 
-let make ~rng spec = make_on ~rng (Fm.build spec)
+let make ?(fault = Gh_sim.Fault.none) ~rng spec =
+  let inst = Fm.build spec in
+  Gh_proc.Process.set_fault (Fm.proc inst) fault;
+  make_on ~rng inst

@@ -7,7 +7,11 @@
     back to: the platform rebuilds the container, paying the full cold
     start before the next request. *)
 
-val make : rng:Gh_sim.Rng.t -> Gh_faas.Function_model.spec -> Gh_faas.Strategy_intf.t
+val make :
+  ?fault:Gh_sim.Fault.t ->
+  rng:Gh_sim.Rng.t ->
+  Gh_faas.Function_model.spec ->
+  Gh_faas.Strategy_intf.t
 
 val make_on : rng:Gh_sim.Rng.t -> Gh_faas.Function_model.instance -> Gh_faas.Strategy_intf.t
 (** Wrap an instance the caller already built (shared-instance tests). *)

@@ -5,8 +5,9 @@ module Intf = Gh_faas.Strategy_intf
 module Snapshot = Groundhog_core.Snapshot
 module Restore = Groundhog_core.Restore
 
-let make ~rng spec =
+let make ?(fault = Gh_sim.Fault.none) ~rng spec =
   let inst = Fm.build spec in
+  Gh_proc.Process.set_fault (Fm.proc inst) fault;
   let rng = Rng.split rng in
   let init_acct = Account.create () in
   let warm_ns = Fm.warmup inst init_acct rng in
@@ -17,20 +18,38 @@ let make ~rng spec =
      without rebuilding the whole process per request; the per-request
      charge is nevertheless the full cold-start cost. *)
   let scratch = Account.create () in
-  let snap = Snapshot.capture scratch (Fm.proc inst) in
+  let snap = Snapshot.capture_exn scratch (Fm.proc inst) in
   let invoke req =
     let acct = Account.create () in
     (* Cold start: boot a container, boot the runtime, initialize state. *)
     Account.charge acct (rt.Gh_faas.Runtime.init_ns + warm_ns);
     let response = Fm.invoke inst acct rng ~post_restore:false req in
-    ignore (Restore.run scratch snap (Fm.proc inst));
-    {
-      Intf.on_path_ns = Account.total acct;
-      post_ns = 0;
-      response;
-      breakdown = None;
-      isolated = true;
-    }
+    if response.Fm.hung then
+      {
+        Intf.on_path_ns = Account.total acct;
+        post_ns = 0;
+        response;
+        breakdown = None;
+        isolated = true;
+        outcome = Intf.Hung;
+      }
+    else begin
+      let outcome =
+        (* The "fresh container" reset is simulation mechanics; if it
+           faults, this container can't serve again. *)
+        match Restore.run scratch snap (Fm.proc inst) with
+        | Ok _ -> Intf.outcome_of_response response
+        | Error _ -> Intf.Poisoned
+      in
+      {
+        Intf.on_path_ns = Account.total acct;
+        post_ns = 0;
+        response;
+        breakdown = None;
+        isolated = true;
+        outcome;
+      }
+    end
   in
   {
     Intf.name = "coldstart";
@@ -38,4 +57,6 @@ let make ~rng spec =
     invoke;
     snapshot_pages = (fun () -> 0);
     describe = (fun () -> "fresh container per request (trivial isolation)");
+    status = Intf.no_status;
+    kill = Intf.no_kill;
   }

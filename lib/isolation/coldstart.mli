@@ -4,4 +4,8 @@
     warm-up) on the critical path. Perfectly isolated and impractically
     slow for short functions; included as the motivation baseline. *)
 
-val make : rng:Gh_sim.Rng.t -> Gh_faas.Function_model.spec -> Gh_faas.Strategy_intf.t
+val make :
+  ?fault:Gh_sim.Fault.t ->
+  rng:Gh_sim.Rng.t ->
+  Gh_faas.Function_model.spec ->
+  Gh_faas.Strategy_intf.t

@@ -15,14 +15,15 @@ let restore_per_page_ns = 6_000
 
 let restore_cost_ns ~present_pages = restore_base_ns + (present_pages * restore_per_page_ns)
 
-let make ~rng spec =
+let make ?(fault = Gh_sim.Fault.none) ~rng spec =
   let inst = Fm.build spec in
+  Gh_proc.Process.set_fault (Fm.proc inst) fault;
   let rng = Rng.split rng in
   let init_acct = Account.create () in
   let _warm = Fm.warmup inst init_acct rng in
   Fm.mark_clean inst;
   (* Checkpoint: serialize the full image (charged per present page). *)
-  let snap = Snapshot.capture init_acct (Fm.proc inst) in
+  let snap = Snapshot.capture_exn init_acct (Fm.proc inst) in
   Account.charge init_acct (restore_per_page_ns * snap.Snapshot.present_pages);
   let rt = Fm.runtime inst in
   let init_ns = rt.Gh_faas.Runtime.init_ns + Account.total init_acct in
@@ -30,26 +31,50 @@ let make ~rng spec =
   let invoke req =
     let acct = Account.create () in
     let response = Fm.invoke inst acct rng ~post_restore:true req in
-    (* The mechanism really reverts the state; the charge is the image
-       deserialization model, not a dirty-proportional restore. *)
-    let mechanics = Restore.run scratch snap (Fm.proc inst) in
-    let reset_ns = restore_cost_ns ~present_pages:snap.Snapshot.present_pages in
-    let breakdown =
+    if response.Fm.hung then
       {
-        Breakdown.zero with
-        Breakdown.copy_ns = reset_ns;
-        total_ns = reset_ns;
-        pages_restored = snap.Snapshot.present_pages;
-        pages_madvised = mechanics.Breakdown.pages_madvised;
+        Intf.on_path_ns = Account.total acct;
+        post_ns = 0;
+        response;
+        breakdown = None;
+        isolated = false;
+        outcome = Intf.Hung;
       }
-    in
-    {
-      Intf.on_path_ns = Account.total acct;
-      post_ns = reset_ns;
-      response;
-      breakdown = Some breakdown;
-      isolated = true;
-    }
+    else begin
+      (* The mechanism really reverts the state; the charge is the image
+         deserialization model, not a dirty-proportional restore. *)
+      let reset_ns = restore_cost_ns ~present_pages:snap.Snapshot.present_pages in
+      match Restore.run scratch snap (Fm.proc inst) with
+      | Error _ ->
+          (* The image restore failed mid-way: the attempt's cost is spent
+             and the process state is unknown. *)
+          {
+            Intf.on_path_ns = Account.total acct;
+            post_ns = reset_ns;
+            response;
+            breakdown = None;
+            isolated = false;
+            outcome = Intf.Poisoned;
+          }
+      | Ok mechanics ->
+          let breakdown =
+            {
+              Breakdown.zero with
+              Breakdown.copy_ns = reset_ns;
+              total_ns = reset_ns;
+              pages_restored = snap.Snapshot.present_pages;
+              pages_madvised = mechanics.Breakdown.pages_madvised;
+            }
+          in
+          {
+            Intf.on_path_ns = Account.total acct;
+            post_ns = reset_ns;
+            response;
+            breakdown = Some breakdown;
+            isolated = true;
+            outcome = Intf.outcome_of_response response;
+          }
+    end
   in
   {
     Intf.name = "criu";
@@ -58,4 +83,6 @@ let make ~rng spec =
     snapshot_pages = (fun () -> snap.Snapshot.present_pages);
     describe =
       (fun () -> "CRIU-style full-image checkpoint/restore per request (related work)");
+    status = Intf.no_status;
+    kill = Intf.no_kill;
   }

@@ -13,7 +13,11 @@
     per-present-page rate, independent of how little was dirtied — the
     structural flaw Groundhog's dirty-proportional restore fixes. *)
 
-val make : rng:Gh_sim.Rng.t -> Gh_faas.Function_model.spec -> Gh_faas.Strategy_intf.t
+val make :
+  ?fault:Gh_sim.Fault.t ->
+  rng:Gh_sim.Rng.t ->
+  Gh_faas.Function_model.spec ->
+  Gh_faas.Strategy_intf.t
 
 val restore_cost_ns : present_pages:int -> int
 (** The modelled image-restore cost (exposed for tests and tables). *)

@@ -7,7 +7,7 @@ module Snapshot = Groundhog_core.Snapshot
 module Restore = Groundhog_core.Restore
 module Breakdown = Groundhog_core.Breakdown
 
-let make ~rng spec =
+let make ?(fault = Gh_sim.Fault.none) ~rng spec =
   match spec.Fm.wasm_factor with
   | None ->
       Error (Printf.sprintf "%s has no WebAssembly port" spec.Fm.name)
@@ -24,11 +24,12 @@ let make ~rng spec =
       in
       let cost = { Cost.default with Cost.sd_fault_ns = 0 } in
       let inst = Fm.build ~cost scaled in
+      Gh_proc.Process.set_fault (Fm.proc inst) fault;
       let rng = Rng.split rng in
       let init_acct = Account.create () in
       let _warm = Fm.warmup inst init_acct rng in
       Fm.mark_clean inst;
-      let snap = Snapshot.capture init_acct (Fm.proc inst) in
+      let snap = Snapshot.capture_exn init_acct (Fm.proc inst) in
       Gh_mem.Address_space.arm_cow_all (Fm.proc inst).Gh_proc.Process.mem;
       let rt = Fm.runtime inst in
       let init_ns = rt.Gh_faas.Runtime.init_ns + Account.total init_acct in
@@ -36,32 +37,56 @@ let make ~rng spec =
       let invoke req =
         let acct = Account.create () in
         let response = Fm.invoke inst acct rng ~post_restore:false req in
-        (* Reset: the mechanism really restores (so isolation is real),
-           but the charged cost is the remap model, not a pagemap scan. *)
-        let mechanics = Restore.run scratch snap (Fm.proc inst) in
-        Gh_mem.Address_space.arm_cow_all (Fm.proc inst).Gh_proc.Process.mem;
-        let restored = mechanics.Breakdown.pages_restored in
-        let reset_ns =
-          Cost.default.Cost.faasm_reset_base_ns
-          + (restored * Cost.default.Cost.faasm_reset_per_dirty_page_ns)
-        in
-        let breakdown =
+        if response.Fm.hung then
           {
-            Breakdown.zero with
-            Breakdown.copy_ns = reset_ns;
-            total_ns = reset_ns;
-            pages_restored = restored;
-            pages_madvised = mechanics.Breakdown.pages_madvised;
-            syscalls_injected = mechanics.Breakdown.syscalls_injected;
+            Intf.on_path_ns = Account.total acct;
+            post_ns = 0;
+            response;
+            breakdown = None;
+            isolated = false;
+            outcome = Intf.Hung;
           }
-        in
-        {
-          Intf.on_path_ns = Account.total acct;
-          post_ns = reset_ns;
-          response;
-          breakdown = Some breakdown;
-          isolated = true;
-        }
+        else begin
+          (* Reset: the mechanism really restores (so isolation is real),
+             but the charged cost is the remap model, not a pagemap scan. *)
+          match Restore.run scratch snap (Fm.proc inst) with
+          | Error _ ->
+              (* The linear-memory remap failed: the Faaslet's state is
+                 unknown; only the base reset cost was spent. *)
+              {
+                Intf.on_path_ns = Account.total acct;
+                post_ns = Cost.default.Cost.faasm_reset_base_ns;
+                response;
+                breakdown = None;
+                isolated = false;
+                outcome = Intf.Poisoned;
+              }
+          | Ok mechanics ->
+              Gh_mem.Address_space.arm_cow_all (Fm.proc inst).Gh_proc.Process.mem;
+              let restored = mechanics.Breakdown.pages_restored in
+              let reset_ns =
+                Cost.default.Cost.faasm_reset_base_ns
+                + (restored * Cost.default.Cost.faasm_reset_per_dirty_page_ns)
+              in
+              let breakdown =
+                {
+                  Breakdown.zero with
+                  Breakdown.copy_ns = reset_ns;
+                  total_ns = reset_ns;
+                  pages_restored = restored;
+                  pages_madvised = mechanics.Breakdown.pages_madvised;
+                  syscalls_injected = mechanics.Breakdown.syscalls_injected;
+                }
+              in
+              {
+                Intf.on_path_ns = Account.total acct;
+                post_ns = reset_ns;
+                response;
+                breakdown = Some breakdown;
+                isolated = true;
+                outcome = Intf.outcome_of_response response;
+              }
+        end
       in
       Ok
         {
@@ -73,4 +98,6 @@ let make ~rng spec =
             (fun () ->
               Printf.sprintf "FAASM: wasm Faaslet with CoW linear-memory reset (x%.2f native)"
                 factor);
+          status = Intf.no_status;
+          kill = Intf.no_kill;
         }

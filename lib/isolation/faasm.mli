@@ -15,6 +15,7 @@
     ([faasm_reset_base_ns] + dirty pages × [faasm_reset_per_dirty_page_ns]). *)
 
 val make :
+  ?fault:Gh_sim.Fault.t ->
   rng:Gh_sim.Rng.t ->
   Gh_faas.Function_model.spec ->
   (Gh_faas.Strategy_intf.t, string) result

@@ -8,7 +8,7 @@ module Process = Gh_proc.Process
    request; the kernel frees the CoW structures asynchronously. *)
 let reap_ns = 60_000
 
-let make ~rng spec =
+let make ?(fault = Gh_sim.Fault.none) ~rng spec =
   let rt = Gh_faas.Runtime.for_lang spec.Fm.lang in
   if rt.Gh_faas.Runtime.threads > 1 then
     Error
@@ -17,6 +17,7 @@ let make ~rng spec =
          (Gh_faas.Runtime.lang_to_string rt.Gh_faas.Runtime.lang))
   else begin
     let inst = Fm.build spec in
+    Process.set_fault (Fm.proc inst) fault;
     let rng = Rng.split rng in
     let init_acct = Account.create () in
     let _warm = Fm.warmup inst init_acct rng in
@@ -32,14 +33,28 @@ let make ~rng spec =
       let child = Process.fork (Fm.proc inst) acct in
       Account.charge acct rt.Gh_faas.Runtime.fork_extra_ns;
       let response = Fm.invoke_on inst child acct rng ~post_restore:false req in
-      Gh_faas.Actionloop.return_output loop acct ~output_kb:response.Fm.output_kb;
-      {
-        Intf.on_path_ns = Account.total acct;
-        post_ns = reap_ns;
-        response;
-        breakdown = None;
-        isolated = true;
-      }
+      if response.Fm.hung then
+        (* The child is wedged; the parent stays pristine, but no response
+           exists — only the platform timeout frees the request's core. *)
+        {
+          Intf.on_path_ns = Account.total acct;
+          post_ns = 0;
+          response;
+          breakdown = None;
+          isolated = true;
+          outcome = Intf.Hung;
+        }
+      else begin
+        Gh_faas.Actionloop.return_output loop acct ~output_kb:response.Fm.output_kb;
+        {
+          Intf.on_path_ns = Account.total acct;
+          post_ns = reap_ns;
+          response;
+          breakdown = None;
+          isolated = true;
+          outcome = Intf.outcome_of_response response;
+        }
+      end
     in
     Ok
       {
@@ -48,5 +63,7 @@ let make ~rng spec =
         invoke;
         snapshot_pages = (fun () -> 0);
         describe = (fun () -> "fork-per-request isolation (single-threaded runtimes only)");
+        status = Intf.no_status;
+        kill = Intf.no_kill;
       }
   end

@@ -12,6 +12,7 @@
     worker threads. *)
 
 val make :
+  ?fault:Gh_sim.Fault.t ->
   rng:Gh_sim.Rng.t ->
   Gh_faas.Function_model.spec ->
   (Gh_faas.Strategy_intf.t, string) result

@@ -52,49 +52,82 @@ let run_function s req =
   if s.restored_since_last then Account.charge acct rt.Gh_faas.Runtime.restore_warmup_ns;
   let response = Fm.invoke s.inst acct s.rng ~post_restore:s.restored_since_last req in
   Manager.mark_dirty s.mgr;
-  (match s.interposition with
-  | Intercept -> Actionloop.return_output s.loop acct ~output_kb:response.Fm.output_kb
-  | Platform_signal -> ());
+  (if not response.Fm.hung then
+     match s.interposition with
+     | Intercept -> Actionloop.return_output s.loop acct ~output_kb:response.Fm.output_kb
+     | Platform_signal -> ());
   (Account.total acct, response)
-
-let do_restore s =
-  let breakdown = Manager.restore s.mgr in
-  s.restored_since_last <- true;
-  breakdown
 
 let invoke_with_lookahead s req ~next =
   let on_path_ns, response = run_function s req in
   s.last_req <- Some req;
-  let skip =
-    match next with
-    | Some n -> not (Policy.requires_restore s.policy ~prev:(Some req) ~next:n)
-    | None -> false
-  in
-  if skip then begin
-    Manager.skip_restore s.mgr;
-    s.restored_since_last <- false;
-    { Intf.on_path_ns; post_ns = 0; response; breakdown = None; isolated = false }
-  end
-  else begin
-    let breakdown = do_restore s in
+  if response.Fm.hung then
+    (* No output, no restore: the process is wedged mid-request and the
+       manager stays [Dirty] — only a platform timeout (kill + cold
+       restart) can free the container. *)
     {
       Intf.on_path_ns;
-      post_ns = breakdown.Groundhog_core.Breakdown.total_ns;
+      post_ns = 0;
       response;
-      breakdown = Some breakdown;
-      isolated = true;
+      breakdown = None;
+      isolated = false;
+      outcome = Intf.Hung;
     }
+  else begin
+    let skip =
+      match next with
+      | Some n -> not (Policy.requires_restore s.policy ~prev:(Some req) ~next:n)
+      | None -> false
+    in
+    if skip then begin
+      Manager.skip_restore s.mgr;
+      s.restored_since_last <- false;
+      {
+        Intf.on_path_ns;
+        post_ns = 0;
+        response;
+        breakdown = None;
+        isolated = false;
+        outcome = Intf.outcome_of_response response;
+      }
+    end
+    else begin
+      match Manager.restore s.mgr with
+      | Ok breakdown ->
+          s.restored_since_last <- true;
+          {
+            Intf.on_path_ns;
+            post_ns = breakdown.Groundhog_core.Breakdown.total_ns;
+            response;
+            breakdown = Some breakdown;
+            isolated = true;
+            outcome = Intf.outcome_of_response response;
+          }
+      | Error f ->
+          (* The failed attempt still burned manager time; the manager is
+             now [Poisoned] and the container must be killed and rebuilt. *)
+          {
+            Intf.on_path_ns;
+            post_ns = f.Manager.spent_ns;
+            response;
+            breakdown = None;
+            isolated = false;
+            outcome = Intf.Poisoned;
+          }
+    end
   end
 
 let make_with_state ?(policy = Policy.Always_isolate) ?(paranoid = false)
-    ?(mode = Manager.Eager) ?(interposition = Intercept) ~rng spec =
+    ?(mode = Manager.Eager) ?(interposition = Intercept) ?(fault = Gh_sim.Fault.none) ~rng
+    spec =
   let inst = Fm.build spec in
+  Gh_proc.Process.set_fault (Fm.proc inst) fault;
   let rng = Rng.split rng in
   let init_acct = Account.create () in
   let _warm = Fm.warmup inst init_acct rng in
   Fm.mark_clean inst;
   let mgr = Manager.create ~paranoid ~mode (Fm.proc inst) in
-  let snap_ns = Manager.take_snapshot mgr in
+  let snap_ns = Manager.take_snapshot_exn mgr in
   let rt = Fm.runtime inst in
   let init_ns = rt.Gh_faas.Runtime.init_ns + Account.total init_acct + snap_ns in
   let loop = Actionloop.create rt in
@@ -111,10 +144,16 @@ let make_with_state ?(policy = Policy.Always_isolate) ?(paranoid = false)
         (fun () ->
           Printf.sprintf "Groundhog: snapshot/restore isolation (policy %s)"
             (Policy.to_string policy));
+      status = (fun () -> Some (Intf.manager_status mgr));
+      kill =
+        (fun () ->
+          if Manager.status mgr <> Manager.Poisoned then Manager.poison mgr "killed");
     }
   in
   (strategy, s)
 
-let make ?policy ?paranoid ?mode ?interposition ~rng spec =
-  let strategy, _state = make_with_state ?policy ?paranoid ?mode ?interposition ~rng spec in
+let make ?policy ?paranoid ?mode ?interposition ?fault ~rng spec =
+  let strategy, _state =
+    make_with_state ?policy ?paranoid ?mode ?interposition ?fault ~rng spec
+  in
   strategy

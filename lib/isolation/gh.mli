@@ -21,6 +21,7 @@ val make :
   ?paranoid:bool ->
   ?mode:Groundhog_core.Manager.mode ->
   ?interposition:interposition ->
+  ?fault:Gh_sim.Fault.t ->
   rng:Gh_sim.Rng.t ->
   Gh_faas.Function_model.spec ->
   Gh_faas.Strategy_intf.t
@@ -28,7 +29,14 @@ val make :
     {!Gh_faas.Strategy_intf.t.invoke} path still restores eagerly (no
     lookahead), but {!invoke_with_lookahead} exposes the skip. [paranoid]
     verifies each restore bit-for-bit (testing). [mode] selects eager or
-    incremental (§5.5) snapshots; default eager. *)
+    incremental (§5.5) snapshots; default eager. [fault] attaches a fault
+    plan to the function process (default {!Gh_sim.Fault.none}); a fault
+    during the initial snapshot raises [Failure] (a failed container
+    build).
+
+    A failed restore poisons the manager and surfaces as a
+    [Poisoned]-outcome invocation whose [post_ns] is the manager time the
+    attempt burned; a hang surfaces as [Hung] with no restore performed. *)
 
 type state
 (** The strategy's internals, exposed for the policy ablation and tests. *)
@@ -38,6 +46,7 @@ val make_with_state :
   ?paranoid:bool ->
   ?mode:Groundhog_core.Manager.mode ->
   ?interposition:interposition ->
+  ?fault:Gh_sim.Fault.t ->
   rng:Gh_sim.Rng.t ->
   Gh_faas.Function_model.spec ->
   Gh_faas.Strategy_intf.t * state

@@ -4,14 +4,15 @@ module Fm = Gh_faas.Function_model
 module Intf = Gh_faas.Strategy_intf
 module Manager = Groundhog_core.Manager
 
-let make ~rng spec =
+let make ?(fault = Gh_sim.Fault.none) ~rng spec =
   let inst = Fm.build spec in
+  Gh_proc.Process.set_fault (Fm.proc inst) fault;
   let rng = Rng.split rng in
   let init_acct = Account.create () in
   let _warm = Fm.warmup inst init_acct rng in
   Fm.mark_clean inst;
   let mgr = Manager.create (Fm.proc inst) in
-  let snap_ns = Manager.take_snapshot mgr in
+  let snap_ns = Manager.take_snapshot_exn mgr in
   let rt = Fm.runtime inst in
   let init_ns = rt.Gh_faas.Runtime.init_ns + Account.total init_acct + snap_ns in
   let loop = Gh_faas.Actionloop.create rt in
@@ -22,26 +23,52 @@ let make ~rng spec =
     ignore (Gh_faas.Actionloop.offer loop acct ~clean:true req);
     let response = Fm.invoke inst acct rng ~post_restore:false req in
     Manager.mark_dirty mgr;
-    Gh_faas.Actionloop.return_output loop acct ~output_kb:response.Fm.output_kb;
-    (* Restoration is skipped between same-domain requests — but a crashed
-       process is rolled back: the snapshot doubles as crash recovery. *)
-    let post_ns, breakdown =
+    if response.Fm.hung then
+      {
+        Intf.on_path_ns = Account.total acct;
+        post_ns = 0;
+        response;
+        breakdown = None;
+        isolated = false;
+        outcome = Intf.Hung;
+      }
+    else begin
+      Gh_faas.Actionloop.return_output loop acct ~output_kb:response.Fm.output_kb;
+      (* Restoration is skipped between same-domain requests — but a crashed
+         process is rolled back: the snapshot doubles as crash recovery. *)
       if response.Fm.crashed then begin
-        let b = Manager.restore mgr in
-        (b.Groundhog_core.Breakdown.total_ns, Some b)
+        match Manager.restore mgr with
+        | Ok b ->
+            {
+              Intf.on_path_ns = Account.total acct;
+              post_ns = b.Groundhog_core.Breakdown.total_ns;
+              response;
+              breakdown = Some b;
+              isolated = false;
+              outcome = Intf.Crashed;
+            }
+        | Error f ->
+            {
+              Intf.on_path_ns = Account.total acct;
+              post_ns = f.Manager.spent_ns;
+              response;
+              breakdown = None;
+              isolated = false;
+              outcome = Intf.Poisoned;
+            }
       end
       else begin
         Manager.skip_restore mgr;
-        (0, None)
+        {
+          Intf.on_path_ns = Account.total acct;
+          post_ns = 0;
+          response;
+          breakdown = None;
+          isolated = false;
+          outcome = Intf.Completed;
+        }
       end
-    in
-    {
-      Intf.on_path_ns = Account.total acct;
-      post_ns;
-      response;
-      breakdown;
-      isolated = false;
-    }
+    end
   in
   {
     Intf.name = "gh-nop";
@@ -53,4 +80,8 @@ let make ~rng spec =
         | Some snap -> snap.Groundhog_core.Snapshot.present_pages
         | None -> 0);
     describe = (fun () -> "Groundhog without restoration (single security domain)");
+    status = (fun () -> Some (Intf.manager_status mgr));
+    kill =
+      (fun () ->
+        if Manager.status mgr <> Manager.Poisoned then Manager.poison mgr "killed");
   }

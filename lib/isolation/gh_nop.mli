@@ -11,4 +11,8 @@
     overhead is just the proxying. That property {e emerges} from the
     substrate here; it is not special-cased. *)
 
-val make : rng:Gh_sim.Rng.t -> Gh_faas.Function_model.spec -> Gh_faas.Strategy_intf.t
+val make :
+  ?fault:Gh_sim.Fault.t ->
+  rng:Gh_sim.Rng.t ->
+  Gh_faas.Function_model.spec ->
+  Gh_faas.Strategy_intf.t

@@ -13,9 +13,11 @@ val supports : id -> Gh_faas.Function_model.spec -> bool
 
 val make :
   id ->
+  ?fault:Gh_sim.Fault.t ->
   rng:Gh_sim.Rng.t ->
   Gh_faas.Function_model.spec ->
   (Gh_faas.Strategy_intf.t, string) result
 (** Build the strategy for a benchmark; [Error] when the combination is
     unsupported (FORK on multi-threaded runtimes, FAASM without a wasm
-    port). *)
+    port) — or, with a [fault] plan attached, when a fault fires during
+    the container's initial snapshot (a failed build, retryable). *)

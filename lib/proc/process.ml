@@ -7,6 +7,8 @@ type t = {
   mem : As.t;
   mutable threads : Thread.t list;
   mutable next_tid : int;
+  mutable fault : Gh_sim.Fault.t;
+  mutable traced : bool;
 }
 
 let next_pid = ref 1000
@@ -15,11 +17,13 @@ let fresh_pid () =
   incr next_pid;
   !next_pid
 
-let create ?pid ~mem ~n_threads () =
+let create ?pid ?(fault = Gh_sim.Fault.none) ~mem ~n_threads () =
   if n_threads < 1 then invalid_arg "Process.create: need at least one thread";
   let pid = match pid with Some p -> p | None -> fresh_pid () in
   let threads = List.init n_threads (fun i -> Thread.create ~tid:(pid + i)) in
-  { pid; mem; threads; next_tid = pid + n_threads }
+  { pid; mem; threads; next_tid = pid + n_threads; fault; traced = false }
+
+let set_fault t fault = t.fault <- fault
 
 let cost t = As.cost t.mem
 let n_threads t = List.length t.threads
@@ -72,7 +76,7 @@ let fork t acct =
     + (c.Cost.fork_per_present_page_ns * present));
   let child_mem = As.clone_cow t.mem in
   let caller = main_thread t in
-  let child = create ~mem:child_mem ~n_threads:1 () in
+  let child = create ~fault:t.fault ~mem:child_mem ~n_threads:1 () in
   Registers.assign (main_thread child).Thread.regs ~from:caller.Thread.regs;
   child
 

@@ -11,10 +11,22 @@ type t = {
   mem : Gh_mem.Address_space.t;
   mutable threads : Thread.t list;  (** Ascending tid; never empty. *)
   mutable next_tid : int;
+  mutable fault : Gh_sim.Fault.t;
+      (** Fault plan consulted by the kernel-side operations acting on this
+          process (ptrace, procfs, snapshot copies). [Fault.none] by
+          default: zero cost, no random draws. *)
+  mutable traced : bool;
+      (** Whether a {!Ptrace} session currently holds this process. Kept
+          per-process (not in a global table) so recycled pids on distinct
+          simulated nodes cannot collide. *)
 }
 
-val create : ?pid:int -> mem:Gh_mem.Address_space.t -> n_threads:int -> unit -> t
+val create :
+  ?pid:int -> ?fault:Gh_sim.Fault.t -> mem:Gh_mem.Address_space.t -> n_threads:int -> unit -> t
 (** A process with [n_threads] threads (≥ 1). *)
+
+val set_fault : t -> Gh_sim.Fault.t -> unit
+(** Install a fault plan; children created by {!fork} inherit it. *)
 
 val cost : t -> Gh_kernel.Cost.t
 val n_threads : t -> int

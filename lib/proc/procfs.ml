@@ -1,4 +1,5 @@
 module Account = Gh_sim.Account
+module Fault = Gh_sim.Fault
 module Cost = Gh_kernel.Cost
 module As = Gh_mem.Address_space
 module Vma = Gh_mem.Vma
@@ -21,11 +22,13 @@ let entry_of_vma (v : Vma.t) =
     kind = v.Vma.kind;
   }
 
+(* As in Ptrace: a firing fault still charges the attempt's cost. *)
 let read_maps acct (p : Process.t) =
   let vmas = As.vmas p.Process.mem in
   let c = As.cost p.Process.mem in
   Account.charge acct (List.length vmas * c.Cost.maps_read_per_vma_ns);
-  List.map entry_of_vma vmas
+  if Fault.fire p.Process.fault Fault.Procfs_maps then Error Fault.Procfs_maps
+  else Ok (List.map entry_of_vma vmas)
 
 let dirty_sets (p : Process.t) =
   List.map (fun (v : Vma.t) -> (v, Bitmap.copy v.Vma.soft_dirty)) (As.vmas p.Process.mem)
@@ -33,12 +36,14 @@ let dirty_sets (p : Process.t) =
 let scan_soft_dirty acct (p : Process.t) =
   let c = As.cost p.Process.mem in
   Account.charge acct (As.total_pages p.Process.mem * c.Cost.pagemap_scan_per_page_ns);
-  dirty_sets p
+  if Fault.fire p.Process.fault Fault.Procfs_scan then Error Fault.Procfs_scan
+  else Ok (dirty_sets p)
 
 let clear_refs acct (p : Process.t) =
   let c = As.cost p.Process.mem in
   Account.charge acct (As.total_pages p.Process.mem * c.Cost.clear_refs_per_page_ns);
-  As.clear_refs p.Process.mem
+  if Fault.fire p.Process.fault Fault.Procfs_clear then Error Fault.Procfs_clear
+  else Ok (As.clear_refs p.Process.mem)
 
 type statm = { total_pages : int; present_pages : int; dirty_pages : int }
 

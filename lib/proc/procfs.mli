@@ -16,21 +16,23 @@ type maps_entry = {
 (** One line of /proc/pid/maps. [vma_id] is a simulator convenience; the
     restore engine diffs by address range, as the real system must. *)
 
-val read_maps : Gh_sim.Account.t -> Process.t -> maps_entry list
-(** Charged per VMA parsed. Entries ascend by start address. *)
+val read_maps : Gh_sim.Account.t -> Process.t -> (maps_entry list, Gh_sim.Fault.site) result
+(** Charged per VMA parsed (also when a fault fires). Entries ascend by
+    start address. *)
 
 val entry_of_vma : Gh_mem.Vma.t -> maps_entry
 
-val scan_soft_dirty : Gh_sim.Account.t -> Process.t -> (Gh_mem.Vma.t * Gh_mem.Bitmap.t) list
+val scan_soft_dirty :
+  Gh_sim.Account.t -> Process.t -> ((Gh_mem.Vma.t * Gh_mem.Bitmap.t) list, Gh_sim.Fault.site) result
 (** Walk every mapped page's pagemap entry; return a {e copy} of each VMA's
     soft-dirty bitmap. Charged per mapped page — this is the scan whose
     cost grows with address-space size (Fig. 3 right, dashed). *)
 
 val dirty_sets : Process.t -> (Gh_mem.Vma.t * Gh_mem.Bitmap.t) list
 (** The same data, uncharged — what a userfaultfd-tracking manager already
-    has in hand (the Uffd ablation). *)
+    has in hand (the Uffd ablation). Never faults: no kernel crossing. *)
 
-val clear_refs : Gh_sim.Account.t -> Process.t -> unit
+val clear_refs : Gh_sim.Account.t -> Process.t -> (unit, Gh_sim.Fault.site) result
 (** Reset soft-dirty bits over the whole address space; charged per mapped
     page (the kernel walks the page tables). *)
 

@@ -1,4 +1,5 @@
 module Account = Gh_sim.Account
+module Fault = Gh_sim.Fault
 module Cost = Gh_kernel.Cost
 module As = Gh_mem.Address_space
 module Vma = Gh_mem.Vma
@@ -9,42 +10,53 @@ type session = { proc : Process.t; mutable alive : bool }
 exception Already_attached
 exception Not_attached
 
-(* At most one tracer per process, as under Linux. *)
-let attached : (int, unit) Hashtbl.t = Hashtbl.create 16
-
 let cost (s : session) = As.cost s.proc.Process.mem
 
 let check s = if not s.alive then raise Not_attached
 
+(* Fault checks go through [Fault.fire], whose first move is a pointer
+   compare against [Fault.none] — free when faults are disabled. When a
+   fault fires we still charge the operation's cost: the attempt took
+   the time even though it failed. *)
+let fires (p : Process.t) site = Fault.fire p.Process.fault site
+
 let attach acct (p : Process.t) =
-  if Hashtbl.mem attached p.Process.pid then raise Already_attached;
-  Hashtbl.replace attached p.Process.pid ();
+  if p.Process.traced then raise Already_attached;
   let c = As.cost p.Process.mem in
   Account.charge acct
     (c.Cost.ptrace_attach_ns + (Process.n_threads p * c.Cost.ptrace_interrupt_per_thread_ns));
-  List.iter (fun th -> th.Thread.state <- Thread.Stopped) p.Process.threads;
-  { proc = p; alive = true }
+  if fires p Fault.Ptrace_attach then Error Fault.Ptrace_attach
+  else begin
+    p.Process.traced <- true;
+    List.iter (fun th -> th.Thread.state <- Thread.Stopped) p.Process.threads;
+    Ok { proc = p; alive = true }
+  end
 
+(* Idempotent: the recovery path may detach a session that a failed
+   restore already tore down. Never faults — killing must always work. *)
 let detach s acct =
-  check s;
-  let c = cost s in
-  Account.charge acct (Process.n_threads s.proc * c.Cost.ptrace_detach_per_thread_ns);
-  List.iter (fun th -> th.Thread.state <- Thread.Running) s.proc.Process.threads;
-  Hashtbl.remove attached s.proc.Process.pid;
-  s.alive <- false
+  if s.alive then begin
+    let c = cost s in
+    Account.charge acct (Process.n_threads s.proc * c.Cost.ptrace_detach_per_thread_ns);
+    List.iter (fun th -> th.Thread.state <- Thread.Running) s.proc.Process.threads;
+    s.proc.Process.traced <- false;
+    s.alive <- false
+  end
 
-let is_attached (p : Process.t) = Hashtbl.mem attached p.Process.pid
+let is_attached (p : Process.t) = p.Process.traced
 let process s = s.proc
 
 let getregs s acct th =
   check s;
   Account.charge acct (cost s).Cost.ptrace_getregs_per_thread_ns;
-  Registers.copy th.Thread.regs
+  if fires s.proc Fault.Ptrace_regs then Error Fault.Ptrace_regs
+  else Ok (Registers.copy th.Thread.regs)
 
 let setregs s acct th regs =
   check s;
   Account.charge acct (cost s).Cost.ptrace_setregs_per_thread_ns;
-  Registers.assign th.Thread.regs ~from:regs
+  if fires s.proc Fault.Ptrace_regs then Error Fault.Ptrace_regs
+  else Ok (Registers.assign th.Thread.regs ~from:regs)
 
 type injected =
   | Mmap_at of { start_addr : int; n_pages : int; prot : Gh_mem.Prot.t; kind : Vma.kind }
@@ -59,30 +71,33 @@ let inject_syscall s acct call =
   let c = cost s in
   let mem = s.proc.Process.mem in
   Account.charge acct c.Cost.syscall_inject_ns;
-  match call with
-  | Mmap_at { start_addr; n_pages; prot; kind } ->
-      Account.charge acct c.Cost.mmap_ns;
-      Some (As.map_at mem ~start_addr ~n_pages ~prot kind)
-  | Munmap vma ->
-      Account.charge acct c.Cost.munmap_ns;
-      As.unmap mem vma;
-      None
-  | Brk addr ->
-      Account.charge acct c.Cost.brk_ns;
-      As.set_brk mem addr;
-      None
-  | Mremap { vma; n_pages } ->
-      Account.charge acct (c.Cost.mmap_ns + c.Cost.munmap_ns);
-      As.resize_vma mem vma n_pages;
-      None
-  | Mprotect (vma, prot) ->
-      Account.charge acct c.Cost.mprotect_ns;
-      As.mprotect mem vma prot;
-      None
-  | Madvise_dontneed { vma; pos; len } ->
-      Account.charge acct c.Cost.madvise_ns;
-      As.madvise_dontneed mem vma ~pos ~len;
-      None
+  if fires s.proc Fault.Ptrace_inject then Error Fault.Ptrace_inject
+  else
+    Ok
+      (match call with
+      | Mmap_at { start_addr; n_pages; prot; kind } ->
+          Account.charge acct c.Cost.mmap_ns;
+          Some (As.map_at mem ~start_addr ~n_pages ~prot kind)
+      | Munmap vma ->
+          Account.charge acct c.Cost.munmap_ns;
+          As.unmap mem vma;
+          None
+      | Brk addr ->
+          Account.charge acct c.Cost.brk_ns;
+          As.set_brk mem addr;
+          None
+      | Mremap { vma; n_pages } ->
+          Account.charge acct (c.Cost.mmap_ns + c.Cost.munmap_ns);
+          As.resize_vma mem vma n_pages;
+          None
+      | Mprotect (vma, prot) ->
+          Account.charge acct c.Cost.mprotect_ns;
+          As.mprotect mem vma prot;
+          None
+      | Madvise_dontneed { vma; pos; len } ->
+          Account.charge acct c.Cost.madvise_ns;
+          As.madvise_dontneed mem vma ~pos ~len;
+          None)
 
 let write_pages s acct vma ~pos ~len ~src ~src_pos =
   check s;
@@ -92,9 +107,13 @@ let write_pages s acct vma ~pos ~len ~src ~src_pos =
   let c = cost s in
   let setups = if c.Cost.coalesce_runs then 1 else len in
   Account.charge acct ((setups * c.Cost.restore_copy_run_setup_ns) + (len * c.Cost.restore_copy_per_page_ns));
-  for i = 0 to len - 1 do
-    As.poke vma (pos + i) src.(src_pos + i)
-  done
+  if fires s.proc Fault.Ptrace_write then Error Fault.Ptrace_write
+  else begin
+    for i = 0 to len - 1 do
+      As.poke vma (pos + i) src.(src_pos + i)
+    done;
+    Ok ()
+  end
 
 let zero_pages s acct vma ~pos ~len =
   check s;
@@ -104,6 +123,10 @@ let zero_pages s acct vma ~pos ~len =
   let setups = if c.Cost.coalesce_runs then 1 else len in
   Account.charge acct
     (((setups * c.Cost.restore_copy_run_setup_ns) / 2) + (len * c.Cost.stack_zero_per_page_ns));
-  for i = 0 to len - 1 do
-    As.poke vma (pos + i) 0
-  done
+  if fires s.proc Fault.Ptrace_write then Error Fault.Ptrace_write
+  else begin
+    for i = 0 to len - 1 do
+      As.poke vma (pos + i) 0
+    done;
+    Ok ()
+  end

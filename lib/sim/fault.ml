@@ -1,0 +1,120 @@
+(* Deterministic, seeded fault injection.
+
+   A plan maps injection sites to rules. Each site draws from its own
+   [Rng] stream (derived via {!Rng.named_split} from the plan seed), so
+   adding a rule for one site never perturbs the schedule of another,
+   and the same seed + same rules always yield the same fault schedule.
+
+   The distinguished [none] plan is a physical-equality sentinel: every
+   caller first checks [is_none] (one pointer compare) so a disabled
+   fault layer costs nothing and draws no random numbers. *)
+
+type site =
+  | Ptrace_attach
+  | Ptrace_regs
+  | Ptrace_inject
+  | Ptrace_write
+  | Procfs_maps
+  | Procfs_scan
+  | Procfs_clear
+  | Snapshot_copy
+  | Fn_crash
+  | Fn_hang
+
+let site_index = function
+  | Ptrace_attach -> 0
+  | Ptrace_regs -> 1
+  | Ptrace_inject -> 2
+  | Ptrace_write -> 3
+  | Procfs_maps -> 4
+  | Procfs_scan -> 5
+  | Procfs_clear -> 6
+  | Snapshot_copy -> 7
+  | Fn_crash -> 8
+  | Fn_hang -> 9
+
+let n_sites = 10
+
+let all_sites =
+  [ Ptrace_attach; Ptrace_regs; Ptrace_inject; Ptrace_write;
+    Procfs_maps; Procfs_scan; Procfs_clear; Snapshot_copy;
+    Fn_crash; Fn_hang ]
+
+(* Sites exercised by the snapshot/restore machinery (as opposed to the
+   function body itself). A uniform plan over these stresses the
+   fail-closed recovery path. *)
+let restore_sites =
+  [ Ptrace_attach; Ptrace_regs; Ptrace_inject; Ptrace_write;
+    Procfs_maps; Procfs_scan; Procfs_clear; Snapshot_copy ]
+
+let site_name = function
+  | Ptrace_attach -> "ptrace-attach"
+  | Ptrace_regs -> "ptrace-regs"
+  | Ptrace_inject -> "ptrace-inject"
+  | Ptrace_write -> "ptrace-write"
+  | Procfs_maps -> "procfs-maps"
+  | Procfs_scan -> "procfs-scan"
+  | Procfs_clear -> "procfs-clear"
+  | Snapshot_copy -> "snapshot-copy"
+  | Fn_crash -> "fn-crash"
+  | Fn_hang -> "fn-hang"
+
+type rule = { prob : float; nth : int list }
+
+type t = {
+  rules : rule option array;
+  rngs : Rng.t array;
+  seen : int array;
+  hits : int array;
+}
+
+let make_arrays seed =
+  let root = Rng.create seed in
+  let rngs =
+    Array.init n_sites (fun i ->
+        Rng.named_split root (site_name (List.nth all_sites i)))
+  in
+  {
+    rules = Array.make n_sites None;
+    rngs;
+    seen = Array.make n_sites 0;
+    hits = Array.make n_sites 0;
+  }
+
+let none = make_arrays 0
+
+let is_none t = t == none
+
+let create ~seed = make_arrays seed
+
+let set t site ?(prob = 0.0) ?(nth = []) () =
+  if is_none t then invalid_arg "Fault.set: cannot add rules to Fault.none";
+  if prob < 0.0 || prob > 1.0 then invalid_arg "Fault.set: prob outside [0,1]";
+  t.rules.(site_index site) <- Some { prob; nth }
+
+let uniform ~seed ~prob sites =
+  let t = create ~seed in
+  List.iter (fun s -> set t s ~prob ()) sites;
+  t
+
+let fire t site =
+  if is_none t then false
+  else
+    let i = site_index site in
+    match t.rules.(i) with
+    | None -> false
+    | Some r ->
+        t.seen.(i) <- t.seen.(i) + 1;
+        let by_schedule = List.mem t.seen.(i) r.nth in
+        let by_chance = r.prob > 0.0 && Rng.float t.rngs.(i) 1.0 < r.prob in
+        if by_schedule || by_chance then begin
+          t.hits.(i) <- t.hits.(i) + 1;
+          true
+        end
+        else false
+
+let occurrences t site = t.seen.(site_index site)
+let fired t site = t.hits.(site_index site)
+let total_fired t = Array.fold_left ( + ) 0 t.hits
+
+let pp_site ppf s = Format.pp_print_string ppf (site_name s)

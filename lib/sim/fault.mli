@@ -1,0 +1,71 @@
+(** Deterministic, seeded fault injection for the simulated OS.
+
+    A fault plan maps {e injection sites} (ptrace stops, /proc reads,
+    snapshot page copies, function crashes and hangs) to rules: a
+    per-occurrence probability, a list of scheduled occurrence indices,
+    or both. Every site draws from its own {!Rng} stream keyed by the
+    site name, so the schedule of one site never perturbs another and
+    the same seed + rules reproduce the exact same fault sequence.
+
+    The distinguished {!none} plan makes the disabled case free: callers
+    guard every injection point with {!is_none} (a pointer comparison),
+    so with faults off no random numbers are drawn and no state is
+    touched — simulation output is bit-identical to a build without the
+    fault layer. *)
+
+type site =
+  | Ptrace_attach      (** attaching the tracer to a process *)
+  | Ptrace_regs        (** reading or writing register sets *)
+  | Ptrace_inject      (** injecting a syscall into the tracee *)
+  | Ptrace_write       (** writing pages through the tracer *)
+  | Procfs_maps        (** reading /proc/pid/maps *)
+  | Procfs_scan        (** scanning /proc/pid/pagemap soft-dirty bits *)
+  | Procfs_clear       (** writing /proc/pid/clear_refs *)
+  | Snapshot_copy      (** copying a region's pages into the snapshot *)
+  | Fn_crash           (** the function body crashes mid-request *)
+  | Fn_hang            (** the function body never returns *)
+
+type t
+
+val none : t
+(** The empty plan: never fires, draws nothing. *)
+
+val is_none : t -> bool
+(** [is_none t] is a physical-equality test against {!none}; O(1). *)
+
+val create : seed:int -> t
+(** A fresh plan with no rules. Equal seeds give equal schedules once
+    equal rules are installed. *)
+
+val set : t -> site -> ?prob:float -> ?nth:int list -> unit -> unit
+(** [set t site ~prob ~nth ()] installs a rule: the site fires on each
+    occurrence with probability [prob] (default 0), and additionally on
+    the occurrences whose 1-based index appears in [nth] (default []).
+    Raises [Invalid_argument] on {!none} or if [prob] is outside
+    [\[0,1\]]. *)
+
+val uniform : seed:int -> prob:float -> site list -> t
+(** [uniform ~seed ~prob sites] is a plan firing each listed site with
+    probability [prob] per occurrence. *)
+
+val fire : t -> site -> bool
+(** [fire t site] records one occurrence of [site] and reports whether
+    the fault fires. Always [false] for {!none} (and cost-free: no
+    counter bump, no random draw). *)
+
+val occurrences : t -> site -> int
+(** How many times [site] has been reached. *)
+
+val fired : t -> site -> int
+(** How many times [site] has fired. *)
+
+val total_fired : t -> int
+(** Total fired faults across all sites. *)
+
+val all_sites : site list
+val restore_sites : site list
+(** The sites exercised by snapshot/restore machinery (everything except
+    [Fn_crash] and [Fn_hang]). *)
+
+val site_name : site -> string
+val pp_site : Format.formatter -> site -> unit

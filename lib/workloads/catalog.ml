@@ -181,6 +181,7 @@ let spec_of_row r =
     scattered_writes = false;
     service_ops = 0;
     crash_rate = 0.0;
+    hang_rate = 0.0;
   }
 
 let entry_of_row r =

@@ -76,3 +76,13 @@ let draw ?(profile = default_profile) rng =
   }
 
 let draw_many ?profile rng n = List.init n (fun _ -> draw ?profile rng)
+
+(* A function that deadlocks with probability [p]: the recovery-pipeline
+   experiments need a workload whose requests sometimes never return. *)
+let hanging ?(p = 0.01) ?(base = Fm.default_spec) () =
+  if p < 0.0 || p > 1.0 then invalid_arg "Synthetic.hanging: p outside [0,1]";
+  {
+    base with
+    Fm.name = Printf.sprintf "%s-hang" base.Fm.name;
+    hang_rate = p;
+  }

@@ -27,3 +27,13 @@ val draw : ?profile:profile -> Gh_sim.Rng.t -> Gh_faas.Function_model.spec
     runtime's fixed regions. *)
 
 val draw_many : ?profile:profile -> Gh_sim.Rng.t -> int -> Gh_faas.Function_model.spec list
+
+val hanging :
+  ?p:float ->
+  ?base:Gh_faas.Function_model.spec ->
+  unit ->
+  Gh_faas.Function_model.spec
+(** A spec that never returns with probability [p] per invocation
+    (default 0.01, base {!Gh_faas.Function_model.default_spec}): the
+    recovery pipeline's hang-timeout path needs requests that genuinely
+    stall. @raise Invalid_argument if [p] is outside [0, 1]. *)

@@ -24,6 +24,7 @@ let fresh ?(n_threads = 2) () =
   Process.create ~mem:(As.create ~cost ()) ~n_threads ()
 
 let acct () = Account.create ()
+let ok = function Ok v -> v | Error _ -> Alcotest.fail "unexpected fault"
 
 let assert_matches snap p =
   match Verify.state_matches snap p with
@@ -45,7 +46,7 @@ let test_snapshot_contents () =
   let p = fresh () in
   let _arena = warm p in
   let a = acct () in
-  let snap = Snapshot.capture a p in
+  let snap = Snapshot.capture_exn a p in
   check_int "regions = vmas" (As.vma_count p.Process.mem)
     (List.length snap.Snapshot.regions);
   check_int "thread registers captured" (Process.n_threads p)
@@ -67,7 +68,7 @@ let test_snapshot_contents () =
 let test_snapshot_is_a_copy () =
   let p = fresh () in
   ignore (warm p);
-  let snap = Snapshot.capture (acct ()) p in
+  let snap = Snapshot.capture_exn (acct ()) p in
   let heap = As.heap p.Process.mem in
   As.write_page p.Process.mem (acct ()) heap 0 999;
   let r = Option.get (Snapshot.find_region snap ~start_addr:heap.Vma.start_addr) in
@@ -76,7 +77,7 @@ let test_snapshot_is_a_copy () =
 let test_snapshot_memory_words () =
   let p = fresh () in
   ignore (warm p);
-  let snap = Snapshot.capture (acct ()) p in
+  let snap = Snapshot.capture_exn (acct ()) p in
   check_int "buffer covers all mapped pages" (As.total_pages p.Process.mem)
     (Snapshot.memory_words snap)
 
@@ -86,9 +87,9 @@ let test_layout_diff_kinds () =
   let p = fresh () in
   let arena = warm p in
   let extra = Process.sys_mmap p (acct ()) ~n_pages:8 ~prot:Prot.rw Vma.Anon in
-  let snap = Snapshot.capture (acct ()) p in
+  let snap = Snapshot.capture_exn (acct ()) p in
   (* No changes: empty diff. *)
-  let maps = Procfs.read_maps (acct ()) p in
+  let maps = ok (Procfs.read_maps (acct ()) p) in
   Alcotest.(check int) "no changes" 0 (List.length (Layout_diff.diff (acct ()) ~cost snap maps));
   (* One added, one removed, one prot change, one resize. *)
   let a = acct () in
@@ -97,7 +98,7 @@ let test_layout_diff_kinds () =
   ignore added;
   Process.sys_mprotect p a arena Prot.r;
   As.resize_vma p.Process.mem arena 20;
-  let maps = Procfs.read_maps (acct ()) p in
+  let maps = ok (Procfs.read_maps (acct ()) p) in
   let changes = Layout_diff.diff (acct ()) ~cost snap maps in
   let n_added, n_removed, n_resized, n_prot = Layout_diff.count changes in
   check_int "added" 1 n_added;
@@ -110,10 +111,10 @@ let test_layout_diff_kinds () =
 let roundtrip mutate =
   let p = fresh () in
   ignore (warm p);
-  let snap = Snapshot.capture (acct ()) p in
+  let snap = Snapshot.capture_exn (acct ()) p in
   let a = acct () in
   mutate p a;
-  let breakdown = Restore.run (acct ()) snap p in
+  let breakdown = Restore.run_exn (acct ()) snap p in
   assert_matches snap p;
   (breakdown, p, snap)
 
@@ -224,11 +225,11 @@ let test_restore_function_madvised_pages_refilled () =
 let test_restore_grown_vma_dirty_tail () =
   let p = fresh () in
   let arena = warm p in
-  let snap = Snapshot.capture (acct ()) p in
+  let snap = Snapshot.capture_exn (acct ()) p in
   let a = acct () in
   As.resize_vma p.Process.mem arena 24;
   As.dirty_range p.Process.mem a arena ~pos:16 ~len:8 ~value:31337;
-  let b = Restore.run (acct ()) snap p in
+  let b = Restore.run_exn (acct ()) snap p in
   assert_matches snap p;
   let arena = Option.get (As.find_vma_by_id p.Process.mem arena.Vma.id) in
   check_int "arena shrunk back" 16 arena.Vma.n_pages;
@@ -240,14 +241,14 @@ let test_restore_grown_vma_dirty_tail () =
 let test_restore_heap_grown_by_mremap () =
   let p = fresh () in
   ignore (warm p);
-  let snap = Snapshot.capture (acct ()) p in
+  let snap = Snapshot.capture_exn (acct ()) p in
   let a = acct () in
   let heap = As.heap p.Process.mem in
   let old_n = heap.Vma.n_pages in
   As.resize_vma p.Process.mem heap (old_n + 8);
   check_int "brk untouched by mremap growth" snap.Snapshot.brk (As.brk p.Process.mem);
   As.dirty_range p.Process.mem a heap ~pos:old_n ~len:8 ~value:666;
-  ignore (Restore.run (acct ()) snap p);
+  ignore (Restore.run_exn (acct ()) snap p);
   assert_matches snap p;
   let heap = As.heap p.Process.mem in
   check_int "heap shrunk back" old_n heap.Vma.n_pages;
@@ -291,13 +292,13 @@ let test_restore_combined () =
 let test_restore_idempotent () =
   let p = fresh () in
   ignore (warm p);
-  let snap = Snapshot.capture (acct ()) p in
+  let snap = Snapshot.capture_exn (acct ()) p in
   let a = acct () in
   As.dirty_range p.Process.mem a (As.heap p.Process.mem) ~pos:0 ~len:8 ~value:9;
-  ignore (Restore.run (acct ()) snap p);
+  ignore (Restore.run_exn (acct ()) snap p);
   assert_matches snap p;
   (* Restoring an already-clean process must also be exact (and cheap). *)
-  let b = Restore.run (acct ()) snap p in
+  let b = Restore.run_exn (acct ()) snap p in
   assert_matches snap p;
   check_int "nothing to copy" 0 b.Breakdown.pages_restored
 
@@ -318,9 +319,9 @@ let roundtrip_with_cost cost mutate =
   let p = Process.create ~mem ~n_threads:2 () in
   let a = acct () in
   As.dirty_range mem a (As.heap mem) ~pos:0 ~len:32 ~value:7;
-  let snap = Snapshot.capture (acct ()) p in
+  let snap = Snapshot.capture_exn (acct ()) p in
   mutate p (acct ());
-  let breakdown = Restore.run (acct ()) snap p in
+  let breakdown = Restore.run_exn (acct ()) snap p in
   assert_matches snap p;
   breakdown
 
@@ -348,10 +349,10 @@ let test_restore_with_thp_granularity () =
   heap.Vma.fault_gran <- 16;
   let a = acct () in
   As.dirty_range mem a heap ~pos:0 ~len:64 ~value:7;
-  let snap = Snapshot.capture (acct ()) p in
+  let snap = Snapshot.capture_exn (acct ()) p in
   (* Redirty through huge-page faults; restore must still be exact. *)
   As.dirty_range mem a heap ~pos:0 ~len:64 ~value:9;
-  let b = Restore.run (acct ()) snap p in
+  let b = Restore.run_exn (acct ()) snap p in
   assert_matches snap p;
   check_int "all 64 base pages restored" 64 b.Breakdown.pages_restored
 
@@ -365,7 +366,7 @@ let expect_mismatch what snap p =
 let test_verify_detects () =
   let p = fresh () in
   ignore (warm p);
-  let snap = Snapshot.capture (acct ()) p in
+  let snap = Snapshot.capture_exn (acct ()) p in
   assert_matches snap p;
   (* page content *)
   let heap = As.heap p.Process.mem in
@@ -429,7 +430,7 @@ let test_manager_lifecycle () =
      ignore (Manager.restore mgr);
      Alcotest.fail "restore before snapshot should fail"
    with Failure _ -> ());
-  let snap_ns = Manager.take_snapshot mgr in
+  let snap_ns = Manager.take_snapshot_exn mgr in
   check_bool "snapshot cost positive" true (snap_ns > 0);
   check_bool "clean after snapshot" true (Manager.is_clean mgr);
   (try
@@ -439,7 +440,7 @@ let test_manager_lifecycle () =
   Manager.mark_dirty mgr;
   check_bool "dirty after request" false (Manager.is_clean mgr);
   As.dirty_range p.Process.mem (acct ()) (As.heap p.Process.mem) ~pos:0 ~len:4 ~value:1;
-  let b = Manager.restore mgr in
+  let b = Manager.restore_exn mgr in
   check_bool "clean after restore" true (Manager.is_clean mgr);
   check_int "one restore" 1 (Manager.restores_performed mgr);
   check_bool "manager time accumulates" true
@@ -448,6 +449,44 @@ let test_manager_lifecycle () =
   Manager.skip_restore mgr;
   check_bool "policy skip marks clean" true (Manager.is_clean mgr);
   check_int "skip does not restore" 1 (Manager.restores_performed mgr)
+
+
+let test_manager_poison_absorbing () =
+  let p = fresh () in
+  ignore (warm p);
+  let mgr = Manager.create p in
+  ignore (Manager.take_snapshot_exn mgr);
+  Manager.mark_dirty mgr;
+  Manager.poison mgr "killed after hang";
+  check_bool "poisoned" true (Manager.status mgr = Manager.Poisoned);
+  check_bool "not clean" false (Manager.is_clean mgr);
+  (* Absorbing: restore must refuse rather than launder the state. *)
+  (match Manager.restore mgr with
+  | Ok _ -> Alcotest.fail "restore on a poisoned manager must fail"
+  | Error f -> check_bool "cause reported" true (String.length f.Manager.what > 0));
+  check_bool "still poisoned" true (Manager.status mgr = Manager.Poisoned);
+  (try
+     Manager.skip_restore mgr;
+     Alcotest.fail "skip_restore must reject a poisoned container"
+   with Invalid_argument _ -> ());
+  Manager.mark_dirty mgr;
+  check_bool "mark_dirty does not unpoison" true (Manager.status mgr = Manager.Poisoned);
+  check_bool "failure counted" true (Manager.failures mgr >= 1);
+  match Manager.last_failure mgr with
+  | Some _ -> ()
+  | None -> Alcotest.fail "last_failure recorded"
+
+let test_manager_snapshot_fault_poisons () =
+  let p = fresh () in
+  ignore (warm p);
+  (* Fault every snapshot page copy: the capture must fail and poison. *)
+  Gh_proc.Process.set_fault p
+    (Gh_sim.Fault.uniform ~seed:7 ~prob:1.0 [ Gh_sim.Fault.Snapshot_copy ]);
+  let mgr = Manager.create p in
+  (match Manager.take_snapshot mgr with
+  | Ok _ -> Alcotest.fail "faulted capture must not succeed"
+  | Error f -> check_bool "time burned recorded" true (f.Manager.spent_ns >= 0));
+  check_bool "poisoned by capture fault" true (Manager.status mgr = Manager.Poisoned)
 
 let () =
   Alcotest.run "groundhog_core"
@@ -487,5 +526,10 @@ let () =
         ] );
       ("verify", [ Alcotest.test_case "detects every divergence" `Quick test_verify_detects ]);
       ("breakdown", [ Alcotest.test_case "arithmetic" `Quick test_breakdown_arithmetic ]);
-      ("manager", [ Alcotest.test_case "lifecycle" `Quick test_manager_lifecycle ]);
+      ( "manager",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_manager_lifecycle;
+          Alcotest.test_case "poison absorbing" `Quick test_manager_poison_absorbing;
+          Alcotest.test_case "snapshot fault poisons" `Quick test_manager_snapshot_fault_poisons;
+        ] );
     ]

@@ -87,11 +87,16 @@ let constant_strategy ~exec_ns =
         {
           Intf.on_path_ns = exec_ns;
           post_ns = 0;
-          response = { Fm.value = req.Request.id; residue = []; output_kb = 1; service_denials = 0; crashed = false };
+          response =
+            { Fm.value = req.Request.id; residue = []; output_kb = 1; service_denials = 0;
+              crashed = false; hung = false };
           breakdown = None;
           isolated = false;
+          outcome = Intf.Completed;
         });
     snapshot_pages = (fun () -> 0);
+    status = Intf.no_status;
+    kill = Intf.no_kill;
     describe = (fun () -> "constant");
   }
 
@@ -266,7 +271,7 @@ let test_incremental_buffer_below_footprint () =
   let rng = Rng.create 10 in
   ignore (Fm.warmup inst (Gh_sim.Account.create ()) rng);
   Fm.mark_clean inst;
-  let eager = Groundhog_core.Snapshot.capture (Gh_sim.Account.create ()) (Fm.proc inst) in
+  let eager = Groundhog_core.Snapshot.capture_exn (Gh_sim.Account.create ()) (Fm.proc inst) in
   check_bool "eager holds the footprint" true
     (eager.Groundhog_core.Snapshot.present_pages > 1_000);
   let spec2 = spec in
@@ -389,8 +394,11 @@ let test_crash_experiment_shape () =
   let points = Crash_exp.run cfg ~rates:[ 0.0; 0.3 ] ~requests:30 entry in
   match points with
   | [ clean; crashy ] ->
-      check_int "no crashes at rate 0" 0 clean.Crash_exp.crashes;
-      check_bool "crashes at rate 0.3" true (crashy.Crash_exp.crashes > 0);
+      let total_crashes p =
+        List.fold_left (fun n (_, c) -> n + c) 0 p.Crash_exp.crashes
+      in
+      check_int "no crashes at rate 0" 0 (total_crashes clean);
+      check_bool "crashes at rate 0.3" true (total_crashes crashy > 0);
       let occ p s = List.assoc s p.Crash_exp.occupancy_ms in
       check_bool "BASE occupancy grows with crashes" true
         (occ crashy Registry.Base > 2.0 *. occ clean Registry.Base);
@@ -401,7 +409,7 @@ let test_crash_experiment_shape () =
 (* -- Registry -- *)
 
 let test_extras_registry () =
-  check_int "eight extras" 8 (List.length Experiments.extras);
+  check_int "nine extras" 9 (List.length Experiments.extras);
   List.iter
     (fun id ->
       match Experiments.of_string (Experiments.to_string id) with

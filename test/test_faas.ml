@@ -88,7 +88,7 @@ let build_warm ?(spec = small_spec) () =
 let test_model_dirties_expected_pages () =
   let inst, rng = build_warm () in
   let p = Function_model.proc inst in
-  Gh_proc.Procfs.clear_refs (acct ()) p;
+  (match Gh_proc.Procfs.clear_refs (acct ()) p with Ok () -> () | Error _ -> assert false);
   let a = acct () in
   let req = Request.make ~id:1 ~principal:alice () in
   ignore (Function_model.invoke inst a rng ~post_restore:false req);
@@ -264,11 +264,16 @@ let strategy_of_constant ~exec_ns ~post_ns =
         {
           Strategy_intf.on_path_ns = exec_ns;
           post_ns;
-          response = { Function_model.value = req.Request.id; residue = []; output_kb = 1; service_denials = 0; crashed = false };
+          response =
+            { Function_model.value = req.Request.id; residue = []; output_kb = 1;
+              service_denials = 0; crashed = false; hung = false };
           breakdown = None;
           isolated = post_ns > 0;
+          outcome = Strategy_intf.Completed;
         });
     snapshot_pages = (fun () -> 0);
+    status = Strategy_intf.no_status;
+    kill = Strategy_intf.no_kill;
     describe = (fun () -> "constant-latency test strategy");
   }
 

@@ -25,11 +25,16 @@ let strategy ~exec_ms ~init_ms ~buffer_pages =
         {
           Intf.on_path_ns = Time_ns.of_ms exec_ms;
           post_ns = 0;
-          response = { Fm.value = req.Request.id; residue = []; output_kb = 1; service_denials = 0; crashed = false };
+          response =
+            { Fm.value = req.Request.id; residue = []; output_kb = 1; service_denials = 0;
+              crashed = false; hung = false };
           breakdown = None;
           isolated = false;
+          outcome = Intf.Completed;
         });
     snapshot_pages = (fun () -> buffer_pages);
+    status = Intf.no_status;
+    kill = Intf.no_kill;
     describe = (fun () -> "fixed-cost test strategy");
   }
 
@@ -44,6 +49,7 @@ let make_node ?(cores = 2) ?(memory_mb = 64) ?(idle_timeout_s = 5.0) ?trace engi
       memory_mb;
       idle_timeout = Time_ns.of_sec idle_timeout_s;
       dispatch_ns = 0;
+      recovery = None;
     }
     ~make_strategy:strategy_of
 

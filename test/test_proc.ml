@@ -18,6 +18,7 @@ let fresh ?(n_threads = 1) () =
   Process.create ~mem:(As.create ~cost ()) ~n_threads ()
 
 let acct () = Account.create ()
+let ok = function Ok v -> v | Error _ -> Alcotest.fail "unexpected fault"
 
 (* -- Registers / threads -- *)
 
@@ -103,7 +104,7 @@ let test_fork_multithreaded_keeps_only_caller () =
 let test_procfs_maps () =
   let p = fresh () in
   let a = acct () in
-  let maps = Procfs.read_maps a p in
+  let maps = ok (Procfs.read_maps a p) in
   check_int "entries match vmas" (As.vma_count p.Process.mem) (List.length maps);
   check_int "charged per vma" (List.length maps * cost.Cost.maps_read_per_vma_ns)
     (Account.total a);
@@ -121,7 +122,7 @@ let test_procfs_scan_and_clear () =
   let heap = As.heap p.Process.mem in
   As.dirty_range p.Process.mem a heap ~pos:2 ~len:5 ~value:1;
   let before = Account.total a in
-  let sets = Procfs.scan_soft_dirty a p in
+  let sets = ok (Procfs.scan_soft_dirty a p) in
   check_int "scan charged per mapped page"
     (As.total_pages p.Process.mem * cost.Cost.pagemap_scan_per_page_ns)
     (Account.total a - before);
@@ -129,7 +130,7 @@ let test_procfs_scan_and_clear () =
   check_int "sees the dirty pages" 5 dirty_total;
   (* The returned bitmaps are copies: clearing afterwards must not mutate
      what the scan returned. *)
-  Procfs.clear_refs a p;
+  ok (Procfs.clear_refs a p);
   let dirty_after = List.fold_left (fun n (_, d) -> n + Gh_mem.Bitmap.count d) 0 sets in
   check_int "scan result is a snapshot" 5 dirty_after;
   check_int "process itself is clean" 0 (As.dirty_pages p.Process.mem)
@@ -148,7 +149,7 @@ let test_procfs_statm () =
 let test_ptrace_attach_detach () =
   let p = fresh ~n_threads:2 () in
   let a = acct () in
-  let s = Ptrace.attach a p in
+  let s = ok (Ptrace.attach a p) in
   check_bool "attached" true (Ptrace.is_attached p);
   List.iter
     (fun th -> check_bool "stopped" true (th.Thread.state = Thread.Stopped))
@@ -165,10 +166,13 @@ let test_ptrace_attach_detach () =
   List.iter
     (fun th -> check_bool "running" true (th.Thread.state = Thread.Running))
     p.Process.threads;
-  try
-    Ptrace.detach s a;
-    Alcotest.fail "dead session should raise"
-  with Ptrace.Not_attached -> ()
+  (* Idempotent: detaching a dead session is a free no-op — the recovery
+     path may kill a container whose restore already tore the session
+     down. *)
+  let before = Account.total a in
+  Ptrace.detach s a;
+  check_int "second detach is free" before (Account.total a);
+  check_bool "still detached" false (Ptrace.is_attached p)
 
 let test_ptrace_regs () =
   let p = fresh () in
@@ -176,23 +180,24 @@ let test_ptrace_regs () =
   let rng = Rng.create 2 in
   let th = Process.main_thread p in
   Registers.scramble th.Thread.regs rng;
-  let s = Ptrace.attach a p in
-  let saved = Ptrace.getregs s a th in
+  let s = ok (Ptrace.attach a p) in
+  let saved = ok (Ptrace.getregs s a th) in
   check_bool "copy equal" true (Registers.equal saved th.Thread.regs);
   Registers.scramble th.Thread.regs rng;
   check_bool "diverged" false (Registers.equal saved th.Thread.regs);
-  Ptrace.setregs s a th saved;
+  ok (Ptrace.setregs s a th saved);
   check_bool "restored" true (Registers.equal saved th.Thread.regs);
   Ptrace.detach s a
 
 let test_ptrace_inject_syscalls () =
   let p = fresh () in
   let a = acct () in
-  let s = Ptrace.attach a p in
+  let s = ok (Ptrace.attach a p) in
   let v =
-    Ptrace.inject_syscall s a
-      (Ptrace.Mmap_at
-         { start_addr = 0x5000_0000_0000; n_pages = 4; prot = Prot.rw; kind = Vma.Anon })
+    ok
+      (Ptrace.inject_syscall s a
+         (Ptrace.Mmap_at
+            { start_addr = 0x5000_0000_0000; n_pages = 4; prot = Prot.rw; kind = Vma.Anon }))
   in
   check_bool "mmap returns vma" true (v <> None);
   check_int "mapped" 5 (As.vma_count p.Process.mem);
@@ -210,17 +215,17 @@ let test_ptrace_write_pages_costs () =
   let p = fresh () in
   let a = acct () in
   let heap = As.heap p.Process.mem in
-  let s = Ptrace.attach a p in
+  let s = ok (Ptrace.attach a p) in
   let src = Array.init 64 (fun i -> i + 100) in
   let before = Account.total a in
-  Ptrace.write_pages s a heap ~pos:0 ~len:64 ~src ~src_pos:0;
+  ok (Ptrace.write_pages s a heap ~pos:0 ~len:64 ~src ~src_pos:0);
   check_int "coalesced: one setup + per-page"
     (cost.Cost.restore_copy_run_setup_ns + (64 * cost.Cost.restore_copy_per_page_ns))
     (Account.total a - before);
   check_int "data written" 100 (As.peek heap 0);
   check_int "data written (last)" 163 (As.peek heap 63);
   (try
-     Ptrace.write_pages s a heap ~pos:0 ~len:10_000_000 ~src ~src_pos:0;
+     ignore (Ptrace.write_pages s a heap ~pos:0 ~len:10_000_000 ~src ~src_pos:0);
      Alcotest.fail "bounds should raise"
    with Invalid_argument _ -> ());
   Ptrace.detach s a
@@ -230,8 +235,8 @@ let test_ptrace_zero_pages () =
   let a = acct () in
   let heap = As.heap p.Process.mem in
   As.dirty_range p.Process.mem a heap ~pos:0 ~len:4 ~value:9;
-  let s = Ptrace.attach a p in
-  Ptrace.zero_pages s a heap ~pos:0 ~len:4;
+  let s = ok (Ptrace.attach a p) in
+  ok (Ptrace.zero_pages s a heap ~pos:0 ~len:4);
   check_int "zeroed" 0 (As.peek heap 0);
   Ptrace.detach s a
 
@@ -240,10 +245,10 @@ let test_no_coalescing_profile () =
   let p = Process.create ~mem:m ~n_threads:1 () in
   let a = acct () in
   let heap = As.heap m in
-  let s = Ptrace.attach a p in
+  let s = ok (Ptrace.attach a p) in
   let src = Array.make 16 1 in
   let before = Account.total a in
-  Ptrace.write_pages s a heap ~pos:0 ~len:16 ~src ~src_pos:0;
+  ok (Ptrace.write_pages s a heap ~pos:0 ~len:16 ~src ~src_pos:0);
   check_int "setup charged per page"
     ((16 * Cost.no_coalescing.Cost.restore_copy_run_setup_ns)
     + (16 * Cost.no_coalescing.Cost.restore_copy_per_page_ns))

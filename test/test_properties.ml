@@ -128,11 +128,11 @@ let restore_exactness_prop ops =
   As.dirty_range mem a (As.heap mem) ~pos:0 ~len:64 ~value:7;
   let warm_map = As.map mem ~n_pages:8 ~prot:Prot.rw Vma.Anon in
   As.dirty_range mem a warm_map ~pos:0 ~len:8 ~value:8;
-  let snap = Snapshot.capture (Account.create ()) p in
+  let snap = Snapshot.capture_exn (Account.create ()) p in
   (* Random mutations, then restore. *)
   let mapped = ref [] in
   List.iter (apply_op p mapped) ops;
-  ignore (Restore.run (Account.create ()) snap p);
+  ignore (Restore.run_exn (Account.create ()) snap p);
   match Verify.state_matches snap p with
   | Ok () -> true
   | Error m ->
@@ -157,8 +157,8 @@ let incremental_matches_eager =
       As.dirty_range mem a warm_map ~pos:0 ~len:8 ~value:8;
       (* Eager reference first (it arms nothing persistent), then the
          incremental capture installs the salvage hook. *)
-      let reference = Snapshot.capture (Account.create ()) p in
-      let incr = Incremental.capture (Account.create ()) p in
+      let reference = Snapshot.capture_exn (Account.create ()) p in
+      let incr = Incremental.capture_exn (Account.create ()) p in
       let mapped = ref [] in
       List.iter (apply_op p mapped) ops;
       ignore (Incremental.restore (Account.create ()) incr p);
@@ -174,13 +174,13 @@ let restore_twice =
     (fun ops ->
       let mem = As.create ~heap_pages:200 ~cost () in
       let p = Process.create ~mem ~n_threads:1 () in
-      let snap = Snapshot.capture (Account.create ()) p in
+      let snap = Snapshot.capture_exn (Account.create ()) p in
       let mapped = ref [] in
       List.iter (apply_op p mapped) ops;
-      ignore (Restore.run (Account.create ()) snap p);
+      ignore (Restore.run_exn (Account.create ()) snap p);
       let mapped = ref [] in
       List.iter (apply_op p mapped) ops;
-      ignore (Restore.run (Account.create ()) snap p);
+      ignore (Restore.run_exn (Account.create ()) snap p);
       Verify.state_matches snap p = Ok ())
 
 (* After a restore, no page anywhere holds a request's secret. *)

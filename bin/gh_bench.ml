@@ -356,9 +356,64 @@ let fault_cmd =
   Cmd.v (Cmd.info "fault" ~doc)
     Term.(ret (const run $ profile_arg $ seed_arg $ bench_arg $ smoke_arg $ n_arg))
 
+(* -- overload: deadlines + bounded admission + brownout vs a raw queue -- *)
+
+let overload_cmd =
+  let bench_arg =
+    Arg.(
+      value & opt string "deltablue (p)"
+      & info [ "benchmark"; "b" ] ~docv:"BENCHMARK" ~doc:"Benchmark to overload.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag & info [ "smoke" ] ~doc:"Tiny CI run: two utilization points, few requests.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 240
+      & info [ "n" ] ~doc:"Arrivals per (strategy, protection, utilization) cell.")
+  in
+  let run profile seed bench smoke n =
+    let cfg = with_seed profile seed in
+    match Gh_workloads.Catalog.find bench with
+    | None -> `Error (false, Printf.sprintf "benchmark %S not in catalog" bench)
+    | Some entry ->
+        let utils = if smoke then [ 0.8; 1.6 ] else Gh_harness.Overload_exp.default_utils in
+        let requests = if smoke then 90 else n in
+        let points = Gh_harness.Overload_exp.run cfg ~utils ~requests entry in
+        Gh_harness.Overload_exp.print Format.std_formatter entry points;
+        let violations = Gh_harness.Overload_exp.violations points in
+        if violations > 0 then
+          `Error
+            ( false,
+              Printf.sprintf
+                "OVERLOAD CONTRACT VIOLATION: %d breach(es) — non-clean serve, leaked \
+                 residue, shed request consuming work, or uncounted late completion"
+                violations )
+        else `Ok ()
+  in
+  let doc =
+    "Sweep offered load past capacity with overload protection (deadlines, bounded EDF \
+     admission, brownout) on and off; exits nonzero if any request was served by a \
+     non-clean process, a shed request consumed work, or a late completion went \
+     uncounted."
+  in
+  Cmd.v (Cmd.info "overload" ~doc)
+    Term.(ret (const run $ profile_arg $ seed_arg $ bench_arg $ smoke_arg $ n_arg))
+
 let main =
   let doc = "Groundhog reproduction: regenerate the paper's evaluation." in
   Cmd.group (Cmd.info "gh-bench" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; catalog_cmd; invoke_cmd; compare_cmd; security_cmd; trace_cmd; fault_cmd ]
+    [
+      run_cmd;
+      list_cmd;
+      catalog_cmd;
+      invoke_cmd;
+      compare_cmd;
+      security_cmd;
+      trace_cmd;
+      fault_cmd;
+      overload_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -16,4 +16,10 @@ done
 # End-to-end smoke sweep. The subcommand exits nonzero if any request was
 # served by a non-clean process (the fail-closed gate).
 dune exec bin/gh_bench.exe -- fault --smoke --seed 42 >/dev/null
+
+# Overload smoke sweep. The subcommand exits nonzero on any overload
+# contract breach: a request completing after its deadline without being
+# counted a miss, a shed request that consumed restore work, a non-clean
+# serve, or cross-principal residue.
+dune exec bin/gh_bench.exe -- overload --smoke --seed 42 >/dev/null
 echo "ci/check.sh: OK"

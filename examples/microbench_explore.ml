@@ -66,6 +66,7 @@ let gh_with_cost cost spec =
     describe = (fun () -> "gh with a variant cost model");
     status = Intf.no_status;
     kill = Intf.no_kill;
+    degrade = Intf.no_degrade;
   }
 
 let () =

@@ -20,7 +20,10 @@ type t = {
   rng : Rng.t;
   invoker : Invoker.t;
   overhead : overhead_model;
+  ttl_ns : Time_ns.t option;
   mutable completions : int;
+  mutable shed : int;
+  mutable on_shed : Request.t -> unit;
 }
 
 type completion = {
@@ -30,16 +33,42 @@ type completion = {
   invoker_ns : Time_ns.t;
 }
 
-let create ?(overhead = default_overhead) engine ~rng invoker =
-  { engine; rng = Rng.split rng; invoker; overhead; completions = 0 }
+let create ?(overhead = default_overhead) ?ttl_ns engine ~rng invoker =
+  (match ttl_ns with
+  | Some ttl when ttl <= 0 -> invalid_arg "Controller.create: ttl_ns must be positive"
+  | _ -> ());
+  {
+    engine;
+    rng = Rng.split rng;
+    invoker;
+    overhead;
+    ttl_ns;
+    completions = 0;
+    shed = 0;
+    on_shed = ignore;
+  }
 
 let submit t req ~on_complete =
   let t0 = Engine.now t.engine in
+  (* The deadline is stamped exactly once, at the front door; requests
+     arriving with one already set keep it. *)
+  let req =
+    match (t.ttl_ns, req.Request.deadline) with
+    | Some ttl, None -> Request.with_deadline req (t0 + ttl)
+    | _ -> req
+  in
   (* Authentication, routing and the trip to the invoker VM. *)
   let front = sample_overhead t.overhead t.rng * 6 / 10 in
   let back = sample_overhead t.overhead t.rng * 4 / 10 in
   Engine.schedule t.engine ~after:front (fun () ->
-      Invoker.submit t.invoker req ~on_response:(fun request invocation ->
+      (* The front-door overhead alone can kill a tight deadline: shed here
+         rather than ship a dead request to the invoker. *)
+      if Request.expired req ~now:(Engine.now t.engine) then begin
+        t.shed <- t.shed + 1;
+        t.on_shed req
+      end
+      else
+        Invoker.submit t.invoker req ~on_response:(fun request invocation ->
           Engine.schedule t.engine ~after:back (fun () ->
               t.completions <- t.completions + 1;
               on_complete
@@ -51,3 +80,5 @@ let submit t req ~on_complete =
                 })))
 
 let completions t = t.completions
+let shed t = t.shed
+let set_on_shed t f = t.on_shed <- f

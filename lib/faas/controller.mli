@@ -25,10 +25,28 @@ type completion = {
 }
 
 val create :
-  ?overhead:overhead_model -> Gh_sim.Engine.t -> rng:Gh_sim.Rng.t -> Invoker.t -> t
+  ?overhead:overhead_model ->
+  ?ttl_ns:Gh_sim.Time_ns.t ->
+  Gh_sim.Engine.t ->
+  rng:Gh_sim.Rng.t ->
+  Invoker.t ->
+  t
+(** [ttl_ns] enables deadlines: each accepted request without one is
+    stamped [now + ttl_ns], exactly once, at the front door; the deadline
+    then propagates through invoker and container dispatch, each of which
+    sheds the request if it has already expired. Omitted (the default), no
+    deadline is ever stamped — the pre-overload-protection behavior,
+    bit-identical. *)
 
 val submit : t -> Request.t -> on_complete:(completion -> unit) -> unit
 (** Accept a request at the endpoint now; the completion callback fires when
-    the response has traversed the platform back to the client. *)
+    the response has traversed the platform back to the client. Requests
+    already expired after the front-door overhead are shed (no completion;
+    see {!set_on_shed}). *)
 
 val completions : t -> int
+
+val shed : t -> int
+(** Requests the controller itself shed at the front door. *)
+
+val set_on_shed : t -> (Request.t -> unit) -> unit

@@ -2,11 +2,6 @@ module Engine = Gh_sim.Engine
 module Rng = Gh_sim.Rng
 module Time_ns = Gh_sim.Time_ns
 
-type pending = {
-  req : Request.t;
-  on_response : Request.t -> Strategy_intf.invocation -> unit;
-}
-
 type recovery = {
   container : Container.recovery;
   max_attempts : int;
@@ -28,7 +23,8 @@ type recovery_stats = {
 type t = {
   engine : Engine.t;
   containers : Container.t array;
-  queue : pending Queue.t;
+  (* Payload: the request's response callback. *)
+  queue : (Request.t -> Strategy_intf.invocation -> unit) Admission.t;
   dispatch_ns : Gh_sim.Time_ns.t;
   init_ns : Gh_sim.Time_ns.t;
   recovery : recovery option;
@@ -41,6 +37,7 @@ type t = {
   mutable failed_requests : int;
   mutable quarantined : int;
   mutable on_failed : Request.t -> unit;
+  mutable on_shed : Admission.reason -> Request.t -> unit;
 }
 
 (* A cold container pays its one-time initialization (runtime boot,
@@ -77,9 +74,15 @@ let rec submit t req ~on_response =
   (match t.recovery with
   | Some _ -> Hashtbl.replace t.inflight req.Request.id on_response
   | None -> ());
-  match find_idle t with
-  | Some c -> Container.submit ~dispatch_ns:t.dispatch_ns c req ~on_response
-  | None -> Queue.add { req; on_response } t.queue
+  let now = Engine.now t.engine in
+  if Request.expired req ~now then
+    (* Dead on arrival: [admit] rejects it at the door (never enqueued) and
+       fires the shed hooks — the cheapest possible rejection. *)
+    ignore (Admission.admit t.queue ~now req on_response)
+  else
+    match find_idle t with
+    | Some c -> Container.submit ~dispatch_ns:t.dispatch_ns c req ~on_response
+    | None -> ignore (Admission.admit t.queue ~now req on_response)
 
 and find_idle t = Array.find_opt Container.is_idle t.containers
 
@@ -113,8 +116,8 @@ let handle_failure t r c failure (req : Request.t) =
             | None -> ())
       end
 
-let create ?(prestarted = true) ?trace ?recovery ?rng engine ~n_containers ~dispatch_ns
-    ~make_strategy =
+let create ?(prestarted = true) ?trace ?recovery ?rng ?(admission = Admission.unbounded)
+    engine ~n_containers ~dispatch_ns ~make_strategy =
   if n_containers < 1 then invalid_arg "Invoker.create: need at least one container";
   let strategies = Array.init n_containers make_strategy in
   let strategies = if prestarted then strategies else Array.map with_cold_start strategies in
@@ -141,11 +144,14 @@ let create ?(prestarted = true) ?trace ?recovery ?rng engine ~n_containers ~disp
   let init_ns =
     Array.fold_left (fun n (s : Strategy_intf.t) -> n + s.Strategy_intf.init_ns) 0 strategies
   in
+  (* The shed hook needs [t], which needs the queue: tie the knot via a
+     forward reference. *)
+  let shed_hook = ref (fun (_ : Admission.reason) (_ : Request.t) _ -> ()) in
   let t =
     {
       engine;
       containers;
-      queue = Queue.create ();
+      queue = Admission.create ~on_shed:(fun r rq p -> !shed_hook r rq p) admission;
       dispatch_ns;
       init_ns;
       recovery;
@@ -157,13 +163,21 @@ let create ?(prestarted = true) ?trace ?recovery ?rng engine ~n_containers ~disp
       failed_requests = 0;
       quarantined = 0;
       on_failed = ignore;
+      on_shed = (fun _ _ -> ());
     }
   in
+  (shed_hook :=
+     fun reason req _on_response ->
+       (* A shed request will never be dispatched again: drop its retry
+          bookkeeping so the tables don't leak. *)
+       Hashtbl.remove t.attempts req.Request.id;
+       Hashtbl.remove t.inflight req.Request.id;
+       t.on_shed reason req);
   Array.iter
     (fun c ->
       Container.set_on_idle c (fun c ->
-          match Queue.take_opt t.queue with
-          | Some { req; on_response } ->
+          match Admission.take t.queue ~now:(Engine.now t.engine) with
+          | Some (req, on_response) ->
               Container.submit ~dispatch_ns:t.dispatch_ns c req ~on_response
           | None -> ());
       (match recovery with
@@ -174,7 +188,11 @@ let create ?(prestarted = true) ?trace ?recovery ?rng engine ~n_containers ~disp
   t
 
 let set_on_failed t f = t.on_failed <- f
-let queue_length t = Queue.length t.queue
+let set_on_shed t f = t.on_shed <- f
+let queue_length t = Admission.length t.queue
+let queue_high_water t = Admission.high_water t.queue
+let shed_count t = Admission.shed_count t.queue
+let expired_count t = Admission.expired_count t.queue
 let completed t = Array.fold_left (fun n c -> n + Container.completed c) 0 t.containers
 let containers t = t.containers
 let init_ns t = t.init_ns

@@ -3,7 +3,11 @@
     VM; Groundhog lives inside its containers).
 
     One container per core, as in the paper's throughput setup. Requests
-    queue FIFO when every container is busy or restoring.
+    queue through an {!Admission} buffer when every container is busy or
+    restoring — unbounded FIFO by default (the pre-overload-protection
+    behavior, bit-identical), bounded with a shedding policy when the
+    deployment opts in. Requests whose deadline has already passed are
+    rejected at submit and purged at every dequeue.
 
     With [recovery] enabled the invoker drives the fail-closed pipeline:
     hung requests are killed at the container timeout and retried under
@@ -37,6 +41,7 @@ val create :
   ?trace:Gh_sim.Trace.t ->
   ?recovery:recovery ->
   ?rng:Gh_sim.Rng.t ->
+  ?admission:Admission.config ->
   Gh_sim.Engine.t ->
   n_containers:int ->
   dispatch_ns:Gh_sim.Time_ns.t ->
@@ -50,7 +55,9 @@ val create :
     timeline before serving its first request — container cold starts.
     [rng] jitters the backoff delays; omit it for fully deterministic
     pacing. Without [recovery], hangs wedge their container and poisoned
-    containers are retired (fail closed, no replacement). *)
+    containers are retired (fail closed, no replacement). [admission]
+    (default {!Admission.unbounded}) bounds the wait queue and selects the
+    shedding policy. *)
 
 val submit :
   t -> Request.t -> on_response:(Request.t -> Strategy_intf.invocation -> unit) -> unit
@@ -63,7 +70,22 @@ val with_cold_start : Strategy_intf.t -> Strategy_intf.t
 val set_on_failed : t -> (Request.t -> unit) -> unit
 (** Called when a request is abandoned after its last retry. *)
 
+val set_on_shed : t -> (Admission.reason -> Request.t -> unit) -> unit
+(** Called once per shed request (queue overflow, expiry, or dead on
+    arrival); the request will never produce a response. *)
+
 val queue_length : t -> int
+
+val queue_high_water : t -> int
+(** Largest backlog the admission queue ever held. *)
+
+val shed_count : t -> int
+(** Requests dropped for capacity. *)
+
+val expired_count : t -> int
+(** Requests dropped because their deadline passed (in queue or on
+    arrival). *)
+
 val completed : t -> int
 val containers : t -> Container.t array
 val init_ns : t -> Gh_sim.Time_ns.t

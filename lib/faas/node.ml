@@ -2,6 +2,7 @@ module Engine = Gh_sim.Engine
 module Time_ns = Gh_sim.Time_ns
 module Trace = Gh_sim.Trace
 module Rng = Gh_sim.Rng
+module Reservoir = Gh_sim.Reservoir
 
 type config = {
   total_cores : int;
@@ -9,6 +10,8 @@ type config = {
   idle_timeout : Time_ns.t;
   dispatch_ns : Time_ns.t;
   recovery : Invoker.recovery option;
+  admission : Admission.config;
+  brownout : Brownout.config option;
 }
 
 let default_config =
@@ -18,7 +21,15 @@ let default_config =
     idle_timeout = Time_ns.of_sec 60.0;
     dispatch_ns = Time_ns.of_us 800.0;
     recovery = None;
+    admission = Admission.unbounded;
+    brownout = None;
   }
+
+(* Per-request latency samples kept per function. Far above what any test
+   or experiment reads exactly (they stay below capacity, where the
+   reservoir is an exact newest-first list), yet bounded, so week-long
+   open-loop runs can't grow without limit. *)
+let e2e_reservoir_capacity = 8192
 
 type slot = {
   container : Container.t;
@@ -27,7 +38,11 @@ type slot = {
   mutable alive : bool;
 }
 
-type pending = { req : Request.t; submitted : Time_ns.t }
+type pending = {
+  req : Request.t;
+  submitted : Time_ns.t;
+  on_complete : (Request.t -> Strategy_intf.invocation -> unit) option;
+}
 
 type fn_stats = {
   fn_name : string;
@@ -41,21 +56,27 @@ type fn_stats = {
   failed_requests : int;
   quarantined : int;
   poisonings : int;
+  shed : int;
+  expired : int;
+  deadline_misses : int;
+  queue_high_water : int;
 }
 
 type pool = {
   fn_name : string;
   spec : Function_model.spec;
   mutable slots : slot list;
-  queue : pending Queue.t;
+  queue : pending Admission.t;
   mutable completed : int;
   mutable cold_starts : int;
   mutable evictions : int;
-  mutable e2e_ms : float list;
+  e2e : Reservoir.t;
   mutable timeouts : int;
   mutable failed_requests : int;
   mutable quarantined : int;
   mutable poisonings : int;
+  mutable brownout_shed : int;  (* arrivals dropped by the priority floor *)
+  mutable deadline_misses : int;  (* completions delivered past deadline *)
   attempts : (int, int) Hashtbl.t;  (* req id -> tries, recovery only *)
 }
 
@@ -66,10 +87,12 @@ type t = {
   rng : Rng.t option;
   make_strategy : string -> Function_model.spec -> Strategy_intf.t;
   pools : (string, pool) Hashtbl.t;
+  brownout : Brownout.t option;
   mutable used_mb : int;
   mutable high_water_mb : int;
   mutable busy : int;
   mutable next_container_id : int;
+  mutable on_shed : Admission.reason -> Request.t -> unit;
 }
 
 let create ?trace ?rng engine config ~make_strategy =
@@ -80,10 +103,12 @@ let create ?trace ?rng engine config ~make_strategy =
     rng;
     make_strategy;
     pools = Hashtbl.create 16;
+    brownout = Option.map Brownout.create config.brownout;
     used_mb = 0;
     high_water_mb = 0;
     busy = 0;
     next_container_id = 0;
+    on_shed = (fun _ _ -> ());
   }
 
 let trace_emit t what detail =
@@ -93,22 +118,34 @@ let trace_emit t what detail =
 
 let register t ~name spec =
   if Hashtbl.mem t.pools name then invalid_arg "Node.register: duplicate function";
-  Hashtbl.replace t.pools name
+  let pool_on_shed = ref (fun (_ : Admission.reason) (_ : Request.t) (_ : pending) -> ()) in
+  let pool =
     {
       fn_name = name;
       spec;
       slots = [];
-      queue = Queue.create ();
+      queue =
+        Admission.create ~on_shed:(fun r rq p -> !pool_on_shed r rq p) t.config.admission;
       completed = 0;
       cold_starts = 0;
       evictions = 0;
-      e2e_ms = [];
+      e2e = Reservoir.create ~seed:(Hashtbl.hash ("node-e2e", name)) e2e_reservoir_capacity;
       timeouts = 0;
       failed_requests = 0;
       quarantined = 0;
       poisonings = 0;
+      brownout_shed = 0;
+      deadline_misses = 0;
       attempts = Hashtbl.create 16;
     }
+  in
+  (pool_on_shed :=
+     fun reason req _pending ->
+       Hashtbl.remove pool.attempts req.Request.id;
+       trace_emit t "shed"
+         (Printf.sprintf "%s req#%d (%s)" name req.Request.id (Admission.reason_name reason));
+       t.on_shed reason req);
+  Hashtbl.replace t.pools name pool
 
 (* Memory a container of this function will pin: the process footprint plus
    whatever the freshly built strategy's manager buffers (the full snapshot
@@ -117,30 +154,59 @@ let slot_memory_mb spec (strategy : Strategy_intf.t) =
   let pages = spec.Function_model.mapped_pages + strategy.Strategy_intf.snapshot_pages () in
   max 1 (pages * 4096 / 1048576)
 
+(* Push the controller's level to every live container's strategy. A level
+   change is rare (hysteresis), so the full sweep is cheap. *)
+let apply_brownout t b =
+  let degraded = Brownout.defer_restores b in
+  trace_emit t "brownout" (Brownout.level_name (Brownout.level b));
+  Hashtbl.iter
+    (fun _ pool ->
+      List.iter
+        (fun s -> (Container.strategy s.container).Strategy_intf.degrade degraded)
+        pool.slots)
+    t.pools
+
 let rec dispatch t pool slot pending =
+  (match t.brownout with
+  | Some b ->
+      (* Queueing delay is the overload signal: sampled at dispatch, fed to
+         the hysteretic controller. *)
+      let delay = Engine.now t.engine - pending.submitted in
+      if Brownout.observe b delay then apply_brownout t b
+  | None -> ());
   slot.epoch <- slot.epoch + 1;
   t.busy <- t.busy + 1;
   Container.submit ~dispatch_ns:t.config.dispatch_ns slot.container pending.req
-    ~on_response:(fun _ _ ->
+    ~on_response:(fun rq inv ->
+      let now = Engine.now t.engine in
       pool.completed <- pool.completed + 1;
-      pool.e2e_ms <-
-        Time_ns.to_ms (Engine.now t.engine - pending.submitted) :: pool.e2e_ms)
+      Reservoir.add pool.e2e (Time_ns.to_ms (now - pending.submitted));
+      (match rq.Request.deadline with
+      | Some d when now > d -> pool.deadline_misses <- pool.deadline_misses + 1
+      | _ -> ());
+      match pending.on_complete with Some f -> f rq inv | None -> ())
 
 (* A container just went idle: feed it, retarget the freed core, or start
    the eviction clock. *)
 and on_slot_idle t pool slot =
   t.busy <- t.busy - 1;
-  match Queue.take_opt pool.queue with
-  | Some pending when t.busy < t.config.total_cores -> dispatch t pool slot pending
-  | Some pending ->
-      (* No core after all (shouldn't happen: one just freed) — requeue. *)
-      Queue.push pending pool.queue
-  | None ->
-      pump_other_pools t;
-      let epoch = slot.epoch in
-      Engine.schedule t.engine ~after:t.config.idle_timeout (fun () ->
-          if slot.alive && slot.epoch = epoch && Container.is_idle slot.container then
-            evict t pool slot)
+  let now = Engine.now t.engine in
+  Admission.purge_expired pool.queue ~now;
+  if not (Admission.is_empty pool.queue) then begin
+    if t.busy < t.config.total_cores then
+      match Admission.take pool.queue ~now with
+      | Some (_, pending) -> dispatch t pool slot pending
+      | None -> ()
+    (* else: no core after all (shouldn't happen: one just freed) — the
+       backlog stays queued. *)
+  end
+  else begin
+    pump_other_pools t;
+    let epoch = slot.epoch in
+    Engine.schedule t.engine ~after:t.config.idle_timeout (fun () ->
+        if slot.alive && slot.epoch = epoch && Container.is_idle slot.container then
+          evict t pool slot)
+  end
 
 and evict t pool slot =
   slot.alive <- false;
@@ -187,7 +253,10 @@ and on_slot_failure t r pool (_slot : slot) failure (req : Request.t) =
         Hashtbl.replace pool.attempts req.Request.id (tries + 1);
         let delay = Backoff.delay r.Invoker.retry_backoff ?rng:t.rng ~attempt:tries in
         Engine.schedule t.engine ~after:delay (fun () ->
-            Queue.push { req; submitted = Engine.now t.engine } pool.queue;
+            let now = Engine.now t.engine in
+            ignore
+              (Admission.admit pool.queue ~now req
+                 { req; submitted = now; on_complete = None });
             pump_pool t pool)
       end
 
@@ -201,6 +270,10 @@ and try_cold_start t pool =
     if t.used_mb + memory_mb > t.config.memory_mb then None
     else begin
       let strategy = Invoker.with_cold_start strategy in
+      (* A container born under brownout starts degraded. *)
+      (match t.brownout with
+      | Some b when Brownout.defer_restores b -> strategy.Strategy_intf.degrade true
+      | _ -> ());
       let id = t.next_container_id in
       t.next_container_id <- id + 1;
       let container_recovery, rebuild =
@@ -249,35 +322,71 @@ and try_cold_start t pool =
 
 and pump_pool t pool =
   let progress = ref true in
-  while !progress && not (Queue.is_empty pool.queue) do
+  while
+    !progress
+    &&
+    (Admission.purge_expired pool.queue ~now:(Engine.now t.engine);
+     not (Admission.is_empty pool.queue))
+  do
     progress := false;
     let idle =
       List.find_opt (fun s -> s.alive && Container.is_idle s.container) pool.slots
     in
+    let now = Engine.now t.engine in
     match idle with
-    | Some slot when t.busy < t.config.total_cores ->
-        dispatch t pool slot (Queue.take pool.queue);
-        progress := true
-    | Some _ -> ()
-    | None -> begin
-        match try_cold_start t pool with
-        | Some slot ->
-            dispatch t pool slot (Queue.take pool.queue);
+    | Some slot when t.busy < t.config.total_cores -> (
+        match Admission.take pool.queue ~now with
+        | Some (_, pending) ->
+            dispatch t pool slot pending;
             progress := true
-        | None -> ()
-      end
+        | None -> ())
+    | Some _ -> ()
+    | None ->
+        (* Brownout prefers waiting for a warm container over paying a cold
+           start — unless the pool has none at all, in which case a cold
+           start is the only route to progress. *)
+        let suppress =
+          match t.brownout with
+          | Some b -> Brownout.suppress_cold_starts b && pool.slots <> []
+          | None -> false
+        in
+        if not suppress then begin
+          match try_cold_start t pool with
+          | Some slot -> (
+              match Admission.take pool.queue ~now with
+              | Some (_, pending) ->
+                  dispatch t pool slot pending;
+                  progress := true
+              | None -> ())
+          | None -> ()
+        end
   done
 
 and pump_other_pools t = Hashtbl.iter (fun _ pool -> pump_pool t pool) t.pools
 
-let submit t ~name req =
+let submit ?on_complete t ~name req =
   let pool =
     match Hashtbl.find_opt t.pools name with
     | Some p -> p
     | None -> raise Not_found
   in
-  Queue.push { req; submitted = Engine.now t.engine } pool.queue;
-  pump_pool t pool
+  let now = Engine.now t.engine in
+  match t.brownout with
+  | Some b when Brownout.should_shed b req.Request.principal ->
+      (* Priority shed happens before the queue ever sees the request. *)
+      pool.brownout_shed <- pool.brownout_shed + 1;
+      trace_emit t "shed"
+        (Printf.sprintf "%s req#%d (brownout, priority %d)" name req.Request.id
+           (Principal.priority req.Request.principal));
+      t.on_shed Admission.Brownout req
+  | _ ->
+      if Admission.admit pool.queue ~now req { req; submitted = now; on_complete } then
+        pump_pool t pool
+
+let set_on_shed t f = t.on_shed <- f
+let brownout_level t = Option.map Brownout.level t.brownout
+let brownout_escalations t =
+  match t.brownout with Some b -> Brownout.escalations b | None -> 0
 
 let stats t =
   Hashtbl.fold
@@ -287,13 +396,17 @@ let stats t =
          completed = pool.completed;
          cold_starts = pool.cold_starts;
          evictions = pool.evictions;
-         queue_len = Queue.length pool.queue;
+         queue_len = Admission.length pool.queue;
          containers = List.length pool.slots;
-         e2e_ms = pool.e2e_ms;
+         e2e_ms = Reservoir.to_list pool.e2e;
          timeouts = pool.timeouts;
          failed_requests = pool.failed_requests;
          quarantined = pool.quarantined;
          poisonings = pool.poisonings;
+         shed = Admission.shed_count pool.queue + pool.brownout_shed;
+         expired = Admission.expired_count pool.queue;
+         deadline_misses = pool.deadline_misses;
+         queue_high_water = Admission.high_water pool.queue;
        }
         : fn_stats)
       :: acc)
@@ -306,3 +419,11 @@ let cores_busy t = t.busy
 let total_cold_starts t = Hashtbl.fold (fun _ p n -> n + p.cold_starts) t.pools 0
 let total_evictions t = Hashtbl.fold (fun _ p n -> n + p.evictions) t.pools 0
 let total_quarantined t = Hashtbl.fold (fun _ p n -> n + p.quarantined) t.pools 0
+
+let total_shed t =
+  Hashtbl.fold (fun _ p n -> n + Admission.shed_count p.queue + p.brownout_shed) t.pools 0
+
+let total_expired t =
+  Hashtbl.fold (fun _ p n -> n + Admission.expired_count p.queue) t.pools 0
+
+let total_deadline_misses t = Hashtbl.fold (fun _ p n -> n + p.deadline_misses) t.pools 0

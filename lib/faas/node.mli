@@ -13,9 +13,19 @@
 
     Scheduling: a request for function F goes to an idle warm container of
     F if one exists; otherwise a new container is created when both a core
-    and enough memory are free; otherwise the request queues FIFO per
-    function. Cores are occupied only while a container is busy or
-    restoring; memory is held for a container's whole lifetime. *)
+    and enough memory are free; otherwise the request queues per function
+    through an {!Admission} buffer — unbounded FIFO by default
+    (bit-identical to the pre-overload-protection node), bounded with a
+    shedding policy when configured. Cores are occupied only while a
+    container is busy or restoring; memory is held for a container's whole
+    lifetime.
+
+    Overload protection: requests whose deadline has passed are shed at
+    admission and purged before every dispatch (never occupying a core or
+    restore); an optional {!Brownout} controller watches queueing delay
+    and degrades service — deferring strategies' post-completion restore
+    work, preferring warm containers over cold starts, finally shedding
+    low-priority arrivals — recovering hysteretically. *)
 
 type config = {
   total_cores : int;
@@ -29,10 +39,17 @@ type config = {
           offenders are quarantined (core + memory freed). [None]: hangs
           wedge their container and poisoned containers are retired — fail
           closed, no replacement. *)
+  admission : Admission.config;
+      (** Per-function queue bound + shedding policy; default
+          {!Admission.unbounded}. *)
+  brownout : Brownout.config option;
+      (** [Some cfg] enables the graceful-degradation controller; [None]
+          (default) disables it entirely. *)
 }
 
 val default_config : config
-(** 4 cores, 8 GiB, 60 s idle timeout, no recovery. *)
+(** 4 cores, 8 GiB, 60 s idle timeout, no recovery, unbounded admission,
+    no brownout. *)
 
 type t
 
@@ -43,11 +60,17 @@ type fn_stats = {
   evictions : int;
   queue_len : int;
   containers : int;  (** Currently alive. *)
-  e2e_ms : float list;  (** Per-request latency incl. queueing, newest first. *)
+  e2e_ms : float list;
+      (** Per-request latency incl. queueing, newest first. Bounded: a
+          uniform reservoir sample past 8192 requests. *)
   timeouts : int;  (** Hang timeouts fired for this function. *)
   failed_requests : int;  (** Abandoned after the retry budget. *)
   quarantined : int;  (** Containers permanently retired. *)
   poisonings : int;  (** Failed restores that triggered a cold restart. *)
+  shed : int;  (** Dropped: queue overflow + brownout priority shed. *)
+  expired : int;  (** Dropped: deadline passed (on arrival or queued). *)
+  deadline_misses : int;  (** Completions delivered after their deadline. *)
+  queue_high_water : int;  (** Largest backlog ever queued. *)
 }
 
 val create :
@@ -65,10 +88,22 @@ val create :
 val register : t -> name:string -> Function_model.spec -> unit
 (** Deploy a function. @raise Invalid_argument on duplicate names. *)
 
-val submit : t -> name:string -> Request.t -> unit
+val submit :
+  ?on_complete:(Request.t -> Strategy_intf.invocation -> unit) -> t -> name:string -> Request.t -> unit
 (** Accept a request for a deployed function now (simulated time); it is
-    dispatched, cold-started, or queued according to the policy above.
+    dispatched, cold-started, queued, or shed according to the policy
+    above. [on_complete] fires when a response is delivered (not for shed,
+    expired, or abandoned requests; recovery retries complete without it).
     @raise Not_found for unknown functions. *)
+
+val set_on_shed : t -> (Admission.reason -> Request.t -> unit) -> unit
+(** Called once per shed request, across all pools; the request will never
+    produce a response. *)
+
+val brownout_level : t -> Brownout.level option
+(** Current degradation level, [None] when brownout is disabled. *)
+
+val brownout_escalations : t -> int
 
 val stats : t -> fn_stats list
 val memory_used_mb : t -> int
@@ -77,3 +112,6 @@ val cores_busy : t -> int
 val total_cold_starts : t -> int
 val total_evictions : t -> int
 val total_quarantined : t -> int
+val total_shed : t -> int
+val total_expired : t -> int
+val total_deadline_misses : t -> int

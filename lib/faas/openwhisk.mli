@@ -21,7 +21,16 @@ type t = {
   rng : Gh_sim.Rng.t;
 }
 
-val deploy : ?trace:Gh_sim.Trace.t -> config -> make_strategy:(int -> Strategy_intf.t) -> t
+val deploy :
+  ?trace:Gh_sim.Trace.t ->
+  ?ttl_ns:Gh_sim.Time_ns.t ->
+  ?admission:Admission.config ->
+  config ->
+  make_strategy:(int -> Strategy_intf.t) ->
+  t
 (** Build engine, invoker (with [n_cores] containers) and controller.
     [make_strategy i] supplies container [i]'s isolation strategy.
-    [trace] records container transitions for debugging. *)
+    [trace] records container transitions for debugging. [ttl_ns] makes
+    the controller stamp deadlines (see {!Controller.create}); [admission]
+    bounds the invoker queue. Both default to off — the unprotected
+    deployment is bit-identical to earlier revisions. *)

@@ -1,10 +1,15 @@
-type t = { id : int; name : string }
+type t = { id : int; name : string; priority : int }
 
 let make ~id ~name =
   if id < 0 || id > 0xFFFF then invalid_arg "Principal.make: id out of range";
-  { id; name }
+  { id; name; priority = 1 }
+
+let with_priority t priority =
+  if priority < 0 then invalid_arg "Principal.with_priority: negative priority";
+  { t with priority }
 
 let equal a b = a.id = b.id
+let priority t = t.priority
 
 (* Secrets are tagged words: low 16 bits carry the principal id, the upper
    bits the nonce, offset so the word is never zero. *)

@@ -5,10 +5,19 @@
     privileged end-clients; sequential request isolation exists precisely
     so data from Alice's activation cannot reach Bob's. *)
 
-type t = { id : int; name : string }
+type t = { id : int; name : string; priority : int }
 
 val make : id:int -> name:string -> t
+(** Priority defaults to 1. *)
+
+val with_priority : t -> int -> t
+(** A copy ranked for load shedding: under brownout the node sheds
+    lower-priority principals first. Priority carries no security meaning
+    and must be non-negative. *)
+
 val equal : t -> t -> bool
+
+val priority : t -> int
 
 val secret_word : t -> nonce:int -> int
 (** A per-principal, per-request data word standing in for private request

@@ -1,5 +1,24 @@
-type t = { id : int; principal : Principal.t; nonce : int; input_kb : int }
+module Time_ns = Gh_sim.Time_ns
 
-let make ~id ~principal ?(input_kb = 4) () = { id; principal; nonce = id; input_kb }
+type t = {
+  id : int;
+  principal : Principal.t;
+  nonce : int;
+  input_kb : int;
+  deadline : Time_ns.t option;
+}
+
+let make ~id ~principal ?(input_kb = 4) ?deadline () =
+  { id; principal; nonce = id; input_kb; deadline }
+
+let with_deadline t deadline = { t with deadline = Some deadline }
+let deadline t = t.deadline
+
+let expired t ~now =
+  match t.deadline with None -> false | Some d -> now >= d
+
+let remaining_ns t ~now =
+  match t.deadline with None -> None | Some d -> Some (d - now)
+
 let secret t = Principal.secret_word t.principal ~nonce:t.nonce
 let pp ppf t = Format.fprintf ppf "req#%d from %a" t.id Principal.pp t.principal

@@ -37,6 +37,12 @@ type t = {
   kill : unit -> unit;
       (** SIGKILL the function process: whatever state it held is gone and
           the manager (if any) is poisoned. Idempotent. *)
+  degrade : bool -> unit;
+      (** Brownout hook: [degrade true] asks the strategy to defer
+          non-critical recovery work (e.g. Groundhog's post-completion
+          restore) until pressure passes; [degrade false] restores full
+          service. Must never weaken isolation across security domains —
+          strategies that cannot degrade safely ignore it. *)
 }
 
 let no_post inv = inv.post_ns = 0
@@ -44,6 +50,7 @@ let no_post inv = inv.post_ns = 0
 (* Constructor helpers for strategies (and tests) without a manager. *)
 let no_status () = None
 let no_kill () = ()
+let no_degrade (_ : bool) = ()
 
 let outcome_of_response (r : Function_model.response) =
   if r.Function_model.hung then Hung

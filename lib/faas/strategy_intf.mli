@@ -63,6 +63,12 @@ type t = {
   kill : unit -> unit;
       (** SIGKILL the function process: whatever state it held is gone and
           the manager (if any) is poisoned. Idempotent. *)
+  degrade : bool -> unit;
+      (** Brownout hook: [degrade true] asks the strategy to defer
+          non-critical recovery work (e.g. Groundhog's post-completion
+          restore) until pressure passes; [degrade false] restores full
+          service. Must never weaken isolation across security domains —
+          strategies that cannot degrade safely ignore it. *)
 }
 
 val no_post : invocation -> bool
@@ -73,6 +79,9 @@ val no_status : unit -> status option
 
 val no_kill : unit -> unit
 (** No-op kill, for test stubs. *)
+
+val no_degrade : bool -> unit
+(** No-op degrade, for strategies with no deferrable work. *)
 
 val outcome_of_response : Function_model.response -> outcome
 (** [Hung]/[Crashed]/[Completed] from the response flags — for strategies

@@ -22,6 +22,7 @@ type id =
   | Multi_tenant
   | Crash_recovery
   | Fault_injection
+  | Overload
 
 let all =
   [ Fig3_left; Fig3_right; Fig4; Fig5; Fig6; Fig7; Fig8; Table1; Table2; Table3; Headline ]
@@ -37,6 +38,7 @@ let extras =
     Multi_tenant;
     Crash_recovery;
     Fault_injection;
+    Overload;
   ]
 
 let to_string = function
@@ -60,6 +62,7 @@ let to_string = function
   | Multi_tenant -> "multi-tenant"
   | Crash_recovery -> "crash-recovery"
   | Fault_injection -> "fault-injection"
+  | Overload -> "overload"
 
 let of_string s =
   match String.lowercase_ascii s with
@@ -84,6 +87,7 @@ let of_string s =
   | "multi-tenant" | "tenant" | "density" -> Ok Multi_tenant
   | "crash-recovery" | "crash" -> Ok Crash_recovery
   | "fault-injection" | "fault" | "faults" -> Ok Fault_injection
+  | "overload" | "brownout" -> Ok Overload
   | other -> Error (Printf.sprintf "unknown experiment %S" other)
 
 let describe = function
@@ -108,6 +112,8 @@ let describe = function
   | Crash_recovery -> "restore as fault recovery: occupancy vs crash rate (extension)"
   | Fault_injection ->
       "seeded fault injection: availability/goodput/MTTR/p99 under fail-closed recovery"
+  | Overload ->
+      "overload sweep: goodput/shedding/deadline misses with protection on vs off"
 
 (* Within one process, latency/throughput/breakdown sweeps over the catalog
    are shared between the experiments that need them. *)
@@ -198,6 +204,9 @@ let run id cfg ppf =
   | Fault_injection ->
       let entry = Option.get (Catalog.find "deltablue (p)") in
       Fault_exp.print ppf entry (Fault_exp.run cfg entry)
+  | Overload ->
+      let entry = Option.get (Catalog.find "deltablue (p)") in
+      Overload_exp.print ppf entry (Overload_exp.run cfg entry)
 
 let run_list ids cfg ppf =
   List.iter

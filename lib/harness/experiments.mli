@@ -28,6 +28,7 @@ type id =
       (** Restore as fault recovery: BASE rebuilds crashed containers,
           snapshot-holders roll back (extension). *)
   | Fault_injection
+  | Overload
       (** Seeded fault injection through the fail-closed recovery pipeline:
           availability, goodput, MTTR, p99 vs fault rate (robustness
           extension). *)

@@ -18,6 +18,8 @@ type result = {
   mean_e2e_ms : float;
   p95_e2e_ms : float;
   high_water_mb : int;
+  shed : int;
+  expired : int;
   leftover_queue : int;
 }
 
@@ -110,6 +112,8 @@ let run_mode cfg ~memory_mb ~duration_s ~rate_rps entries mode =
     mean_e2e_ms = (match summary with Some s -> s.Stats.mean | None -> Float.nan);
     p95_e2e_ms = (match summary with Some s -> s.Stats.p95 | None -> Float.nan);
     high_water_mb = Node.memory_high_water_mb node;
+    shed = Node.total_shed node;
+    expired = Node.total_expired node;
     leftover_queue = List.fold_left (fun n (s : Node.fn_stats) -> n + s.Node.queue_len) 0 stats;
   }
 
@@ -135,6 +139,8 @@ let print ppf results =
           Report.fmt_ms r.mean_e2e_ms;
           Report.fmt_ms r.p95_e2e_ms;
           string_of_int r.high_water_mb;
+          string_of_int r.shed;
+          string_of_int r.expired;
           string_of_int r.leftover_queue;
         ])
       results
@@ -153,6 +159,8 @@ let print ppf results =
         "mean e2e ms";
         "p95 e2e ms";
         "mem high-water MB";
+        "shed";
+        "expired";
         "still queued";
       ]
     rows

@@ -19,6 +19,8 @@ type result = {
   mean_e2e_ms : float;
   p95_e2e_ms : float;
   high_water_mb : int;
+  shed : int;  (** Dropped by admission control or brownout, never served. *)
+  expired : int;  (** Dropped because their deadline passed, never served. *)
   leftover_queue : int;  (** Requests still queued when the run ended. *)
 }
 

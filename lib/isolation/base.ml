@@ -61,6 +61,8 @@ let make_on ~rng inst =
     describe = (fun () -> "insecure baseline: warm container reuse, no isolation");
     status = Intf.no_status;
     kill = Intf.no_kill;
+    (* No post-completion recovery work exists to defer. *)
+    degrade = Intf.no_degrade;
   }
 
 let make ?(fault = Gh_sim.Fault.none) ~rng spec =

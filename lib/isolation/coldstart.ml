@@ -59,4 +59,5 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
     describe = (fun () -> "fresh container per request (trivial isolation)");
     status = Intf.no_status;
     kill = Intf.no_kill;
+    degrade = Intf.no_degrade;
   }

@@ -85,4 +85,5 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
       (fun () -> "CRIU-style full-image checkpoint/restore per request (related work)");
     status = Intf.no_status;
     kill = Intf.no_kill;
+    degrade = Intf.no_degrade;
   }

@@ -100,4 +100,5 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
                 factor);
           status = Intf.no_status;
           kill = Intf.no_kill;
+          degrade = Intf.no_degrade;
         }

@@ -65,5 +65,6 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
         describe = (fun () -> "fork-per-request isolation (single-threaded runtimes only)");
         status = Intf.no_status;
         kill = Intf.no_kill;
+        degrade = Intf.no_degrade;
       }
   end

@@ -16,11 +16,19 @@ type state = {
   policy : Policy.t;
   mutable last_req : Gh_faas.Request.t option;
   mutable restored_since_last : bool;
+  (* Brownout: while [degraded], the post-completion restore is deferred —
+     the rollback debt is remembered in [deferred_from] and settled at the
+     next dispatch (free if the same principal returns, on-path restore
+     otherwise). *)
+  mutable degraded : bool;
+  mutable deferred_from : Gh_faas.Principal.t option;
+  mutable deferred_restores : int;
 }
 
 let manager s = s.mgr
 let instance s = s.inst
 let actionloop s = s.loop
+let deferred_restores s = s.deferred_restores
 
 let run_function s req =
   let acct = Account.create () in
@@ -58,8 +66,44 @@ let run_function s req =
      | Platform_signal -> ());
   (Account.total acct, response)
 
+(* Pay off a restore deferred under brownout, before [req] may run. If the
+   same principal is back, the residue is its own data — the same-security-
+   domain argument as §4.4's [Trust_same_principal] — and the debt collapses
+   for free. A different principal forces the restore onto this request's
+   critical path; it must complete before any input is forwarded. *)
+let settle_deferred s req =
+  match s.deferred_from with
+  | None -> Ok 0
+  | Some p ->
+      s.deferred_from <- None;
+      if Gh_faas.Principal.equal p req.Gh_faas.Request.principal then Ok 0
+      else begin
+        Manager.mark_dirty s.mgr;
+        match Manager.restore s.mgr with
+        | Ok breakdown ->
+            s.restored_since_last <- true;
+            Ok breakdown.Groundhog_core.Breakdown.total_ns
+        | Error f -> Error f
+      end
+
 let invoke_with_lookahead s req ~next =
+  match settle_deferred s req with
+  | Error f ->
+      (* The catch-up restore failed: the manager is poisoned and the
+         request was never started — fail closed with an error response. *)
+      {
+        Intf.on_path_ns = f.Manager.spent_ns;
+        post_ns = 0;
+        response =
+          { Fm.value = 0; residue = []; output_kb = 0; service_denials = 0;
+            crashed = true; hung = false };
+        breakdown = None;
+        isolated = false;
+        outcome = Intf.Poisoned;
+      }
+  | Ok settle_ns ->
   let on_path_ns, response = run_function s req in
+  let on_path_ns = settle_ns + on_path_ns in
   s.last_req <- Some req;
   if response.Fm.hung then
     (* No output, no restore: the process is wedged mid-request and the
@@ -82,6 +126,28 @@ let invoke_with_lookahead s req ~next =
     if skip then begin
       Manager.skip_restore s.mgr;
       s.restored_since_last <- false;
+      {
+        Intf.on_path_ns;
+        post_ns = 0;
+        response;
+        breakdown = None;
+        isolated = false;
+        outcome = Intf.outcome_of_response response;
+      }
+    end
+    else if s.degraded && not response.Fm.crashed && Manager.status s.mgr = Manager.Dirty
+    then begin
+      (* Brownout: defer the incremental re-snapshot/restore instead of
+         burning the core now. [skip_restore] marks the process policy-clean
+         (the §4.4 same-domain argument applied optimistically); the debt in
+         [deferred_from] is validated at the next dispatch, so no request
+         from a different principal can ever run over this residue. Crashed
+         responses always restore immediately — the process state is not
+         merely dirty but wrecked. *)
+      Manager.skip_restore s.mgr;
+      s.restored_since_last <- false;
+      s.deferred_from <- Some req.Gh_faas.Request.principal;
+      s.deferred_restores <- s.deferred_restores + 1;
       {
         Intf.on_path_ns;
         post_ns = 0;
@@ -132,7 +198,19 @@ let make_with_state ?(policy = Policy.Always_isolate) ?(paranoid = false)
   let init_ns = rt.Gh_faas.Runtime.init_ns + Account.total init_acct + snap_ns in
   let loop = Actionloop.create rt in
   let s =
-    { inst; mgr; loop; interposition; rng; policy; last_req = None; restored_since_last = false }
+    {
+      inst;
+      mgr;
+      loop;
+      interposition;
+      rng;
+      policy;
+      last_req = None;
+      restored_since_last = false;
+      degraded = false;
+      deferred_from = None;
+      deferred_restores = 0;
+    }
   in
   let strategy =
     {
@@ -148,6 +226,7 @@ let make_with_state ?(policy = Policy.Always_isolate) ?(paranoid = false)
       kill =
         (fun () ->
           if Manager.status mgr <> Manager.Poisoned then Manager.poison mgr "killed");
+      degrade = (fun d -> s.degraded <- d);
     }
   in
   (strategy, s)

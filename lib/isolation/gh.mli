@@ -57,6 +57,13 @@ val instance : state -> Gh_faas.Function_model.instance
 val actionloop : state -> Gh_faas.Actionloop.t
 (** The interposed pipe pair (for tests probing the §4.5 invariant). *)
 
+val deferred_restores : state -> int
+(** How many post-completion restores brownout degradation deferred. Each
+    deferral is settled at the next dispatch: free when the same principal
+    returns (§4.4 same-security-domain argument), an on-path restore when a
+    different principal arrives — so no request ever runs over another
+    domain's residue. *)
+
 val invoke_with_lookahead :
   state -> Gh_faas.Request.t -> next:Gh_faas.Request.t option -> Gh_faas.Strategy_intf.invocation
 (** The §4.4 optimization: when the next queued request is visible and the

@@ -84,4 +84,6 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
     kill =
       (fun () ->
         if Manager.status mgr <> Manager.Poisoned then Manager.poison mgr "killed");
+    (* GH-NOP never restores, so there is nothing to defer. *)
+    degrade = Intf.no_degrade;
   }

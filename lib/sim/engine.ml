@@ -28,9 +28,25 @@ let run t ~until =
   done;
   if t.clock < until then t.clock <- until
 
-let run_all t =
-  while step t do
-    ()
+(* Generous enough that every legitimate experiment stays far below it: the
+   full-profile sweeps dispatch a few million events, so two hundred million
+   means a self-sustaining chain, not a big workload. *)
+let default_max_events = 200_000_000
+
+let run_all ?(max_events = default_max_events) t =
+  if max_events <= 0 then invalid_arg "Engine.run_all: max_events must be positive";
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if !fired >= max_events && Heap.size t.queue > 0 then
+      failwith
+        (Printf.sprintf
+           "Engine.run_all: dispatched %d events without draining (clock=%dns, %d still \
+            pending) — likely a self-sustaining event chain; pass ~max_events to raise \
+            the guard"
+           !fired t.clock (Heap.size t.queue))
+    else if step t then incr fired
+    else continue := false
   done
 
 let pending t = Heap.size t.queue

@@ -77,6 +77,35 @@ let draw ?(profile = default_profile) rng =
 
 let draw_many ?profile rng n = List.init n (fun _ -> draw ?profile rng)
 
+(* Open-loop bursty arrivals: a two-state (ON/OFF) modulated Poisson
+   process. The long-run offered rate is [rate_rps], but arrivals bunch
+   into ON windows covering a [duty] fraction of each (exponentially
+   distributed) cycle, so the instantaneous rate inside a burst is
+   [rate_rps / duty] — the surge regime overload protection exists for.
+   Deterministic per RNG state; returns absolute arrival instants. *)
+let burst ?(duty = 0.3) ?(cycle_s = 2.0) rng ~rate_rps ~n =
+  if rate_rps <= 0.0 then invalid_arg "Synthetic.burst: rate_rps must be positive";
+  if duty <= 0.0 || duty > 1.0 then invalid_arg "Synthetic.burst: duty outside (0,1]";
+  if cycle_s <= 0.0 then invalid_arg "Synthetic.burst: cycle_s must be positive";
+  if n < 0 then invalid_arg "Synthetic.burst: negative n";
+  let gap_mean_ns = 1.0e9 /. (rate_rps /. duty) in
+  let on_mean_ns = duty *. cycle_s *. 1.0e9 in
+  let off_mean_ns = (1.0 -. duty) *. cycle_s *. 1.0e9 in
+  let draw_len mean = max 1 (int_of_float (Rng.exponential rng ~mean)) in
+  let rec go acc k t on_end =
+    if k >= n then List.rev acc
+    else begin
+      let t' = t + draw_len gap_mean_ns in
+      if t' <= on_end then go (t' :: acc) (k + 1) t' on_end
+      else
+        (* The burst ended before the next arrival: skip the OFF period and
+           restart the clock at the head of a fresh ON window. *)
+        let start = on_end + draw_len off_mean_ns in
+        go acc k start (start + draw_len on_mean_ns)
+    end
+  in
+  go [] 0 0 (draw_len on_mean_ns)
+
 (* A function that deadlocks with probability [p]: the recovery-pipeline
    experiments need a workload whose requests sometimes never return. *)
 let hanging ?(p = 0.01) ?(base = Fm.default_spec) () =

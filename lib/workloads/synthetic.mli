@@ -28,6 +28,22 @@ val draw : ?profile:profile -> Gh_sim.Rng.t -> Gh_faas.Function_model.spec
 
 val draw_many : ?profile:profile -> Gh_sim.Rng.t -> int -> Gh_faas.Function_model.spec list
 
+val burst :
+  ?duty:float ->
+  ?cycle_s:float ->
+  Gh_sim.Rng.t ->
+  rate_rps:float ->
+  n:int ->
+  Gh_sim.Time_ns.t list
+(** [burst rng ~rate_rps ~n] draws [n] absolute arrival instants (ascending,
+    starting near 0) from a two-state modulated Poisson process: arrivals
+    bunch into ON windows covering a [duty] fraction (default 0.3) of each
+    exponentially distributed cycle (mean [cycle_s], default 2 s), so the
+    rate inside a burst is [rate_rps / duty] while the long-run offered rate
+    stays [rate_rps]. Deterministic per RNG state.
+    @raise Invalid_argument on non-positive rates/cycles, [duty] outside
+    (0, 1], or negative [n]. *)
+
 val hanging :
   ?p:float ->
   ?base:Gh_faas.Function_model.spec ->

@@ -97,6 +97,7 @@ let constant_strategy ~exec_ns =
     snapshot_pages = (fun () -> 0);
     status = Intf.no_status;
     kill = Intf.no_kill;
+    degrade = Intf.no_degrade;
     describe = (fun () -> "constant");
   }
 
@@ -409,7 +410,7 @@ let test_crash_experiment_shape () =
 (* -- Registry -- *)
 
 let test_extras_registry () =
-  check_int "nine extras" 9 (List.length Experiments.extras);
+  check_int "ten extras" 10 (List.length Experiments.extras);
   List.iter
     (fun id ->
       match Experiments.of_string (Experiments.to_string id) with

@@ -274,6 +274,7 @@ let strategy_of_constant ~exec_ns ~post_ns =
     snapshot_pages = (fun () -> 0);
     status = Strategy_intf.no_status;
     kill = Strategy_intf.no_kill;
+    degrade = Strategy_intf.no_degrade;
     describe = (fun () -> "constant-latency test strategy");
   }
 

@@ -137,6 +137,7 @@ let scripted name next =
     snapshot_pages = (fun () -> 0);
     status = Intf.no_status;
     kill = Intf.no_kill;
+    degrade = Intf.no_degrade;
     describe = (fun () -> name);
   }
 

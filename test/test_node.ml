@@ -35,6 +35,7 @@ let strategy ~exec_ms ~init_ms ~buffer_pages =
     snapshot_pages = (fun () -> buffer_pages);
     status = Intf.no_status;
     kill = Intf.no_kill;
+    degrade = Intf.no_degrade;
     describe = (fun () -> "fixed-cost test strategy");
   }
 
@@ -42,7 +43,7 @@ let strategy ~exec_ms ~init_ms ~buffer_pages =
 let spec ~mapped_mb =
   { Fm.default_spec with Fm.name = "node-fn"; mapped_pages = mapped_mb * 256 }
 
-let make_node ?(cores = 2) ?(memory_mb = 64) ?(idle_timeout_s = 5.0) ?trace engine ~strategy_of =
+let make_node ?(cores = 2) ?(memory_mb = 64) ?(idle_timeout_s = 5.0) ?(admission = Gh_faas.Admission.unbounded) ?brownout ?trace engine ~strategy_of =
   Node.create ?trace engine
     {
       Node.total_cores = cores;
@@ -50,6 +51,8 @@ let make_node ?(cores = 2) ?(memory_mb = 64) ?(idle_timeout_s = 5.0) ?trace engi
       idle_timeout = Time_ns.of_sec idle_timeout_s;
       dispatch_ns = 0;
       recovery = None;
+      admission;
+      brownout;
     }
     ~make_strategy:strategy_of
 

@@ -269,30 +269,71 @@ let bitmap_tests =
         densities)
     sizes
 
+(* -- Memory fast paths: the word-batched bulk kernels vs the retained
+   scalar reference ([As.Scalar]), on a warm heap of 4K / 64K / 1M pages.
+   Each run touches the whole heap, so ns-per-run divided by the page
+   count gives the per-page cost each kernel charges in wall-clock. -- *)
+
+let mem_sizes = [ (4_096, "4K"); (65_536, "64K"); (1_048_576, "1M") ]
+
+let warm_heap n =
+  let mem = As.create ~heap_pages:n ~cost () in
+  let a = Account.create () in
+  let heap = As.heap mem in
+  As.dirty_range mem a heap ~pos:0 ~len:n ~value:7;
+  (mem, heap)
+
+let mem_tests_for (n, size_name) =
+  (* Separate spaces per impl so neither warms pages for the other. *)
+  let m_bulk, h_bulk = warm_heap n in
+  let m_scal, h_scal = warm_heap n in
+  let scratch = Account.create () in
+  let name op impl = Printf.sprintf "mem/%s-%s/%s" op size_name impl in
+  [
+    Test.make ~name:(name "dirty" "bulk")
+      (Staged.stage (fun () ->
+           As.dirty_range m_bulk scratch h_bulk ~pos:0 ~len:n ~value:3));
+    Test.make ~name:(name "dirty" "scalar")
+      (Staged.stage (fun () ->
+           As.Scalar.dirty_range m_scal scratch h_scal ~pos:0 ~len:n ~value:3));
+    Test.make ~name:(name "read" "bulk")
+      (Staged.stage (fun () -> As.read_range m_bulk scratch h_bulk ~pos:0 ~len:n));
+    Test.make ~name:(name "read" "scalar")
+      (Staged.stage (fun () ->
+           As.Scalar.read_range m_scal scratch h_scal ~pos:0 ~len:n));
+  ]
+
+let mem_tests = List.concat_map mem_tests_for mem_sizes
+
+(* Run one bechamel test and return its (name, ns-per-run) estimates. *)
+let estimates test =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:(Some 100) () in
+  let results = Benchmark.all cfg instances test in
+  Hashtbl.fold
+    (fun name raw acc ->
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let est = Analyze.one ols Instance.monotonic_clock raw in
+      match Analyze.OLS.estimates est with
+      | Some [ t ] -> (name, t) :: acc
+      | _ -> acc)
+    results []
+
+let time_str t =
+  if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+  else if t > 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
+  else Printf.sprintf "%.1f ns" t
+
 let run_bechamel_list title tests =
   print_endline title;
   Printf.printf "%-32s %14s\n" "benchmark" "time/run";
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:(Some 100) () in
   List.iter
     (fun test ->
-      let results = Benchmark.all cfg instances test in
-      Hashtbl.iter
-        (fun name raw ->
-          let ols =
-            Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
-          in
-          let est = Analyze.one ols Instance.monotonic_clock raw in
-          match Analyze.OLS.estimates est with
-          | Some [ t ] ->
-              let time_str =
-                if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
-                else if t > 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
-                else Printf.sprintf "%.1f ns" t
-              in
-              Printf.printf "%-32s %14s\n" name time_str
-          | _ -> Printf.printf "%-32s %14s\n" name "n/a")
-        results)
+      List.iter
+        (fun (name, t) -> Printf.printf "%-32s %14s\n" name (time_str t))
+        (estimates test))
     tests;
   print_newline ()
 
@@ -301,6 +342,68 @@ let run_bechamel () =
 
 let run_bitmap_bench () =
   run_bechamel_list "== Bitmap kernel: packed words vs byte-per-page ==" bitmap_tests
+
+(* Measured on this machine immediately before the batched kernels landed
+   (same binary layout, same bechamel config); kept here so the JSON
+   records the fig3 before/after delta alongside the bulk/scalar ratios. *)
+let fig3_pre_pr_us = 120.625
+
+let run_mem_bench () =
+  print_endline "== Memory fast paths: bulk kernels vs scalar reference ==";
+  Printf.printf "%-32s %14s\n" "benchmark" "time/run";
+  let results =
+    List.concat_map
+      (fun test ->
+        let es = estimates test in
+        List.iter (fun (name, t) -> Printf.printf "%-32s %14s\n" name (time_str t)) es;
+        es)
+      mem_tests
+  in
+  let find name = List.assoc_opt name results in
+  let fig3 =
+    match estimates test_fig3 with (_, t) :: _ -> Some t | [] -> None
+  in
+  print_newline ();
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"unit\": \"ns/run unless noted\",\n  \"groups\": {\n";
+  let n_sizes = List.length mem_sizes in
+  List.iteri
+    (fun si (n, size_name) ->
+      Buffer.add_string buf (Printf.sprintf "    \"%s\": {\n      \"pages\": %d" size_name n);
+      List.iter
+        (fun op ->
+          match
+            ( find (Printf.sprintf "mem/%s-%s/bulk" op size_name),
+              find (Printf.sprintf "mem/%s-%s/scalar" op size_name) )
+          with
+          | Some b, Some s ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   ",\n      \"%s_bulk_ns\": %.1f,\n      \"%s_scalar_ns\": %.1f,\n      \"%s_speedup\": %.2f"
+                   op b op s op (s /. b));
+              Printf.printf "mem/%s-%s: %.2fx (scalar %s -> bulk %s)\n" op size_name
+                (s /. b) (time_str s) (time_str b)
+          | _ -> ())
+        [ "dirty"; "read" ];
+      Buffer.add_string buf
+        (if si = n_sizes - 1 then "\n    }\n" else "\n    },\n"))
+    mem_sizes;
+  Buffer.add_string buf "  }";
+  (match fig3 with
+  | Some t ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n  \"fig3_cycle_us\": %.3f,\n  \"fig3_cycle_pre_pr_us\": %.3f,\n  \"fig3_speedup\": %.2f"
+           (t /. 1e3) fig3_pre_pr_us (fig3_pre_pr_us /. (t /. 1e3)));
+      Printf.printf "fig3/gh-microbench-cycle: %s (pre-PR %.3f us, %.2fx)\n" (time_str t)
+        fig3_pre_pr_us
+        (fig3_pre_pr_us /. (t /. 1e3))
+  | None -> ());
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out "BENCH_mem.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  print_endline "wrote BENCH_mem.json"
 
 let run_figures profile =
   print_endline "== Regenerating every table and figure of the evaluation ==";
@@ -315,12 +418,15 @@ let () =
   let bechamel_only = List.mem "--bechamel-only" args in
   let figures_only = List.mem "--figures-only" args in
   let bitmap_only = List.mem "--bitmap-only" args in
+  let mem_only = List.mem "--mem-only" args in
   let profile = if quick then Gh_harness.Config.quick else Gh_harness.Config.default in
   if bitmap_only then run_bitmap_bench ()
+  else if mem_only then run_mem_bench ()
   else begin
     if not figures_only then begin
       run_bechamel ();
-      run_bitmap_bench ()
+      run_bitmap_bench ();
+      run_mem_bench ()
     end;
     if not bechamel_only then run_figures profile
   end

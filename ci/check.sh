@@ -5,6 +5,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 dune build
+dune build bench/main.exe
 dune runtest
 
 # Fault suite under three fixed seeds: the plan schedules and the whole

@@ -17,6 +17,10 @@ type t = {
 (* Metadata-only region record: geometry and presence eagerly, contents
    materialized by the salvage hook. *)
 let shell_region (v : Vma.t) =
+  let zeros = Bitmap.create v.Vma.n_pages in
+  (* The shell's data starts all-zero; the salvage hook keeps [zeros] in
+     step as it materialises real contents. *)
+  Bitmap.fill zeros true;
   {
     Snapshot.start_addr = v.Vma.start_addr;
     n_pages = v.Vma.n_pages;
@@ -24,6 +28,7 @@ let shell_region (v : Vma.t) =
     kind = v.Vma.kind;
     data = Array.make v.Vma.n_pages 0;
     present = Bitmap.copy v.Vma.present;
+    zeros;
   }
 
 exception Stop of Gh_sim.Fault.site
@@ -65,13 +70,10 @@ let capture acct (p : Process.t) =
           List.fold_left (fun n (v : Vma.t) -> n + Bitmap.count v.Vma.present) 0 vmas
         in
         let snap =
-          {
-            Snapshot.brk = As.brk p.Process.mem;
-            regs;
-            regions;
-            present_pages;
-            capture_ns = Account.since acct start;
-          }
+          Snapshot.make
+            ~brk:(As.brk p.Process.mem)
+            ~regs ~regions ~present_pages
+            ~capture_ns:(Account.since acct start)
         in
         let t = { snap; proc = p; by_id; saved = 0 } in
         As.set_cow_hook p.Process.mem
@@ -81,6 +83,7 @@ let capture acct (p : Process.t) =
                | Some (region, saved) when i < region.Snapshot.n_pages ->
                    if not (Bitmap.get saved i) then begin
                      region.Snapshot.data.(i) <- vma.Vma.data.(i);
+                     Bitmap.set region.Snapshot.zeros i (vma.Vma.data.(i) = 0);
                      Bitmap.set saved i true;
                      t.saved <- t.saved + 1
                    end

@@ -45,14 +45,27 @@ let iter_action_runs (snap : Snapshot.region) (vma : Vma.t) dirty f =
     if cls = 2 then f pos len Madvise
     else if not is_stack then f pos len Copy
     else begin
-      (* Split a stack restore run into Zero / Copy stretches. *)
+      (* Split a stack restore run into Zero / Copy stretches by hopping
+         word-by-word over the snapshot's [zeros] map (captured once at
+         snapshot time) instead of re-scanning page contents per restore.
+         Bits past the map's length read as zero, which [lnot] turns into
+         a spurious boundary — clamping to [stop] keeps it inert. *)
+      let zeros = snap.Snapshot.zeros in
       let stop = pos + len in
       let i = ref pos in
       while !i < stop do
-        let z = snap.Snapshot.data.(!i) = 0 in
+        let z = Bitmap.get zeros !i in
         let start = !i in
-        while !i < stop && (snap.Snapshot.data.(!i) = 0) = z do
-          incr i
+        let scanning = ref true in
+        while !scanning && !i < stop do
+          let wi = !i / bpw and b = !i mod bpw in
+          let w = Bitmap.word zeros wi in
+          let flips = (if z then lnot w else w) lsr b in
+          if flips = 0 then i := min stop ((wi + 1) * bpw)
+          else begin
+            i := min stop (!i + Bitmap.ctz flips);
+            scanning := false
+          end
         done;
         f start (!i - start) (if z then Zero else Copy)
       done
@@ -273,19 +286,36 @@ let run acct (snapshot : Snapshot.t) (p : Process.t) =
      (threads spawned by the invocation are killed, threads that exited are
      recreated — recreation first, so the process is never thread-less). *)
   let m = mark () in
-  List.iter
-    (fun (tid, regs) ->
-      let th =
-        match Process.find_thread p tid with
-        | Some th -> th
-        | None ->
-            let th = Thread.create ~tid in
-            th.Thread.state <- Thread.Stopped;
-            p.Process.threads <- p.Process.threads @ [ th ];
-            th
-      in
-      ok_or_stop (Ptrace.setregs session acct th regs))
-    snapshot.Snapshot.regs;
+  (* Accumulate re-created threads and append once — the old per-thread
+     [threads <- threads @ [th]] was quadratic in thread count. The
+     accumulator must still be flushed on a fault: the fail-closed detach
+     below charges per thread, and the threads created before the fault
+     exist. *)
+  let new_threads = ref [] in
+  let flush_new () =
+    if !new_threads <> [] then begin
+      p.Process.threads <- p.Process.threads @ List.rev !new_threads;
+      new_threads := []
+    end
+  in
+  (try
+     List.iter
+       (fun (tid, regs) ->
+         let th =
+           match Process.find_thread p tid with
+           | Some th -> th
+           | None ->
+               let th = Thread.create ~tid in
+               th.Thread.state <- Thread.Stopped;
+               new_threads := th :: !new_threads;
+               th
+         in
+         ok_or_stop (Ptrace.setregs session acct th regs))
+       snapshot.Snapshot.regs
+   with Stop _ as e ->
+     flush_new ();
+     raise e);
+  flush_new ();
   let extras =
     List.filter
       (fun th -> not (List.mem_assoc th.Thread.tid snapshot.Snapshot.regs))

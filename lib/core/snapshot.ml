@@ -15,15 +15,27 @@ type region = {
   kind : Vma.kind;
   data : int array;
   present : Bitmap.t;
+  zeros : Bitmap.t;
 }
 
 type t = {
   brk : int;
   regs : (int * Gh_proc.Registers.t) list;
   regions : region list;
+  by_start : (int, region) Hashtbl.t;
   present_pages : int;
   capture_ns : Gh_sim.Time_ns.t;
 }
+
+(* Regions can share a start address only when one is zero-length; keep
+   the first (list-order) one, matching what the linear search returned. *)
+let make ~brk ~regs ~regions ~present_pages ~capture_ns =
+  let by_start = Hashtbl.create (2 * List.length regions) in
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem by_start r.start_addr) then Hashtbl.add by_start r.start_addr r)
+    regions;
+  { brk; regs; regions; by_start; present_pages; capture_ns }
 
 (* Early exit out of the iteration callbacks below; caught at the
    [capture] boundary, never escapes this module. *)
@@ -36,13 +48,36 @@ let copy_region acct fault cost (v : Vma.t) =
   let n_present = Bitmap.count present in
   Account.charge acct (n_present * cost.Cost.snapshot_copy_per_page_ns);
   if Fault.fire fault Fault.Snapshot_copy then raise (Stop Fault.Snapshot_copy);
+  (* Zero-elided copy: scan the source per 63-page bitmap block, record
+     which pages are zero, and skip the blit for all-zero blocks — the
+     destination is already zeroed. Stacks and barely-touched heaps are
+     mostly zero, so most blocks move no data. The [zeros] map is what
+     lets the restore engine split Zero/Copy runs without re-scanning
+     page contents on every restore. *)
+  let n = v.Vma.n_pages in
+  let src = v.Vma.data in
+  let data = Array.make n 0 in
+  let zeros = Bitmap.create n in
+  let bpw = Bitmap.bits_per_word in
+  let i = ref 0 in
+  while !i < n do
+    let lim = min bpw (n - !i) in
+    let w = ref 0 in
+    for b = 0 to lim - 1 do
+      if Array.unsafe_get src (!i + b) = 0 then w := !w lor (1 lsl b)
+    done;
+    Bitmap.set_word zeros (!i / bpw) !w;
+    if !w <> Bitmap.mask ~pos:0 ~len:lim then Array.blit src !i data !i lim;
+    i := !i + lim
+  done;
   {
     start_addr = v.Vma.start_addr;
-    n_pages = v.Vma.n_pages;
+    n_pages = n;
     prot = v.Vma.prot;
     kind = v.Vma.kind;
-    data = Array.copy v.Vma.data;
+    data;
     present;
+    zeros;
   }
 
 let capture acct (p : Process.t) =
@@ -70,7 +105,7 @@ let capture acct (p : Process.t) =
         let present_pages =
           List.fold_left (fun n r -> n + Bitmap.count r.present) 0 regions
         in
-        Ok { brk; regs; regions; present_pages; capture_ns = Account.since acct start }
+        Ok (make ~brk ~regs ~regions ~present_pages ~capture_ns:(Account.since acct start))
       with Stop site ->
         (* Fail closed: resume the process and report; the partial copy is
            discarded, the caller must not treat the process as clean. *)
@@ -82,7 +117,7 @@ let capture_exn acct p =
   | Ok t -> t
   | Error site -> failwith ("Snapshot.capture: fault at " ^ Fault.site_name site)
 
-let find_region t ~start_addr = List.find_opt (fun r -> r.start_addr = start_addr) t.regions
+let find_region t ~start_addr = Hashtbl.find_opt t.by_start start_addr
 
 let memory_words t = List.fold_left (fun n r -> n + Array.length r.data) 0 t.regions
 

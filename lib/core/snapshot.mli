@@ -13,15 +13,31 @@ type region = {
   kind : Gh_mem.Vma.kind;
   data : int array;  (** Copy of every page's word (index = page offset). *)
   present : Gh_mem.Bitmap.t;  (** Which pages had frames at snapshot time. *)
+  zeros : Gh_mem.Bitmap.t;
+      (** Which stored pages are all-zero ([data.(i) = 0]), captured
+          during the copy — the restore engine's Zero/Copy split consults
+          this instead of re-scanning page contents per restore. *)
 }
 
 type t = {
   brk : int;
   regs : (int * Gh_proc.Registers.t) list;  (** tid → register copy. *)
   regions : region list;  (** Ascending by start address. *)
+  by_start : (int, region) Hashtbl.t;  (** Start address → region index. *)
   present_pages : int;  (** Total pages copied into the manager. *)
   capture_ns : Gh_sim.Time_ns.t;  (** Cost of taking this snapshot. *)
 }
+
+val make :
+  brk:int ->
+  regs:(int * Gh_proc.Registers.t) list ->
+  regions:region list ->
+  present_pages:int ->
+  capture_ns:Gh_sim.Time_ns.t ->
+  t
+(** Assemble a snapshot, building the by-start index. Regions sharing a
+    start address (possible only with zero-length regions) resolve to the
+    first in list order, like the linear search used to. *)
 
 val capture : Gh_sim.Account.t -> Gh_proc.Process.t -> (t, Gh_sim.Fault.site) result
 (** Interrupt, copy, arm soft-dirty tracking, resume. All costs are charged

@@ -232,7 +232,7 @@ let self_ctx t = { proc = t.process; resolve = Fun.id }
 let child_ctx t child =
   let m = child.Process.mem in
   let table = Hashtbl.create 64 in
-  List.iter (fun (v : Vma.t) -> Hashtbl.replace table v.Vma.id v) (As.vmas m);
+  As.iter_vmas m (fun (v : Vma.t) -> Hashtbl.replace table v.Vma.id v);
   let resolve (v : Vma.t) =
     match Hashtbl.find_opt table v.Vma.id with
     | Some v' -> v'
@@ -457,13 +457,11 @@ let warmup t acct rng =
 
 let residue_oracle t principal =
   let count = ref 0 in
-  List.iter
-    (fun (vma : Vma.t) ->
+  As.iter_vmas t.process.Process.mem (fun (vma : Vma.t) ->
       Bitmap.iter_set vma.Vma.present (fun i ->
           let w = vma.Vma.data.(i) in
           if w <> 0 && w land 0xFFFF <> 0 && w land 0xFFFF <> 0xFFFF
              && (not (Principal.owns_word principal w))
              && w lsr 16 <> 0
-          then incr count))
-    (As.vmas t.process.Process.mem);
+          then incr count));
   !count

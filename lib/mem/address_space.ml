@@ -1,9 +1,17 @@
 module Account = Gh_sim.Account
 module Cost = Gh_kernel.Cost
 
+(* VMAs live in a sorted array (ascending start address) with a by-id
+   hash table and a one-entry MRU cursor on the side. Page accesses are
+   overwhelmingly sequential within one region, so the MRU hit rate is
+   near 1; the binary search only runs on region switches. Layout
+   changes (map/unmap) rebuild the array — they are orders of magnitude
+   rarer than lookups. *)
 type t = {
   cost : Cost.t;
-  mutable vmas : Vma.t list;
+  mutable arr : Vma.t array;  (* ascending by start_addr, non-overlapping *)
+  by_id : (int, Vma.t) Hashtbl.t;
+  mutable mru : Vma.t option;
   mutable brk_addr : int;
   heap_base : int;
   heap_id : int;
@@ -30,13 +38,45 @@ let fresh_id t =
   t.next_vma_id <- id + 1;
   id
 
-let insert_sorted vmas vma =
-  let rec go = function
-    | [] -> [ vma ]
-    | v :: rest when v.Vma.start_addr < vma.Vma.start_addr -> v :: go rest
-    | rest -> vma :: rest
+(* First index whose VMA starts at or above [key]. *)
+let lower_bound arr key =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if (Array.unsafe_get arr mid).Vma.start_addr < key then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+let insert_vma t vma =
+  let n = Array.length t.arr in
+  let idx = lower_bound t.arr vma.Vma.start_addr in
+  let arr = Array.make (n + 1) vma in
+  Array.blit t.arr 0 arr 0 idx;
+  Array.blit t.arr idx arr (idx + 1) (n - idx);
+  t.arr <- arr;
+  Hashtbl.replace t.by_id vma.Vma.id vma
+
+let remove_vma t idx =
+  let vma = t.arr.(idx) in
+  t.arr <- Array.init (Array.length t.arr - 1) (fun i ->
+      if i < idx then t.arr.(i) else t.arr.(i + 1));
+  Hashtbl.remove t.by_id vma.Vma.id;
+  (match t.mru with Some v when v == vma -> t.mru <- None | _ -> ())
+
+(* Locate [vma] by pointer identity: binary-search to its start, then walk
+   the (tiny) run of equal starts. Replaces the old List.memq checks. *)
+let index_of t (vma : Vma.t) =
+  let n = Array.length t.arr in
+  let rec scan i =
+    if i >= n then -1
+    else
+      let v = Array.unsafe_get t.arr i in
+      if v.Vma.start_addr > vma.Vma.start_addr then -1
+      else if v == vma then i
+      else scan (i + 1)
   in
-  go vmas
+  scan (lower_bound t.arr vma.Vma.start_addr)
 
 let create ?(text_pages = 512) ?(data_pages = 128) ?(heap_pages = 256)
     ?(stack_pages = 32) ~cost () =
@@ -48,7 +88,9 @@ let create ?(text_pages = 512) ?(data_pages = 128) ?(heap_pages = 256)
   let t =
     {
       cost;
-      vmas = [];
+      arr = [||];
+      by_id = Hashtbl.create 16;
+      mru = None;
       brk_addr = heap_base + (heap_pages * page_size);
       heap_base;
       heap_id = 1;
@@ -75,16 +117,36 @@ let create ?(text_pages = 512) ?(data_pages = 128) ?(heap_pages = 256)
   (* The loader already touched text and data. *)
   Bitmap.fill text.Vma.present true;
   Bitmap.fill data.Vma.present true;
-  t.vmas <- List.fold_left insert_sorted [] [ text; heap; data; stack ];
+  List.iter (insert_vma t) [ text; heap; data; stack ];
   t
 
 let cost t = t.cost
-let vmas t = t.vmas
-let vma_count t = List.length t.vmas
+let vmas t = Array.to_list t.arr
+let iter_vmas t f = Array.iter f t.arr
+let vma_count t = Array.length t.arr
 let brk t = t.brk_addr
 
-let find_vma_by_id t id = List.find_opt (fun v -> v.Vma.id = id) t.vmas
-let find_vma t addr = List.find_opt (fun v -> Vma.contains v addr) t.vmas
+let find_vma_by_id t id = Hashtbl.find_opt t.by_id id
+
+(* Zero-length VMAs occupy no address range but do occupy array slots
+   (and can share a start with a live VMA), so the predecessor walk has
+   to step over them before it can conclude "unmapped". *)
+let find_vma t addr =
+  match t.mru with
+  | Some v when Vma.contains v addr -> Some v
+  | _ ->
+      let rec back j =
+        if j < 0 then None
+        else
+          let v = Array.unsafe_get t.arr j in
+          if Vma.contains v addr then begin
+            t.mru <- Some v;
+            Some v
+          end
+          else if v.Vma.n_pages = 0 then back (j - 1)
+          else None
+      in
+      back (lower_bound t.arr (addr + 1) - 1)
 
 let heap t =
   match find_vma_by_id t t.heap_id with
@@ -206,23 +268,122 @@ let read_addr t acct addr =
   | None -> invalid_arg "Address_space.read_addr: segfault (unmapped address)"
   | Some vma -> read_page t acct vma (Vma.page_index vma addr)
 
-let dirty_range t acct vma ~pos ~len ~value =
+let check_range (vma : Vma.t) ~pos ~len op =
   if len < 0 || pos < 0 || pos + len > vma.Vma.n_pages then
-    invalid_arg "Address_space.dirty_range: range out of bounds";
+    invalid_arg ("Address_space." ^ op ^ ": range out of bounds")
+
+(* Bulk page kernels. One iteration per packed 63-page bitmap word:
+   fault classes fall out of popcounts over word masks, bitmap updates
+   are word ops, data moves are Array.fill/blit. The classification
+   mirrors [write_one] exactly:
+     first-touch : untouched ∧ m            (then untouched &= ¬m)
+     demand-zero : ¬present ∧ m             (born dirty, no re-arm)
+     CoW         : cow_pending ∧ present ∧ m
+     re-arm      : sd_on ∧ present ∧ ¬soft_dirty ∧ m
+   Words holding CoW hits while a salvage hook is installed take the
+   scalar path so the hook still observes pre-write contents page by
+   page, in page order — bit-identical behavior by construction. *)
+let dirty_range t acct vma ~pos ~len ~value =
+  check_range vma ~pos ~len "dirty_range";
   let fc = no_faults () in
-  for i = pos to pos + len - 1 do
-    write_one t fc vma i value
-  done;
+  if len > 0 then begin
+    if not vma.Vma.prot.Prot.write then
+      invalid_arg "Address_space: write to non-writable VMA";
+    let present = vma.Vma.present
+    and sd = vma.Vma.soft_dirty
+    and cowp = vma.Vma.cow_pending
+    and unt = vma.Vma.untouched in
+    let stop = pos + len in
+    let i = ref pos in
+    while !i < stop do
+      let wi = !i / Bitmap.bits_per_word in
+      let b = !i mod Bitmap.bits_per_word in
+      let n = min (stop - !i) (Bitmap.bits_per_word - b) in
+      let m = Bitmap.mask ~pos:b ~len:n in
+      let pw = Bitmap.word present wi in
+      let cow_hits = Bitmap.word cowp wi land pw land m in
+      if cow_hits <> 0 && t.cow_hook <> None then
+        for k = !i to !i + n - 1 do
+          write_one t fc vma k value
+        done
+      else begin
+        let uw = Bitmap.word unt wi land m in
+        if uw <> 0 then begin
+          fc.first_touch <- fc.first_touch + Bitmap.popcount uw;
+          Bitmap.andnot_word unt wi uw
+        end;
+        let dz = lnot pw land m in
+        if dz <> 0 then fc.demand_zero <- fc.demand_zero + Bitmap.popcount dz;
+        if cow_hits <> 0 then begin
+          fc.cow <- fc.cow + Bitmap.popcount cow_hits;
+          Bitmap.andnot_word cowp wi cow_hits
+        end;
+        if t.sd_on then begin
+          let rearm = pw land lnot (Bitmap.word sd wi) land m in
+          if rearm <> 0 then fc.track <- fc.track + Bitmap.popcount rearm
+        end;
+        Bitmap.or_word present wi m;
+        Bitmap.or_word sd wi m;
+        Array.fill vma.Vma.data !i n value
+      end;
+      i := !i + n
+    done
+  end;
   charge_faults t acct fc ~gran:vma.Vma.fault_gran ~reads:0 ~writes:len
 
 let read_range t acct vma ~pos ~len =
-  if len < 0 || pos < 0 || pos + len > vma.Vma.n_pages then
-    invalid_arg "Address_space.read_range: range out of bounds";
+  check_range vma ~pos ~len "read_range";
   let fc = no_faults () in
-  for i = pos to pos + len - 1 do
-    ignore (read_one t fc vma i)
-  done;
+  if len > 0 then begin
+    if not vma.Vma.prot.Prot.read then
+      invalid_arg "Address_space: read from non-readable VMA";
+    let present = vma.Vma.present
+    and sd = vma.Vma.soft_dirty
+    and unt = vma.Vma.untouched in
+    let stop = pos + len in
+    let i = ref pos in
+    while !i < stop do
+      let wi = !i / Bitmap.bits_per_word in
+      let b = !i mod Bitmap.bits_per_word in
+      let n = min (stop - !i) (Bitmap.bits_per_word - b) in
+      let m = Bitmap.mask ~pos:b ~len:n in
+      let uw = Bitmap.word unt wi land m in
+      if uw <> 0 then begin
+        fc.first_touch <- fc.first_touch + Bitmap.popcount uw;
+        Bitmap.andnot_word unt wi uw
+      end;
+      (* Only pages faulted in by this read become (born-dirty) present;
+         already-present pages stay clean under a read. *)
+      let dz = lnot (Bitmap.word present wi) land m in
+      if dz <> 0 then begin
+        fc.demand_zero <- fc.demand_zero + Bitmap.popcount dz;
+        Bitmap.or_word present wi dz;
+        Bitmap.or_word sd wi dz
+      end;
+      i := !i + n
+    done
+  end;
   charge_faults t acct fc ~gran:vma.Vma.fault_gran ~reads:len ~writes:0
+
+(* Retained scalar reference implementations: the differential property
+   tests and the mem bench group compare the word kernels against these. *)
+module Scalar = struct
+  let dirty_range t acct vma ~pos ~len ~value =
+    check_range vma ~pos ~len "dirty_range";
+    let fc = no_faults () in
+    for i = pos to pos + len - 1 do
+      write_one t fc vma i value
+    done;
+    charge_faults t acct fc ~gran:vma.Vma.fault_gran ~reads:0 ~writes:len
+
+  let read_range t acct vma ~pos ~len =
+    check_range vma ~pos ~len "read_range";
+    let fc = no_faults () in
+    for i = pos to pos + len - 1 do
+      ignore (read_one t fc vma i)
+    done;
+    charge_faults t acct fc ~gran:vma.Vma.fault_gran ~reads:len ~writes:0
+end
 
 let peek (vma : Vma.t) i =
   check_page_bounds vma i;
@@ -235,28 +396,90 @@ let poke (vma : Vma.t) i v =
   Bitmap.set vma.Vma.soft_dirty i true;
   Bitmap.set vma.Vma.cow_pending i false
 
+(* Bulk [poke]: one blit plus three word-batched range ops. Same
+   per-page effect (data set, present + soft-dirty, pending CoW
+   cancelled, untouched untouched). *)
+let poke_range (vma : Vma.t) ~pos ~len ~src ~src_pos =
+  check_range vma ~pos ~len "poke_range";
+  if src_pos < 0 || src_pos + len > Array.length src then
+    invalid_arg "Address_space.poke_range: source range out of bounds";
+  Array.blit src src_pos vma.Vma.data pos len;
+  Bitmap.set_range vma.Vma.present ~pos ~len true;
+  Bitmap.set_range vma.Vma.soft_dirty ~pos ~len true;
+  Bitmap.set_range vma.Vma.cow_pending ~pos ~len false
+
+let zero_range (vma : Vma.t) ~pos ~len =
+  check_range vma ~pos ~len "zero_range";
+  Array.fill vma.Vma.data pos len 0;
+  Bitmap.set_range vma.Vma.present ~pos ~len true;
+  Bitmap.set_range vma.Vma.soft_dirty ~pos ~len true;
+  Bitmap.set_range vma.Vma.cow_pending ~pos ~len false
+
+(* Nonzero-length VMAs have monotone end addresses (sorted and
+   non-overlapping), so the predecessor walk below can stop at the first
+   one that ends at or below [start_addr]; only zero-length entries —
+   which pin no range but may share a start with a live VMA — need to be
+   stepped over. *)
 let overlaps_existing t ~start_addr ~n_pages =
   let stop = start_addr + (n_pages * page_size) in
-  List.exists
-    (fun v -> start_addr < Vma.end_addr v && v.Vma.start_addr < stop)
-    t.vmas
+  let rec back j =
+    j >= 0
+    &&
+    let v = Array.unsafe_get t.arr j in
+    if start_addr < Vma.end_addr v then true
+    else v.Vma.n_pages = 0 && back (j - 1)
+  in
+  back (lower_bound t.arr stop - 1)
 
 let map_at t ~start_addr ~n_pages ~prot kind =
   if overlaps_existing t ~start_addr ~n_pages then
     invalid_arg "Address_space.map_at: overlapping mapping";
   let vma = Vma.create ~id:(fresh_id t) ~start_addr ~n_pages ~prot kind in
-  t.vmas <- insert_sorted t.vmas vma;
+  insert_vma t vma;
   vma
 
+(* Highest free gap in [mmap_base, stack_base): the fallback allocator
+   once the bump cursor runs dry. Scanning top-down and placing at the
+   top of the gap keeps reused ranges away from the heap and makes the
+   placement independent of unmap order. Zero-length VMAs pin no
+   address range and are skipped. *)
+let find_free_gap t ~span =
+  let rec go j upper =
+    if upper - mmap_base < span then None
+    else if j < 0 then Some (upper - span)
+    else
+      let v = Array.unsafe_get t.arr j in
+      if v.Vma.n_pages = 0 then go (j - 1) upper
+      else if Vma.end_addr v <= mmap_base then Some (upper - span)
+      else if v.Vma.start_addr >= upper then go (j - 1) upper
+      else if upper - Vma.end_addr v >= span then Some (upper - span)
+      else go (j - 1) (min upper v.Vma.start_addr)
+  in
+  go (Array.length t.arr - 1) stack_base
+
 let map t ~n_pages ~prot kind =
-  let start_addr = t.mmap_cursor in
-  t.mmap_cursor <- t.mmap_cursor + ((n_pages + 16) * page_size);
+  let span = (n_pages + 16) * page_size in
+  let start_addr =
+    if t.mmap_cursor + span <= stack_base then begin
+      let s = t.mmap_cursor in
+      t.mmap_cursor <- s + span;
+      s
+    end
+    else
+      (* The bump cursor never reuses unmapped ranges; long-lived spaces
+         with mmap/munmap churn would otherwise run off the end of the
+         mmap area even though almost all of it is free. *)
+      match find_free_gap t ~span with
+      | Some s -> s
+      | None -> invalid_arg "Address_space.map: out of address space"
+  in
   map_at t ~start_addr ~n_pages ~prot kind
 
 let unmap t vma =
-  if not (List.memq vma t.vmas) then invalid_arg "Address_space.unmap: foreign VMA";
+  let idx = index_of t vma in
+  if idx < 0 then invalid_arg "Address_space.unmap: foreign VMA";
   salvage_range t vma ~pos:0 ~len:vma.Vma.n_pages;
-  t.vmas <- List.filter (fun v -> v != vma) t.vmas
+  remove_vma t idx
 
 let set_brk t addr =
   if addr < t.heap_base then invalid_arg "Address_space.set_brk: below heap base";
@@ -268,11 +491,11 @@ let set_brk t addr =
   t.brk_addr <- addr
 
 let mprotect t vma prot =
-  if not (List.memq vma t.vmas) then invalid_arg "Address_space.mprotect: foreign VMA";
+  if index_of t vma < 0 then invalid_arg "Address_space.mprotect: foreign VMA";
   vma.Vma.prot <- prot
 
 let madvise_dontneed t vma ~pos ~len =
-  if not (List.memq vma t.vmas) then invalid_arg "Address_space.madvise: foreign VMA";
+  if index_of t vma < 0 then invalid_arg "Address_space.madvise: foreign VMA";
   if len < 0 || pos < 0 || pos + len > vma.Vma.n_pages then
     invalid_arg "Address_space.madvise_dontneed: range out of bounds";
   salvage_range t vma ~pos ~len;
@@ -282,12 +505,20 @@ let madvise_dontneed t vma ~pos ~len =
   Array.fill vma.Vma.data pos len 0
 
 let resize_vma t vma n_pages =
-  if not (List.memq vma t.vmas) then invalid_arg "Address_space.resize_vma: foreign VMA";
+  if index_of t vma < 0 then invalid_arg "Address_space.resize_vma: foreign VMA";
   let stop = vma.Vma.start_addr + (n_pages * page_size) in
+  (* Only successors can collide with growth (predecessors overlapping
+     [vma]'s start would already overlap it today). *)
   let collision =
-    List.exists
-      (fun v -> v != vma && vma.Vma.start_addr < Vma.end_addr v && v.Vma.start_addr < stop)
-      t.vmas
+    let n = Array.length t.arr in
+    let rec scan i =
+      i < n
+      &&
+      let v = Array.unsafe_get t.arr i in
+      v.Vma.start_addr < stop
+      && ((v != vma && vma.Vma.start_addr < Vma.end_addr v) || scan (i + 1))
+    in
+    scan (lower_bound t.arr vma.Vma.start_addr)
   in
   if collision then invalid_arg "Address_space.resize_vma: growth collides with a neighbour";
   if n_pages < vma.Vma.n_pages then
@@ -299,19 +530,30 @@ let sd_enabled t = t.sd_on
 
 let clear_refs t =
   t.sd_on <- true;
-  List.iter (fun v -> Bitmap.fill v.Vma.soft_dirty false) t.vmas
+  Array.iter (fun v -> Bitmap.fill v.Vma.soft_dirty false) t.arr
 
 (* The child must not inherit the parent's salvage hook: its CoW faults
    belong to fork semantics, not to the parent's incremental snapshot. *)
-let clone_cow t = { t with vmas = List.map Vma.clone_cow t.vmas; cow_hook = None }
+let clone_cow t =
+  let child =
+    {
+      t with
+      arr = Array.map Vma.clone_cow t.arr;
+      by_id = Hashtbl.create (Array.length t.arr * 2);
+      mru = None;
+      cow_hook = None;
+    }
+  in
+  Array.iter (fun (v : Vma.t) -> Hashtbl.replace child.by_id v.Vma.id v) child.arr;
+  child
 
 let arm_cow_all t =
-  List.iter (fun (v : Vma.t) -> v.Vma.cow_pending <- Bitmap.copy v.Vma.present) t.vmas
+  Array.iter (fun (v : Vma.t) -> v.Vma.cow_pending <- Bitmap.copy v.Vma.present) t.arr
 
-let total_pages t = List.fold_left (fun acc v -> acc + v.Vma.n_pages) 0 t.vmas
-let present_pages t = List.fold_left (fun acc v -> acc + Bitmap.count v.Vma.present) 0 t.vmas
-let dirty_pages t = List.fold_left (fun acc v -> acc + Bitmap.count v.Vma.soft_dirty) 0 t.vmas
+let total_pages t = Array.fold_left (fun acc v -> acc + v.Vma.n_pages) 0 t.arr
+let present_pages t = Array.fold_left (fun acc v -> acc + Bitmap.count v.Vma.present) 0 t.arr
+let dirty_pages t = Array.fold_left (fun acc v -> acc + Bitmap.count v.Vma.soft_dirty) 0 t.arr
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>brk=%012x sd=%b@ %a@]" t.brk_addr t.sd_on
-    (Format.pp_print_list Vma.pp) t.vmas
+    (Format.pp_print_list Vma.pp) (Array.to_list t.arr)

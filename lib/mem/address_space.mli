@@ -37,6 +37,11 @@ val cost : t -> Gh_kernel.Cost.t
 val vmas : t -> Vma.t list
 (** Ascending by start address. *)
 
+val iter_vmas : t -> (Vma.t -> unit) -> unit
+(** Apply to each VMA in ascending start order, without materialising the
+    list — the allocation-free walk for scan-heavy callers (procfs,
+    statistics). *)
+
 val vma_count : t -> int
 val brk : t -> int
 val heap : t -> Vma.t
@@ -64,6 +69,18 @@ val dirty_range : t -> Gh_sim.Account.t -> Vma.t -> pos:int -> len:int -> value:
 val read_range : t -> Gh_sim.Account.t -> Vma.t -> pos:int -> len:int -> unit
 (** Touch (read) [len] consecutive pages. *)
 
+(** Scalar reference implementations of the bulk accessors, retained for
+    the differential property tests and the mem bench group. Identical
+    observable behavior (bitmaps, data, fault counts, charged ns) to the
+    word-batched kernels above — per-page loops over the same primitive
+    the batched code falls back to for CoW-salvage words. *)
+module Scalar : sig
+  val dirty_range :
+    t -> Gh_sim.Account.t -> Vma.t -> pos:int -> len:int -> value:int -> unit
+
+  val read_range : t -> Gh_sim.Account.t -> Vma.t -> pos:int -> len:int -> unit
+end
+
 (** {2 Kernel-side raw access (uncharged)} *)
 
 val peek : Vma.t -> int -> int
@@ -74,6 +91,14 @@ val poke : Vma.t -> int -> int -> unit
 (** Kernel write: sets the word, marks the page present and soft-dirty
     (a restore write does modify memory; Groundhog resets SD bits after
     restoring, which is what makes this safe). Clears any pending CoW. *)
+
+val poke_range : Vma.t -> pos:int -> len:int -> src:int array -> src_pos:int -> unit
+(** Bulk [poke]: blit [len] words from [src] starting at [src_pos] into
+    pages [pos, pos+len), with word-batched bitmap updates. The restore
+    copy backend. *)
+
+val zero_range : Vma.t -> pos:int -> len:int -> unit
+(** Bulk [poke] of zeros: the restore stack-zeroing backend. *)
 
 (** {2 Layout operations (mechanism only)} *)
 

@@ -58,6 +58,36 @@ let resize t len =
 
 let word t i = if i < Array.length t.words then Array.unsafe_get t.words i else 0
 
+let word_count t = Array.length t.words
+
+let check_word t wi op =
+  if wi < 0 || wi >= Array.length t.words then
+    invalid_arg ("Bitmap." ^ op ^ ": word index out of bounds")
+
+(* Word-level mask ops for the bulk page kernels (dirty_range/read_range and
+   the restore copy backends). [or_word] clamps against the tail so the
+   bits-past-length invariant survives any mask; the other two can only
+   clear bits and need no clamp. *)
+let or_word t wi m =
+  check_word t wi "or_word";
+  let m =
+    if wi = Array.length t.words - 1 then m land tail_mask t.len else m
+  in
+  Array.unsafe_set t.words wi (Array.unsafe_get t.words wi lor m)
+
+let andnot_word t wi m =
+  check_word t wi "andnot_word";
+  Array.unsafe_set t.words wi (Array.unsafe_get t.words wi land lnot m)
+
+let set_word t wi w =
+  check_word t wi "set_word";
+  let w = if wi = Array.length t.words - 1 then w land tail_mask t.len else w in
+  Array.unsafe_set t.words wi w
+
+(* Mask of bit positions [pos, pos+len) within one word (len <= 63). *)
+let mask ~pos ~len =
+  if len <= 0 then 0 else if len >= bits_per_word then full else ((1 lsl len) - 1) lsl pos
+
 (* Branch-free popcount, split into two halves so every mask literal fits
    in OCaml's 63-bit int. *)
 let popcount32 x =
@@ -114,11 +144,6 @@ let check_range t ~pos ~len op =
   if len < 0 || pos < 0 || pos + len > t.len then
     invalid_arg ("Bitmap." ^ op ^ ": range out of bounds")
 
-(* Mask of bit positions [pos, pos+len) within one word; [len = bits_per_word]
-   only occurs with [pos = 0]. *)
-let range_mask ~pos ~len =
-  if len >= bits_per_word then full else ((1 lsl len) - 1) lsl pos
-
 let set_range t ~pos ~len v =
   check_range t ~pos ~len "set_range";
   let i = ref pos in
@@ -126,7 +151,7 @@ let set_range t ~pos ~len v =
   while !i < stop do
     let w = !i / bits_per_word and b = !i mod bits_per_word in
     let n = min (stop - !i) (bits_per_word - b) in
-    let m = range_mask ~pos:b ~len:n in
+    let m = mask ~pos:b ~len:n in
     t.words.(w) <- (if v then t.words.(w) lor m else t.words.(w) land lnot m);
     i := !i + n
   done
@@ -164,7 +189,7 @@ let iter_set_range t ~pos ~len f =
     let base = wi * bits_per_word in
     let m =
       let lo = max 0 (pos - base) and hi = min bits_per_word (stop - base) in
-      range_mask ~pos:lo ~len:(hi - lo)
+      mask ~pos:lo ~len:(hi - lo)
     in
     iter_word base (Array.unsafe_get t.words wi land m) f
   done

@@ -55,6 +55,26 @@ val word : t -> int -> int
     past the last word. For word-batched consumers (the restore engine's
     classifier); bits past [length t] are always zero. *)
 
+val word_count : t -> int
+(** Number of packed words backing the map. *)
+
+val or_word : t -> int -> int -> unit
+(** [or_word t i m] sets the bits of mask [m] in word [i]; bits of [m] past
+    [length t] are ignored (the tail invariant is preserved).
+    @raise Invalid_argument if [i] is not a backing-word index. *)
+
+val andnot_word : t -> int -> int -> unit
+(** [andnot_word t i m] clears the bits of mask [m] in word [i].
+    @raise Invalid_argument if [i] is not a backing-word index. *)
+
+val set_word : t -> int -> int -> unit
+(** [set_word t i w] overwrites word [i] with [w], clamped to the map's
+    length. @raise Invalid_argument if [i] is not a backing-word index. *)
+
+val mask : pos:int -> len:int -> int
+(** Mask of bit positions [\[pos, pos+len)] within one packed word
+    ([pos + len <= bits_per_word]); the word-kernel building block. *)
+
 val iter_set : t -> (int -> unit) -> unit
 (** Apply to each set index, ascending; zero words are skipped whole. *)
 

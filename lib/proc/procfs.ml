@@ -24,14 +24,21 @@ let entry_of_vma (v : Vma.t) =
 
 (* As in Ptrace: a firing fault still charges the attempt's cost. *)
 let read_maps acct (p : Process.t) =
-  let vmas = As.vmas p.Process.mem in
-  let c = As.cost p.Process.mem in
-  Account.charge acct (List.length vmas * c.Cost.maps_read_per_vma_ns);
+  let mem = p.Process.mem in
+  let c = As.cost mem in
+  Account.charge acct (As.vma_count mem * c.Cost.maps_read_per_vma_ns);
   if Fault.fire p.Process.fault Fault.Procfs_maps then Error Fault.Procfs_maps
-  else Ok (List.map entry_of_vma vmas)
+  else begin
+    let acc = ref [] in
+    As.iter_vmas mem (fun v -> acc := entry_of_vma v :: !acc);
+    Ok (List.rev !acc)
+  end
 
 let dirty_sets (p : Process.t) =
-  List.map (fun (v : Vma.t) -> (v, Bitmap.copy v.Vma.soft_dirty)) (As.vmas p.Process.mem)
+  let acc = ref [] in
+  As.iter_vmas p.Process.mem (fun (v : Vma.t) ->
+      acc := (v, Bitmap.copy v.Vma.soft_dirty) :: !acc);
+  List.rev !acc
 
 let scan_soft_dirty acct (p : Process.t) =
   let c = As.cost p.Process.mem in

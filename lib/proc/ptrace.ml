@@ -109,9 +109,7 @@ let write_pages s acct vma ~pos ~len ~src ~src_pos =
   Account.charge acct ((setups * c.Cost.restore_copy_run_setup_ns) + (len * c.Cost.restore_copy_per_page_ns));
   if fires s.proc Fault.Ptrace_write then Error Fault.Ptrace_write
   else begin
-    for i = 0 to len - 1 do
-      As.poke vma (pos + i) src.(src_pos + i)
-    done;
+    As.poke_range vma ~pos ~len ~src ~src_pos;
     Ok ()
   end
 
@@ -125,8 +123,6 @@ let zero_pages s acct vma ~pos ~len =
     (((setups * c.Cost.restore_copy_run_setup_ns) / 2) + (len * c.Cost.stack_zero_per_page_ns));
   if fires s.proc Fault.Ptrace_write then Error Fault.Ptrace_write
   else begin
-    for i = 0 to len - 1 do
-      As.poke vma (pos + i) 0
-    done;
+    As.zero_range vma ~pos ~len;
     Ok ()
   end

@@ -185,6 +185,30 @@ let bitmap_differential =
            runs = model_runs
          end)
 
+let test_bitmap_word_ops () =
+  let bpw = Bitmap.bits_per_word in
+  let n = bpw + 10 in
+  let b = Bitmap.create n in
+  check_int "word count" 2 (Bitmap.word_count b);
+  Bitmap.or_word b 0 0b1010;
+  check_int "or_word" 2 (Bitmap.count b);
+  Bitmap.andnot_word b 0 0b0010;
+  check_int "andnot_word" 1 (Bitmap.count b);
+  check_bool "bit 3 survives" true (Bitmap.get b 3);
+  Bitmap.set_word b 0 0;
+  check_int "set_word clears" 0 (Bitmap.count b);
+  (* Tail clamp: setting every bit of the last word only sets the in-range
+     ones, and the invariant that bits past the length are zero holds. *)
+  Bitmap.or_word b 1 (-1);
+  check_int "or_word clamps to tail" 10 (Bitmap.count b);
+  Bitmap.set_word b 1 (-1);
+  check_int "set_word clamps to tail" 10 (Bitmap.count b);
+  check_int "mask" 0b11100 (Bitmap.mask ~pos:2 ~len:3);
+  check_int "full mask" (-1) (Bitmap.mask ~pos:0 ~len:bpw);
+  Alcotest.check_raises "word oob"
+    (Invalid_argument "Bitmap.or_word: word index out of bounds") (fun () ->
+      Bitmap.or_word b 2 1)
+
 (* -- Prot -- *)
 
 let test_prot () =
@@ -456,6 +480,154 @@ let test_poke_bypasses_protection_and_faults () =
   check_bool "present" true (Bitmap.get heap.Vma.present 5);
   check_bool "marked dirty" true (Bitmap.get heap.Vma.soft_dirty 5)
 
+(* -- Bulk page kernels -- *)
+
+(* Mixed page states straddling word seams: some untouched, some present,
+   some CoW-armed, tracking on. The batched kernels must agree with the
+   retained scalar reference on bitmaps, data, and charged time. *)
+let mixed_space () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  let bpw = Bitmap.bits_per_word in
+  (* Page in a stretch crossing two word seams, then arm CoW on part of it
+     and tracking on the whole space. *)
+  Address_space.dirty_range m a heap ~pos:(bpw - 7) ~len:(bpw + 20) ~value:3;
+  Address_space.arm_cow_all m;
+  Address_space.clear_refs m;
+  (* Untouched markers on a few pages (as a fork child would have). *)
+  Bitmap.set heap.Vma.untouched (bpw - 7) true;
+  Bitmap.set heap.Vma.untouched (bpw + 2) true;
+  (m, heap)
+
+let snapshot_vma (v : Vma.t) =
+  ( Array.copy v.Vma.data,
+    Bitmap.copy v.Vma.present,
+    Bitmap.copy v.Vma.soft_dirty,
+    Bitmap.copy v.Vma.cow_pending,
+    Bitmap.copy v.Vma.untouched )
+
+let check_vma_eq label (d, p, sd, cw, un) (v : Vma.t) =
+  check_bool (label ^ ": data") true (d = v.Vma.data);
+  check_bool (label ^ ": present") true (Bitmap.equal p v.Vma.present);
+  check_bool (label ^ ": soft_dirty") true (Bitmap.equal sd v.Vma.soft_dirty);
+  check_bool (label ^ ": cow_pending") true (Bitmap.equal cw v.Vma.cow_pending);
+  check_bool (label ^ ": untouched") true (Bitmap.equal un v.Vma.untouched)
+
+let test_bulk_dirty_matches_scalar () =
+  let bpw = Bitmap.bits_per_word in
+  let m1, h1 = mixed_space () in
+  let m2, h2 = mixed_space () in
+  let a1 = acct () and a2 = acct () in
+  let pos = bpw - 10 and len = (2 * bpw) + 5 in
+  Address_space.dirty_range m1 a1 h1 ~pos ~len ~value:9;
+  Address_space.Scalar.dirty_range m2 a2 h2 ~pos ~len ~value:9;
+  check_vma_eq "dirty" (snapshot_vma h2) h1;
+  check_int "dirty: charged ns" (Account.total a2) (Account.total a1)
+
+let test_bulk_read_matches_scalar () =
+  let bpw = Bitmap.bits_per_word in
+  let m1, h1 = mixed_space () in
+  let m2, h2 = mixed_space () in
+  let a1 = acct () and a2 = acct () in
+  let pos = bpw - 10 and len = (2 * bpw) + 5 in
+  Address_space.read_range m1 a1 h1 ~pos ~len;
+  Address_space.Scalar.read_range m2 a2 h2 ~pos ~len;
+  check_vma_eq "read" (snapshot_vma h2) h1;
+  check_int "read: charged ns" (Account.total a2) (Account.total a1)
+
+let test_bulk_dirty_with_hook_matches_scalar () =
+  (* With a salvage hook installed, CoW-holding words take the scalar
+     fallback: the hook must fire once per armed page, in page order, with
+     the pre-write contents — identically in both implementations. *)
+  let m1, h1 = mixed_space () in
+  let m2, h2 = mixed_space () in
+  let log1 = ref [] and log2 = ref [] in
+  Address_space.set_cow_hook m1
+    (Some (fun vma i -> log1 := (vma.Vma.id, i, Address_space.peek vma i) :: !log1));
+  Address_space.set_cow_hook m2
+    (Some (fun vma i -> log2 := (vma.Vma.id, i, Address_space.peek vma i) :: !log2));
+  let a1 = acct () and a2 = acct () in
+  let pos = Bitmap.bits_per_word - 10 and len = (2 * Bitmap.bits_per_word) + 5 in
+  Address_space.dirty_range m1 a1 h1 ~pos ~len ~value:9;
+  Address_space.Scalar.dirty_range m2 a2 h2 ~pos ~len ~value:9;
+  check_vma_eq "hooked dirty" (snapshot_vma h2) h1;
+  check_int "hooked dirty: charged ns" (Account.total a2) (Account.total a1);
+  check_bool "hook fired" true (!log1 <> []);
+  check_bool "hook logs identical (order and contents)" true (!log1 = !log2)
+
+let test_bulk_zero_len_is_free () =
+  let m, h = mixed_space () in
+  let a = acct () in
+  let before = snapshot_vma h in
+  Address_space.dirty_range m a h ~pos:0 ~len:0 ~value:1;
+  Address_space.read_range m a h ~pos:0 ~len:0;
+  check_vma_eq "len=0 touches nothing" before h;
+  check_int "len=0 charges nothing" 0 (Account.total a)
+
+let test_poke_and_zero_range () =
+  let m = fresh () in
+  let a = acct () in
+  let heap = Address_space.heap m in
+  Address_space.dirty_range m a heap ~pos:0 ~len:8 ~value:1;
+  Address_space.arm_cow_all m;
+  let src = Array.init 8 (fun i -> 100 + i) in
+  Address_space.poke_range heap ~pos:2 ~len:4 ~src ~src_pos:1;
+  check_int "blitted" 101 (Address_space.peek heap 2);
+  check_int "blitted end" 104 (Address_space.peek heap 5);
+  check_bool "present" true (Bitmap.get heap.Vma.present 3);
+  check_bool "soft-dirty" true (Bitmap.get heap.Vma.soft_dirty 3);
+  check_bool "cow cancelled" false (Bitmap.get heap.Vma.cow_pending 3);
+  check_bool "outside still armed" true (Bitmap.get heap.Vma.cow_pending 0);
+  Address_space.zero_range heap ~pos:2 ~len:2;
+  check_int "zeroed" 0 (Address_space.peek heap 2);
+  check_bool "zeroed page still present" true (Bitmap.get heap.Vma.present 2);
+  Alcotest.check_raises "src oob"
+    (Invalid_argument "Address_space.poke_range: source range out of bounds") (fun () ->
+      Address_space.poke_range heap ~pos:0 ~len:8 ~src ~src_pos:4)
+
+(* -- VMA index -- *)
+
+let test_find_after_unmap_is_none () =
+  let m = fresh () in
+  let v = Address_space.map m ~n_pages:16 ~prot:Prot.rw Vma.Anon in
+  let addr = v.Vma.start_addr + Vma.page_size in
+  (* Make [v] the MRU entry, then unmap: the cursor must not serve stale
+     hits. *)
+  check_bool "found while mapped" true (Address_space.find_vma m addr <> None);
+  Address_space.unmap m v;
+  check_bool "gone after unmap" true (Address_space.find_vma m addr = None);
+  check_bool "id gone too" true (Address_space.find_vma_by_id m v.Vma.id = None)
+
+let test_mmap_cursor_gap_reuse () =
+  (* Long-lived churn: before the fix the bump cursor grew monotonically
+     and ran off the end of the mmap area after a few hundred large
+     map/unmap cycles. Now freed ranges are reused once the cursor is
+     exhausted. *)
+  let m = fresh () in
+  let stack = Address_space.stack m in
+  for _ = 1 to 400 do
+    let v = Address_space.map m ~n_pages:1_000_000 ~prot:Prot.rw Vma.Anon in
+    check_bool "below stack" true (Vma.end_addr v <= stack.Vma.start_addr);
+    check_int "count stable" 5 (Address_space.vma_count m);
+    Address_space.unmap m v
+  done;
+  (* A handful of coexisting large maps still fit via distinct gaps. *)
+  let keep =
+    List.init 4 (fun _ -> Address_space.map m ~n_pages:1_000_000 ~prot:Prot.rw Vma.Anon)
+  in
+  let rec no_overlap = function
+    | (a : Vma.t) :: rest ->
+        List.for_all
+          (fun (b : Vma.t) ->
+            Vma.end_addr a <= b.Vma.start_addr || Vma.end_addr b <= a.Vma.start_addr)
+          rest
+        && no_overlap rest
+    | [] -> true
+  in
+  check_bool "kept maps disjoint" true (no_overlap keep);
+  List.iter (Address_space.unmap m) keep
+
 (* -- CoW salvage hook (incremental snapshots) -- *)
 
 let test_salvage_hook_paths () =
@@ -516,6 +688,7 @@ let () =
           Alcotest.test_case "word boundaries" `Quick test_bitmap_word_boundaries;
           Alcotest.test_case "set_range" `Quick test_bitmap_set_range;
           Alcotest.test_case "bounds checked" `Quick test_bitmap_bounds_checked;
+          Alcotest.test_case "word-level ops" `Quick test_bitmap_word_ops;
           QCheck_alcotest.to_alcotest bitmap_differential;
         ] );
       ("prot", [ Alcotest.test_case "flags" `Quick test_prot ]);
@@ -535,6 +708,17 @@ let () =
           Alcotest.test_case "brk" `Quick test_as_brk;
           Alcotest.test_case "madvise" `Quick test_as_madvise;
           Alcotest.test_case "resize collision" `Quick test_as_resize_collision;
+          Alcotest.test_case "find after unmap" `Quick test_find_after_unmap_is_none;
+          Alcotest.test_case "mmap cursor gap reuse" `Quick test_mmap_cursor_gap_reuse;
+        ] );
+      ( "bulk-kernels",
+        [
+          Alcotest.test_case "dirty_range matches scalar" `Quick test_bulk_dirty_matches_scalar;
+          Alcotest.test_case "read_range matches scalar" `Quick test_bulk_read_matches_scalar;
+          Alcotest.test_case "CoW-hook fallback matches scalar" `Quick
+            test_bulk_dirty_with_hook_matches_scalar;
+          Alcotest.test_case "len=0 is free" `Quick test_bulk_zero_len_is_free;
+          Alcotest.test_case "poke_range / zero_range" `Quick test_poke_and_zero_range;
         ] );
       ( "faults",
         [

@@ -318,6 +318,126 @@ let dirty_range_sets_exactly =
       done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Differential: the word-batched bulk kernels vs the scalar reference. *)
+(* ------------------------------------------------------------------ *)
+
+(* Two address spaces are built identically from a seed (random resident
+   stripes, madvise holes, an extra anon mapping, optional CoW arming and
+   fork-style untouched marks), then the same accesses run batched on one
+   and through [As.Scalar] on the other. Bitmaps, data, charged ns, and
+   CoW-salvage hook logs must be identical. *)
+
+let print_bulk (seed, arm, hook, ops) =
+  Printf.sprintf "seed=%d arm=%b hook=%b ops=[%s]" seed arm hook
+    (String.concat "; "
+       (List.map
+          (fun (anon, rd, pos, len, v) ->
+            Printf.sprintf "%s %s pos=%d len=%d v=%d"
+              (if anon then "anon" else "heap")
+              (if rd then "read" else "write")
+              pos len v)
+          ops))
+
+let bulk_gen =
+  let open QCheck2.Gen in
+  let op = tup5 bool bool (int_bound 210) (int_bound 220) (int_range 1 1000) in
+  tup4 (int_bound 1_000_000) bool bool (list_size (int_range 1 25) op)
+
+let bulk_matches_scalar =
+  QCheck2.Test.make ~name:"bulk kernels match the scalar reference" ~count:300
+    ~print:print_bulk bulk_gen (fun (seed, arm, hook, ops) ->
+      let build () =
+        let rng = Rng.create seed in
+        let m = As.create ~heap_pages:200 ~stack_pages:32 ~cost () in
+        let a = Account.create () in
+        let heap = As.heap m in
+        for _ = 1 to 1 + Rng.int rng 5 do
+          let pos = Rng.int rng 190 in
+          let len = 1 + Rng.int rng (200 - pos) in
+          As.dirty_range m a heap ~pos ~len ~value:(1 + Rng.int rng 100)
+        done;
+        for _ = 1 to Rng.int rng 3 do
+          let pos = Rng.int rng 160 in
+          let len = 1 + Rng.int rng (min 40 (200 - pos)) in
+          As.madvise_dontneed m heap ~pos ~len
+        done;
+        let anon = As.map m ~n_pages:80 ~prot:Prot.rw Vma.Anon in
+        As.dirty_range m a anon ~pos:0 ~len:(1 + Rng.int rng 80) ~value:9;
+        if arm then begin
+          As.arm_cow_all m;
+          As.clear_refs m
+        end;
+        for _ = 1 to Rng.int rng 8 do
+          Bitmap.set heap.Vma.untouched (Rng.int rng 200) true
+        done;
+        (m, heap, anon)
+      in
+      let m1, h1, an1 = build () in
+      let m2, h2, an2 = build () in
+      let log1 = ref [] and log2 = ref [] in
+      if hook then begin
+        As.set_cow_hook m1
+          (Some (fun v i -> log1 := (v.Vma.id, i, As.peek v i) :: !log1));
+        As.set_cow_hook m2
+          (Some (fun v i -> log2 := (v.Vma.id, i, As.peek v i) :: !log2))
+      end;
+      let a1 = Account.create () and a2 = Account.create () in
+      List.iter
+        (fun (use_anon, is_read, pos, len, value) ->
+          let v1 = if use_anon then an1 else h1 in
+          let v2 = if use_anon then an2 else h2 in
+          let pos = if v1.Vma.n_pages = 0 then 0 else pos mod v1.Vma.n_pages in
+          let len = min len (v1.Vma.n_pages - pos) in
+          if is_read then begin
+            As.read_range m1 a1 v1 ~pos ~len;
+            As.Scalar.read_range m2 a2 v2 ~pos ~len
+          end
+          else begin
+            As.dirty_range m1 a1 v1 ~pos ~len ~value;
+            As.Scalar.dirty_range m2 a2 v2 ~pos ~len ~value
+          end)
+        ops;
+      let vma_eq (x : Vma.t) (y : Vma.t) =
+        x.Vma.start_addr = y.Vma.start_addr
+        && x.Vma.n_pages = y.Vma.n_pages
+        && x.Vma.data = y.Vma.data
+        && Bitmap.equal x.Vma.present y.Vma.present
+        && Bitmap.equal x.Vma.soft_dirty y.Vma.soft_dirty
+        && Bitmap.equal x.Vma.cow_pending y.Vma.cow_pending
+        && Bitmap.equal x.Vma.untouched y.Vma.untouched
+      in
+      List.for_all2 vma_eq (As.vmas m1) (As.vmas m2)
+      && Account.total a1 = Account.total a2
+      && !log1 = !log2)
+
+(* The zero-elided snapshot copy stores exactly the source contents, with
+   a [zeros] map that marks precisely the zero pages — on any layout a
+   random mutation sequence can produce. *)
+let snapshot_zeros_faithful =
+  QCheck2.Test.make ~name:"snapshot copy is faithful with an exact zeros map" ~count:100
+    ~print:print_ops ops_gen (fun ops ->
+      let mem = As.create ~heap_pages:256 ~stack_pages:32 ~cost () in
+      let p = Process.create ~mem ~n_threads:1 () in
+      let mapped = ref [] in
+      List.iter (apply_op p mapped) ops;
+      let snap = Snapshot.capture_exn (Account.create ()) p in
+      List.for_all2
+        (fun (r : Snapshot.region) (v : Vma.t) ->
+          r.Snapshot.start_addr = v.Vma.start_addr
+          && r.Snapshot.n_pages = v.Vma.n_pages
+          && r.Snapshot.data = v.Vma.data
+          && Bitmap.length r.Snapshot.zeros = v.Vma.n_pages
+          && begin
+               let ok = ref true in
+               for i = 0 to v.Vma.n_pages - 1 do
+                 if Bitmap.get r.Snapshot.zeros i <> (r.Snapshot.data.(i) = 0) then
+                   ok := false
+               done;
+               !ok
+             end)
+        snap.Snapshot.regions (As.vmas p.Process.mem))
+
 (* ------------------------------------------------------ *)
 (* Strategy invariants over randomly generated functions.  *)
 (* ------------------------------------------------------ *)
@@ -418,4 +538,6 @@ let () =
           to_alcotest online_stats_match;
           to_alcotest dirty_range_sets_exactly;
         ] );
+      ( "mem-kernels",
+        [ to_alcotest bulk_matches_scalar; to_alcotest snapshot_zeros_faithful ] );
     ]

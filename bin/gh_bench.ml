@@ -24,6 +24,26 @@ let seed_arg =
 
 let with_seed cfg seed = { cfg with Gh_harness.Config.seed = seed }
 
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content);
+  Printf.printf "wrote %s\n%!" path
+
+let export_observability ?trace_out ?metrics_out spans metrics =
+  (match trace_out with
+  | Some path -> write_file path (Gh_sim.Span.chrome_json spans)
+  | None -> ());
+  match metrics_out with
+  | Some path ->
+      let buf = Buffer.create 4096 in
+      let ppf = Format.formatter_of_buffer buf in
+      Gh_sim.Metrics.render ppf metrics;
+      Format.pp_print_flush ppf ();
+      write_file path (Buffer.contents buf)
+  | None -> ()
+
 (* -- run -- *)
 
 let experiments_arg =
@@ -34,9 +54,25 @@ let output_arg =
   let doc = "Write each experiment's report into $(docv)/<experiment>.txt instead of stdout." in
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"DIR" ~doc)
 
+let trace_out_arg =
+  let doc = "Also export a Chrome trace-event JSON of every request span to $(docv) (load it in Perfetto or chrome://tracing)." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc = "Also export a text snapshot of the metrics registry to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
-  let run profile seed output names =
+  let run profile seed output trace_out metrics_out names =
     let cfg = with_seed profile seed in
+    (* Observability sinks are attached only on request; either way the
+       simulated runs are bit-identical (collectors only read clocks). *)
+    let spans = Gh_sim.Span.create () in
+    let metrics = Gh_sim.Metrics.create () in
+    let cfg =
+      if trace_out = None && metrics_out = None then cfg
+      else { cfg with Gh_harness.Config.spans = Some spans; metrics = Some metrics }
+    in
     let with_ppf id k =
       match output with
       | None -> k Format.std_formatter
@@ -77,13 +113,17 @@ let run_cmd =
             | Error msg -> Error msg)
         names
     in
+    export_observability ?trace_out ?metrics_out spans metrics;
     match List.find_opt Result.is_error results with
     | Some (Error msg) -> `Error (false, msg)
     | _ -> `Ok ()
   in
   let doc = "Regenerate one or more of the paper's tables/figures." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(ret (const run $ profile_arg $ seed_arg $ output_arg $ experiments_arg))
+    Term.(
+      ret
+        (const run $ profile_arg $ seed_arg $ output_arg $ trace_out_arg $ metrics_out_arg
+       $ experiments_arg))
 
 (* -- list -- *)
 
@@ -170,42 +210,120 @@ let trace_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name.")
   in
   let n_arg = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Requests to trace.") in
-  let run seed bench n =
-    match Gh_workloads.Catalog.find bench with
-    | None -> `Error (false, Printf.sprintf "benchmark %S not in catalog" bench)
-    | Some entry ->
-        let trace = Gh_sim.Trace.create () in
-        let root = Gh_sim.Rng.create seed in
-        let deployment =
-          Gh_faas.Openwhisk.deploy ~trace
-            { Gh_faas.Openwhisk.default_config with Gh_faas.Openwhisk.n_cores = 1; seed }
-            ~make_strategy:(fun i ->
-              match
-                Gh_isolation.Registry.make Gh_isolation.Registry.Gh
-                  ~rng:(Gh_sim.Rng.named_split root (string_of_int i))
-                  entry.Gh_workloads.Catalog.spec
-              with
-              | Ok s -> s
-              | Error msg -> failwith msg)
-        in
-        let principals =
-          [|
-            Gh_faas.Principal.make ~id:1 ~name:"alice";
-            Gh_faas.Principal.make ~id:2 ~name:"bob";
-          |]
-        in
-        ignore
-          (Gh_faas.Client.closed_loop deployment.Gh_faas.Openwhisk.engine
-             deployment.Gh_faas.Openwhisk.controller ~n_requests:n
-             ~think_ns:(Gh_sim.Time_ns.of_ms 20.0) ~principals
-             ~input_kb:entry.Gh_workloads.Catalog.spec.Gh_faas.Function_model.input_kb);
-        Format.printf "Container timeline for %s under Groundhog (%d requests):@."
-          entry.Gh_workloads.Catalog.display n;
-        Gh_sim.Trace.render Format.std_formatter trace;
-        `Ok ()
+  let strat_arg =
+    Arg.(
+      value & opt string "gh"
+      & info [ "strategy"; "s" ] ~doc:"Isolation strategy: base, gh, gh-nop, fork, faasm, coldstart, criu.")
   in
-  let doc = "Print a traced container timeline (serve/respond/restore/idle) for one benchmark." in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(ret (const run $ seed_arg $ bench_arg $ n_arg))
+  let run seed bench n strat trace_out metrics_out =
+    match (Gh_workloads.Catalog.find bench, Gh_isolation.Registry.of_string strat) with
+    | None, _ -> `Error (false, Printf.sprintf "benchmark %S not in catalog" bench)
+    | _, Error msg -> `Error (false, msg)
+    | Some entry, Ok strategy -> (
+        let spec = entry.Gh_workloads.Catalog.spec in
+        if not (Gh_isolation.Registry.supports strategy spec) then
+          `Error (false, Printf.sprintf "strategy %s does not support %s" strat bench)
+        else begin
+          let trace = Gh_sim.Trace.create () in
+          let spans = Gh_sim.Span.create () in
+          let root = Gh_sim.Rng.create seed in
+          let make_strategy salt i =
+            match
+              Gh_isolation.Registry.make strategy
+                ~rng:(Gh_sim.Rng.named_split root (salt ^ string_of_int i))
+                spec
+            with
+            | Ok s -> s
+            | Error msg -> failwith msg
+          in
+          let deployment =
+            Gh_faas.Openwhisk.deploy ~trace ~spans
+              { Gh_faas.Openwhisk.default_config with Gh_faas.Openwhisk.n_cores = 1; seed }
+              ~make_strategy:(make_strategy "platform")
+          in
+          let principals =
+            [|
+              Gh_faas.Principal.make ~id:1 ~name:"alice";
+              Gh_faas.Principal.make ~id:2 ~name:"bob";
+            |]
+          in
+          ignore
+            (Gh_faas.Client.closed_loop deployment.Gh_faas.Openwhisk.engine
+               deployment.Gh_faas.Openwhisk.controller ~n_requests:n
+               ~think_ns:(Gh_sim.Time_ns.of_ms 20.0) ~principals
+               ~input_kb:spec.Gh_faas.Function_model.input_kb);
+          Format.printf "Container timeline for %s under %s (%d requests):@."
+            entry.Gh_workloads.Catalog.display strat n;
+          Gh_sim.Trace.render Format.std_formatter trace;
+          (* A second run of the same workload through the multi-tenant node
+             populates the metrics registry (per-function counters, latency
+             histogram, node gauges) for the metrics snapshot. *)
+          let node_engine = Gh_sim.Engine.create () in
+          let node =
+            Gh_faas.Node.create node_engine
+              { Gh_faas.Node.default_config with Gh_faas.Node.total_cores = 1 }
+              ~make_strategy:(fun _name sp ->
+                match
+                  Gh_isolation.Registry.make strategy
+                    ~rng:(Gh_sim.Rng.named_split root "node")
+                    sp
+                with
+                | Ok s -> s
+                | Error msg -> failwith msg)
+          in
+          Gh_faas.Node.register node ~name:spec.Gh_faas.Function_model.name spec;
+          for i = 1 to n do
+            Gh_sim.Engine.at node_engine
+              ~time:((i - 1) * Gh_sim.Time_ns.of_ms 30.0)
+              (fun () ->
+                Gh_faas.Node.submit node ~name:spec.Gh_faas.Function_model.name
+                  (Gh_faas.Request.make ~id:i
+                     ~principal:principals.((i - 1) mod Array.length principals)
+                     ~input_kb:spec.Gh_faas.Function_model.input_kb ()))
+          done;
+          Gh_sim.Engine.run_all node_engine;
+          (match Gh_sim.Span.check spans with
+          | Ok () -> ()
+          | Error msg -> Format.printf "@.SPAN INVARIANT VIOLATION: %s@." msg);
+          Format.printf "@.%a@." Gh_sim.Critical_path.pp
+            (Gh_sim.Critical_path.analyze spans);
+          export_observability ?trace_out ?metrics_out spans
+            (Gh_faas.Node.metrics node);
+          `Ok ()
+        end)
+  in
+  let doc =
+    "Trace one benchmark: print the container timeline and the critical-path report; \
+     optionally export request spans as Chrome trace-event JSON (--trace-out, \
+     Perfetto-loadable) and a metrics snapshot (--metrics-out)."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      ret
+        (const run $ seed_arg $ bench_arg $ n_arg $ strat_arg $ trace_out_arg
+       $ metrics_out_arg))
+
+(* -- trace-validate: schema-check an exported Chrome trace -- *)
+
+let trace_validate_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace JSON to validate.")
+  in
+  let run file =
+    match In_channel.with_open_text file In_channel.input_all with
+    | exception Sys_error msg -> `Error (false, msg)
+    | content -> (
+        match Gh_sim.Json.of_string content with
+        | Error msg -> `Error (false, Printf.sprintf "%s: invalid JSON: %s" file msg)
+        | Ok json -> (
+            match Gh_sim.Span.validate_chrome json with
+            | Error msg -> `Error (false, Printf.sprintf "%s: bad trace: %s" file msg)
+            | Ok n ->
+                Printf.printf "%s: valid Chrome trace, %d events\n" file n;
+                `Ok ()))
+  in
+  let doc = "Validate an exported trace file against the Chrome trace-event schema." in
+  Cmd.v (Cmd.info "trace-validate" ~doc) Term.(ret (const run $ file_arg))
 
 (* -- compare: all strategies side by side on one benchmark -- *)
 
@@ -412,6 +530,7 @@ let main =
       compare_cmd;
       security_cmd;
       trace_cmd;
+      trace_validate_cmd;
       fault_cmd;
       overload_cmd;
     ]

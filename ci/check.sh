@@ -23,4 +23,15 @@ dune exec bin/gh_bench.exe -- fault --smoke --seed 42 >/dev/null
 # counted a miss, a shed request that consumed restore work, a non-clean
 # serve, or cross-principal residue.
 dune exec bin/gh_bench.exe -- overload --smoke --seed 42 >/dev/null
+
+# Observability smoke: export a trace + metrics snapshot from a fixed-seed
+# run, validate the Chrome trace JSON against our own parser/schema check,
+# and diff the metrics snapshot against the committed baseline — any
+# counting drift (or nondeterminism) in the instrumented stack fails CI.
+dune exec bin/gh_bench.exe -- trace "json (n)" --seed 42 \
+  --trace-out /tmp/gh_ci_trace.json --metrics-out /tmp/gh_ci_metrics.txt \
+  >/dev/null
+dune exec bin/gh_bench.exe -- trace-validate /tmp/gh_ci_trace.json >/dev/null
+diff -u ci/metrics_baseline.txt /tmp/gh_ci_metrics.txt
+
 echo "ci/check.sh: OK"

@@ -1,0 +1,36 @@
+(* Regenerate the golden Chrome-trace file used by test_observability:
+
+     dune exec examples/gen_golden.exe > test/golden_trace.json
+
+   The scenario must stay in lockstep with [golden_spans] in
+   test/test_observability.ml: one request with a controller hand-off, an
+   exec span with an I/O child, and a deferred (off-path) restore whose
+   stop lies past the client response — exercising the watermark rule,
+   attrs, parent links and the metadata rows in one small document. *)
+
+module Span = Gh_sim.Span
+
+let () =
+  let t = Span.create () in
+  let root = Span.ensure_root t ~at:0 ~req_id:1 ~attrs:[ ("principal", "alice") ] () in
+  ignore
+    (Span.complete t ~start:0 ~stop:1_000_000 ~parent:root ~name:"controller-front"
+       ~cat:"controller" ());
+  let exec =
+    Span.complete t ~start:1_000_000 ~stop:5_000_000 ~parent:root ~name:"exec"
+      ~cat:"container"
+      ~attrs:[ ("container", "0"); ("outcome", "completed") ]
+      ()
+  in
+  ignore
+    (Span.complete t ~start:4_000_000 ~stop:5_000_000 ~parent:exec ~name:"actionloop-io"
+       ~cat:"io" ());
+  let restore =
+    Span.complete t ~start:5_000_000 ~stop:7_000_000 ~parent:root ~name:"gh-restore"
+      ~cat:"restore" ~attrs:[ ("offpath", "true") ] ()
+  in
+  ignore
+    (Span.complete t ~start:5_000_000 ~stop:7_000_000 ~parent:restore ~name:"copy"
+       ~cat:"restore-step" ());
+  Span.finish_root t ~at:5_500_000 ~attrs:[ ("e2e_ns", "5500000") ] ~req_id:1 ();
+  print_endline (Span.chrome_json t)

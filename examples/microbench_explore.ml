@@ -54,14 +54,10 @@ let gh_with_cost cost spec =
         Groundhog_core.Manager.mark_dirty mgr;
         let b = Groundhog_core.Manager.restore_exn mgr in
         restored := true;
-        {
-          Intf.on_path_ns = Account.total acct;
-          post_ns = b.Groundhog_core.Breakdown.total_ns;
-          response;
-          breakdown = Some b;
-          isolated = true;
-          outcome = Intf.outcome_of_response response;
-        });
+        Intf.invocation ~on_path_ns:(Account.total acct)
+          ~post_ns:b.Groundhog_core.Breakdown.total_ns ~breakdown:b ~isolated:true
+          ~restore_label:"gh-restore" ~outcome:(Intf.outcome_of_response response)
+          response);
     snapshot_pages = (fun () -> 0);
     describe = (fun () -> "gh with a variant cost model");
     status = Intf.no_status;

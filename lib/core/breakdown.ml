@@ -87,6 +87,20 @@ let steps t =
     ("detach", t.detach_ns);
   ]
 
+(* The steps as consecutive (label, start, stop) windows from [start]:
+   restore.ml charges them back-to-back (each is an [Account.since] between
+   contiguous marks), so laying them out sequentially reproduces the real
+   timeline and the windows sum exactly to [total_ns]. Zero-length steps
+   are dropped. *)
+let intervals t ~start =
+  let _, acc =
+    List.fold_left
+      (fun (at, acc) (label, ns) ->
+        if ns <= 0 then (at, acc) else (at + ns, (label, at, at + ns) :: acc))
+      (start, []) (steps t)
+  in
+  List.rev acc
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>restore total %a (%d pages restored, %d madvised, %d syscalls)@ "
     Gh_sim.Time_ns.pp t.total_ns t.pages_restored t.pages_madvised t.syscalls_injected;

@@ -28,4 +28,10 @@ val scale : t -> float -> t
 val steps : t -> (string * int) list
 (** Ordered (label, ns) pairs of the nine steps — Fig. 8's stack. *)
 
+val intervals : t -> start:int -> (string * int * int) list
+(** The nonzero steps as consecutive (label, start, stop) windows laid
+    out from [start] in step order. The steps are charged back-to-back
+    during a restore, so the windows tile [start, start + total_ns]
+    exactly — ready to become child spans of a restore span. *)
+
 val pp : Format.formatter -> t -> unit

@@ -7,16 +7,19 @@ type t = {
   inbox : message Queue.t;
   mutable delivered : int;
   mutable delivered_dirty : int;
+  mutable io_ns : int;  (* cumulative interposition copy cost, both ways *)
 }
 
-let create rt = { rt; inbox = Queue.create (); delivered = 0; delivered_dirty = 0 }
+let create rt = { rt; inbox = Queue.create (); delivered = 0; delivered_dirty = 0; io_ns = 0 }
 
 let copy_cost_ns (rt : Runtime.t) ~kb =
   rt.Runtime.proxy_fixed_ns + (kb * rt.Runtime.proxy_per_kb_ns)
 
 let deliver t acct ~clean (m : message) =
   if not clean then t.delivered_dirty <- t.delivered_dirty + 1;
-  Account.charge acct (copy_cost_ns t.rt ~kb:m.payload_kb);
+  let cost = copy_cost_ns t.rt ~kb:m.payload_kb in
+  Account.charge acct cost;
+  t.io_ns <- t.io_ns + cost;
   t.delivered <- t.delivered + 1;
   m.request
 
@@ -44,8 +47,11 @@ let drain t acct ~clean =
 (* The response rides the already-open pipe: per-KB copy, no per-message
    wrapper setup (that was paid on the input side). *)
 let return_output t acct ~output_kb =
-  Account.charge acct (output_kb * t.rt.Runtime.proxy_per_kb_ns)
+  let cost = output_kb * t.rt.Runtime.proxy_per_kb_ns in
+  Account.charge acct cost;
+  t.io_ns <- t.io_ns + cost
 
+let io_total_ns t = t.io_ns
 let buffered t = Queue.length t.inbox
 let delivered t = t.delivered
 let delivered_while_dirty t = t.delivered_dirty

@@ -51,3 +51,8 @@ val delivered_while_dirty : t -> int
 
 val copy_cost_ns : Runtime.t -> kb:int -> int
 (** The modelled interposition cost for one message of [kb]. *)
+
+val io_total_ns : t -> int
+(** Cumulative copy cost charged through this loop, both directions.
+    Strategies mark it around an invoke to attribute the request's
+    actionloop I/O to its span. *)

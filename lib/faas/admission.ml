@@ -13,6 +13,7 @@
    experiments are bit-identical. *)
 
 module Time_ns = Gh_sim.Time_ns
+module Trace = Gh_sim.Trace
 
 type policy =
   | Fifo  (** Drop-tail: reject the newcomer when full. *)
@@ -55,6 +56,8 @@ type 'a entry = { req : Request.t; payload : 'a; seq : int }
 
 type 'a t = {
   cfg : config;
+  trace : Trace.t option;
+  label : string;  (* names this queue in trace events *)
   (* Oldest first (ascending [seq]). Queues are short (bounded) so list
      surgery is fine; the unbounded default only ever appends and pops
      the head. *)
@@ -67,9 +70,11 @@ type 'a t = {
   on_shed : reason -> Request.t -> 'a -> unit;
 }
 
-let create ?(on_shed = fun _ _ _ -> ()) cfg =
+let create ?trace ?(label = "queue") ?(on_shed = fun _ _ _ -> ()) cfg =
   {
     cfg;
+    trace;
+    label;
     items = [];
     next_seq = 0;
     length = 0;
@@ -86,9 +91,12 @@ let shed_count t = t.shed
 let expired_count t = t.expired
 let config t = t.cfg
 
-let drop t reason e =
+let drop t ~now reason e =
   t.length <- t.length - 1;
   (match reason with Expired -> t.expired <- t.expired + 1 | _ -> t.shed <- t.shed + 1);
+  Trace.emitf_opt t.trace ~at:now ~category:"admission" ~what:(reason_name reason)
+    "%s req#%d dropped (%s, depth %d)" t.label e.req.Request.id (policy_name t.cfg.policy)
+    t.length;
   t.on_shed reason e.req e.payload
 
 (* Shed every queued entry whose deadline has passed: none of them can
@@ -98,7 +106,7 @@ let purge_expired t ~now =
     let live, dead = List.partition (fun e -> not (Request.expired e.req ~now)) t.items in
     if dead <> [] then begin
       t.items <- live;
-      List.iter (fun e -> drop t Expired e) dead
+      List.iter (fun e -> drop t ~now Expired e) dead
     end
   end
 
@@ -161,6 +169,8 @@ let admit t ~now req payload =
   if Request.expired req ~now then begin
     (* Dead on arrival: reject at the door, cheapest possible shed. *)
     t.expired <- t.expired + 1;
+    Trace.emitf_opt t.trace ~at:now ~category:"admission" ~what:(reason_name Expired)
+      "%s req#%d dead on arrival" t.label req.Request.id;
     t.on_shed Expired req payload;
     false
   end
@@ -170,7 +180,7 @@ let admit t ~now req payload =
     else begin
       let victim = pick_victim t e in
       remove t victim;
-      drop t Capacity victim;
+      drop t ~now Capacity victim;
       victim.seq <> e.seq
     end
   end
@@ -193,9 +203,9 @@ let take t ~now =
           t.length <- t.length - 1;
           Some (e.req, e.payload))
 
-let shed_all t reason =
+let shed_all ?(now = 0) t reason =
   let dead = t.items in
   t.items <- [];
-  List.iter (fun e -> drop t reason e) dead
+  List.iter (fun e -> drop t ~now reason e) dead
 
 let iter t f = List.iter (fun e -> f e.req e.payload) t.items

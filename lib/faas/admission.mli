@@ -42,9 +42,16 @@ val bounded : ?policy:policy -> int -> config
 type 'a t
 (** A queue of requests with a ['a] payload (completion callbacks etc.). *)
 
-val create : ?on_shed:(reason -> Request.t -> 'a -> unit) -> config -> 'a t
+val create :
+  ?trace:Gh_sim.Trace.t ->
+  ?label:string ->
+  ?on_shed:(reason -> Request.t -> 'a -> unit) ->
+  config ->
+  'a t
 (** [on_shed] fires once per dropped entry, including dead-on-arrival
-    rejections that were never enqueued. *)
+    rejections that were never enqueued. With [trace], every drop emits an
+    ["admission"] event stamped with the caller's [~now]; [label] names
+    this queue in those events (default ["queue"]). *)
 
 val admit : 'a t -> now:Gh_sim.Time_ns.t -> Request.t -> 'a -> bool
 (** Purge expired entries, then enqueue. Returns [false] iff the request
@@ -59,8 +66,9 @@ val purge_expired : 'a t -> now:Gh_sim.Time_ns.t -> unit
 (** Shed every queued entry whose deadline has passed. Called internally by
     {!admit}/{!take}; exposed so owners can purge before counting. *)
 
-val shed_all : 'a t -> reason -> unit
-(** Drop everything queued (e.g. when the owning pool is being torn down). *)
+val shed_all : ?now:Gh_sim.Time_ns.t -> 'a t -> reason -> unit
+(** Drop everything queued (e.g. when the owning pool is being torn down).
+    [now] only timestamps the trace events (default 0). *)
 
 val iter : 'a t -> (Request.t -> 'a -> unit) -> unit
 

@@ -20,6 +20,7 @@
    a fixed seed replays the same level trajectory. *)
 
 module Time_ns = Gh_sim.Time_ns
+module Trace = Gh_sim.Trace
 
 type level = Normal | Degraded | Shedding
 
@@ -57,6 +58,7 @@ let validate cfg =
 
 type t = {
   cfg : config;
+  trace : Trace.t option;
   mutable level : level;
   mutable over_streak : int;
   mutable under_streak : int;
@@ -64,16 +66,24 @@ type t = {
   mutable recoveries : int;
 }
 
-let create cfg =
+let create ?trace cfg =
   validate cfg;
-  { cfg; level = Normal; over_streak = 0; under_streak = 0; escalations = 0; recoveries = 0 }
+  {
+    cfg;
+    trace;
+    level = Normal;
+    over_streak = 0;
+    under_streak = 0;
+    escalations = 0;
+    recoveries = 0;
+  }
 
 let level t = t.level
 let config t = t.cfg
 let escalations t = t.escalations
 let recoveries t = t.recoveries
 
-let observe t delay_ns =
+let observe ?(at = 0) t delay_ns =
   let cfg = t.cfg in
   let recover_below = cfg.hysteresis *. float_of_int cfg.target_delay_ns in
   if delay_ns > cfg.target_delay_ns then begin
@@ -83,6 +93,9 @@ let observe t delay_ns =
       t.level <- of_rank (rank t.level + 1);
       t.over_streak <- 0;
       t.escalations <- t.escalations + 1;
+      Trace.emitf_opt t.trace ~at ~category:"brownout" ~what:"escalate"
+        "-> %s (delay %.2fms over %.2fms target)" (level_name t.level) (Time_ns.to_ms delay_ns)
+        (Time_ns.to_ms cfg.target_delay_ns);
       true
     end
     else false
@@ -94,6 +107,9 @@ let observe t delay_ns =
       t.level <- of_rank (rank t.level - 1);
       t.under_streak <- 0;
       t.recoveries <- t.recoveries + 1;
+      Trace.emitf_opt t.trace ~at ~category:"brownout" ~what:"recover"
+        "-> %s (delay %.2fms under %.0f%% of target)" (level_name t.level)
+        (Time_ns.to_ms delay_ns) (100.0 *. cfg.hysteresis);
       true
     end
     else false

@@ -32,12 +32,15 @@ val default_config : config
 
 type t
 
-val create : config -> t
-(** @raise Invalid_argument on a non-sensical config. *)
+val create : ?trace:Gh_sim.Trace.t -> config -> t
+(** With [trace], level changes emit ["brownout"] escalate/recover
+    events (timestamped by {!observe}'s [?at]).
+    @raise Invalid_argument on a non-sensical config. *)
 
-val observe : t -> Gh_sim.Time_ns.t -> bool
+val observe : ?at:Gh_sim.Time_ns.t -> t -> Gh_sim.Time_ns.t -> bool
 (** [observe t delay_ns] feeds one queueing-delay sample (taken at
-    dispatch); returns [true] iff the level changed. *)
+    dispatch); returns [true] iff the level changed. [at] only timestamps
+    the trace event (default 0). *)
 
 val level : t -> level
 val config : t -> config

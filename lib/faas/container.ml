@@ -1,5 +1,6 @@
 module Engine = Gh_sim.Engine
 module Trace = Gh_sim.Trace
+module Span = Gh_sim.Span
 module Time_ns = Gh_sim.Time_ns
 module Rng = Gh_sim.Rng
 
@@ -27,6 +28,7 @@ type t = {
   mutable strategy : Strategy_intf.t;
   engine : Engine.t;
   trace : Trace.t option;
+  spans : Span.t option;
   recovery : recovery;
   rebuild : (unit -> (Strategy_intf.t, string) result) option;
   rng : Rng.t option;
@@ -42,12 +44,13 @@ type t = {
   mutable recovery_ns : Time_ns.t list;
 }
 
-let create ?trace ?(recovery = default_recovery) ?rebuild ?rng engine ~id strategy =
+let create ?trace ?spans ?(recovery = default_recovery) ?rebuild ?rng engine ~id strategy =
   {
     id;
     strategy;
     engine;
     trace;
+    spans;
     recovery;
     rebuild;
     rng;
@@ -64,10 +67,86 @@ let create ?trace ?(recovery = default_recovery) ?rebuild ?rng engine ~id strate
   }
 
 let trace_emit t ~what detail =
-  match t.trace with
-  | Some tr ->
-      Trace.emitf tr ~at:(Engine.now t.engine) ~category:"container" ~what "c%d %s" t.id detail
+  Trace.emitf_opt t.trace ~at:(Engine.now t.engine) ~category:"container" ~what "c%d %s" t.id
+    detail
+
+(* Span emission for one invocation. Every bound below is already decided
+   when the strategy returns (the simulated work is pure), so the whole
+   tree — dispatch, exec with its cold-start / on-path-restore / I/O
+   children, and the deferred restore with its Breakdown-step children —
+   is recorded up front with exact timestamps. Reads [Engine.now] only:
+   zero simulated cost. *)
+let span_emit t req (inv : Strategy_intf.invocation) ~dispatch_ns =
+  match t.spans with
   | None -> ()
+  | Some sp ->
+      let now = Engine.now t.engine in
+      let root =
+        Span.ensure_root sp ~at:now ~req_id:req.Request.id
+          ~attrs:[ ("principal", req.Request.principal.Principal.name) ]
+          ()
+      in
+      let t1 = now + dispatch_ns in
+      if dispatch_ns > 0 then
+        ignore
+          (Span.complete sp ~start:now ~stop:t1 ~parent:root ~name:"dispatch" ~cat:"container" ());
+      let exec_stop = t1 + inv.Strategy_intf.on_path_ns in
+      let exec =
+        Span.complete sp ~start:t1 ~stop:exec_stop ~parent:root ~name:"exec" ~cat:"container"
+          ~attrs:
+            [
+              ("container", string_of_int t.id);
+              ("strategy", t.strategy.Strategy_intf.name);
+              ("outcome", Strategy_intf.outcome_name inv.Strategy_intf.outcome);
+              ("isolated", string_of_bool inv.Strategy_intf.isolated);
+            ]
+          ()
+      in
+      let cursor = ref t1 in
+      if inv.Strategy_intf.cold_ns > 0 then begin
+        ignore
+          (Span.complete sp ~start:!cursor ~stop:(!cursor + inv.Strategy_intf.cold_ns)
+             ~parent:exec ~name:"cold-start" ~cat:"container" ());
+        cursor := !cursor + inv.Strategy_intf.cold_ns
+      end;
+      if inv.Strategy_intf.restore_on_path_ns > 0 then begin
+        ignore
+          (Span.complete sp ~start:!cursor
+             ~stop:(!cursor + inv.Strategy_intf.restore_on_path_ns)
+             ~parent:exec ~name:"restore-on-path" ~cat:"restore" ());
+        cursor := !cursor + inv.Strategy_intf.restore_on_path_ns
+      end;
+      if inv.Strategy_intf.io_ns > 0 && exec_stop - inv.Strategy_intf.io_ns >= !cursor then
+        ignore
+          (Span.complete sp ~start:(exec_stop - inv.Strategy_intf.io_ns) ~stop:exec_stop
+             ~parent:exec ~name:"actionloop-io" ~cat:"io" ());
+      match inv.Strategy_intf.outcome with
+      | Strategy_intf.Hung -> ()
+      | outcome when inv.Strategy_intf.post_ns > 0 ->
+          let label =
+            match inv.Strategy_intf.restore_label with "" -> "restore" | l -> l
+          in
+          let restore =
+            Span.complete sp ~start:exec_stop ~stop:(exec_stop + inv.Strategy_intf.post_ns)
+              ~parent:root ~name:label ~cat:"restore"
+              ~attrs:
+                [
+                  ("offpath", "true");
+                  ("container", string_of_int t.id);
+                  ("outcome", Strategy_intf.outcome_name outcome);
+                ]
+              ()
+          in
+          (match inv.Strategy_intf.breakdown with
+          | Some b ->
+              List.iter
+                (fun (step, s0, s1) ->
+                  ignore
+                    (Span.complete sp ~start:s0 ~stop:s1 ~parent:restore ~name:step
+                       ~cat:"restore-step" ()))
+                (Groundhog_core.Breakdown.intervals b ~start:exec_stop)
+          | None -> ())
+      | _ -> ()
 
 let id t = t.id
 let state t = t.state
@@ -138,6 +217,7 @@ let submit ?(dispatch_ns = 0) t req ~on_response =
   (* The strategy computes costs immediately (the simulated work is pure);
      the engine realizes them as elapsed simulated time. *)
   let inv = t.strategy.Strategy_intf.invoke req in
+  span_emit t req inv ~dispatch_ns;
   match inv.Strategy_intf.outcome with
   | Strategy_intf.Hung -> (
       (* No response will ever arrive. Hang detection is the engine clock
@@ -150,6 +230,14 @@ let submit ?(dispatch_ns = 0) t req ~on_response =
               trace_emit t ~what:"timeout"
                 (Printf.sprintf "req#%d killed after %.0fms" req.Request.id
                    (Time_ns.to_ms timeout));
+              (match t.spans with
+              | Some sp ->
+                  let now = Engine.now t.engine in
+                  ignore
+                    (Span.complete sp ~start:now ~stop:now ~track:req.Request.id
+                       ~parent:(Span.ensure_root sp ~at:now ~req_id:req.Request.id ())
+                       ~name:"timeout-kill" ~cat:"failure" ())
+              | None -> ());
               t.strategy.Strategy_intf.kill ();
               fail t Timed_out req)
       | None ->

@@ -40,6 +40,7 @@ type t
 
 val create :
   ?trace:Gh_sim.Trace.t ->
+  ?spans:Gh_sim.Span.t ->
   ?recovery:recovery ->
   ?rebuild:(unit -> (Strategy_intf.t, string) result) ->
   ?rng:Gh_sim.Rng.t ->
@@ -48,9 +49,14 @@ val create :
   Strategy_intf.t ->
   t
 (** [trace] records serve/respond/restore/idle transitions (and the
-    recovery transitions). [rebuild] builds a replacement strategy for the
-    cold-restart path; without it any failure retires the container.
-    [rng] jitters the rebuild backoff. *)
+    recovery transitions). [spans] records the request-scoped span tree for
+    every invocation served here: an ["exec"] span (with cold-start,
+    on-path-restore and actionloop-I/O children where the strategy reports
+    them) plus the deferred ["restore"] span with one child per
+    {!Groundhog_core.Breakdown} step, marked [offpath]. Emission reads the
+    engine clock only — it never charges simulated time. [rebuild] builds a
+    replacement strategy for the cold-restart path; without it any failure
+    retires the container. [rng] jitters the rebuild backoff. *)
 
 val id : t -> int
 val state : t -> state

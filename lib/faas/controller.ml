@@ -1,5 +1,6 @@
 module Engine = Gh_sim.Engine
 module Rng = Gh_sim.Rng
+module Span = Gh_sim.Span
 module Time_ns = Gh_sim.Time_ns
 
 type overhead_model = {
@@ -18,6 +19,7 @@ let sample_overhead m rng =
 type t = {
   engine : Engine.t;
   rng : Rng.t;
+  spans : Span.t option;
   invoker : Invoker.t;
   overhead : overhead_model;
   ttl_ns : Time_ns.t option;
@@ -33,13 +35,14 @@ type completion = {
   invoker_ns : Time_ns.t;
 }
 
-let create ?(overhead = default_overhead) ?ttl_ns engine ~rng invoker =
+let create ?(overhead = default_overhead) ?ttl_ns ?spans engine ~rng invoker =
   (match ttl_ns with
   | Some ttl when ttl <= 0 -> invalid_arg "Controller.create: ttl_ns must be positive"
   | _ -> ());
   {
     engine;
     rng = Rng.split rng;
+    spans;
     invoker;
     overhead;
     ttl_ns;
@@ -60,22 +63,61 @@ let submit t req ~on_complete =
   (* Authentication, routing and the trip to the invoker VM. *)
   let front = sample_overhead t.overhead t.rng * 6 / 10 in
   let back = sample_overhead t.overhead t.rng * 4 / 10 in
+  (match t.spans with
+  | Some sp ->
+      let root =
+        Span.ensure_root sp ~at:t0 ~req_id:req.Request.id
+          ~attrs:[ ("principal", req.Request.principal.Principal.name) ]
+          ()
+      in
+      ignore
+        (Span.complete sp ~start:t0 ~stop:(t0 + front) ~parent:root ~name:"controller-front"
+           ~cat:"controller" ())
+  | None -> ());
   Engine.schedule t.engine ~after:front (fun () ->
       (* The front-door overhead alone can kill a tight deadline: shed here
          rather than ship a dead request to the invoker. *)
       if Request.expired req ~now:(Engine.now t.engine) then begin
         t.shed <- t.shed + 1;
+        (match t.spans with
+        | Some sp ->
+            Span.finish_root sp ~at:(Engine.now t.engine)
+              ~attrs:[ ("outcome", "shed"); ("reason", "expired") ]
+              ~req_id:req.Request.id ()
+        | None -> ());
         t.on_shed req
       end
       else
         Invoker.submit t.invoker req ~on_response:(fun request invocation ->
+          let respond_at = Engine.now t.engine in
+          (match t.spans with
+          | Some sp -> (
+              match Span.find_root sp ~req_id:request.Request.id with
+              | Some root ->
+                  ignore
+                    (Span.complete sp ~start:respond_at ~stop:(respond_at + back)
+                       ~parent:root ~name:"controller-return" ~cat:"controller" ())
+              | None -> ())
+          | None -> ());
           Engine.schedule t.engine ~after:back (fun () ->
               t.completions <- t.completions + 1;
+              let now = Engine.now t.engine in
+              (match t.spans with
+              | Some sp ->
+                  Span.finish_root sp ~at:now
+                    ~attrs:
+                      [
+                        ( "outcome",
+                          Strategy_intf.outcome_name invocation.Strategy_intf.outcome );
+                        ("e2e_ns", string_of_int (now - t0));
+                      ]
+                    ~req_id:request.Request.id ()
+              | None -> ());
               on_complete
                 {
                   request;
                   invocation;
-                  e2e_ns = Engine.now t.engine - t0;
+                  e2e_ns = now - t0;
                   invoker_ns = invocation.Strategy_intf.on_path_ns;
                 })))
 

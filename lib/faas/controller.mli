@@ -27,6 +27,7 @@ type completion = {
 val create :
   ?overhead:overhead_model ->
   ?ttl_ns:Gh_sim.Time_ns.t ->
+  ?spans:Gh_sim.Span.t ->
   Gh_sim.Engine.t ->
   rng:Gh_sim.Rng.t ->
   Invoker.t ->
@@ -36,7 +37,10 @@ val create :
     then propagates through invoker and container dispatch, each of which
     sheds the request if it has already expired. Omitted (the default), no
     deadline is ever stamped — the pre-overload-protection behavior,
-    bit-identical. *)
+    bit-identical. [spans] opens the request's root span at arrival, wraps
+    the front/return platform overheads in ["controller"] spans, and closes
+    the root at client response with ["outcome"] and ["e2e_ns"]
+    attributes — timestamp reads only, zero simulated cost. *)
 
 val submit : t -> Request.t -> on_complete:(completion -> unit) -> unit
 (** Accept a request at the endpoint now; the completion callback fires when

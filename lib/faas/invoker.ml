@@ -1,5 +1,6 @@
 module Engine = Gh_sim.Engine
 module Rng = Gh_sim.Rng
+module Span = Gh_sim.Span
 module Time_ns = Gh_sim.Time_ns
 
 type recovery = {
@@ -22,6 +23,7 @@ type recovery_stats = {
 
 type t = {
   engine : Engine.t;
+  spans : Span.t option;
   containers : Container.t array;
   (* Payload: the request's response callback. *)
   queue : (Request.t -> Strategy_intf.invocation -> unit) Admission.t;
@@ -56,6 +58,7 @@ let with_cold_start (s : Strategy_intf.t) =
             inv with
             Strategy_intf.on_path_ns =
               inv.Strategy_intf.on_path_ns + s.Strategy_intf.init_ns;
+            cold_ns = inv.Strategy_intf.cold_ns + s.Strategy_intf.init_ns;
           }
         end);
   }
@@ -75,6 +78,13 @@ let rec submit t req ~on_response =
   | Some _ -> Hashtbl.replace t.inflight req.Request.id on_response
   | None -> ());
   let now = Engine.now t.engine in
+  (match t.spans with
+  | Some sp ->
+      ignore
+        (Span.ensure_root sp ~at:now ~req_id:req.Request.id
+           ~attrs:[ ("principal", req.Request.principal.Principal.name) ]
+           ())
+  | None -> ());
   if Request.expired req ~now then
     (* Dead on arrival: [admit] rejects it at the door (never enqueued) and
        fires the shed hooks — the cheapest possible rejection. *)
@@ -82,7 +92,13 @@ let rec submit t req ~on_response =
   else
     match find_idle t with
     | Some c -> Container.submit ~dispatch_ns:t.dispatch_ns c req ~on_response
-    | None -> ignore (Admission.admit t.queue ~now req on_response)
+    | None ->
+        let enqueued = Admission.admit t.queue ~now req on_response in
+        (match t.spans with
+        | Some sp when enqueued ->
+            Span.phase_start sp ~at:now ~req_id:req.Request.id ~name:"invoker-queue"
+              ~cat:"queue" ()
+        | _ -> ())
 
 and find_idle t = Array.find_opt Container.is_idle t.containers
 
@@ -104,6 +120,12 @@ let handle_failure t r c failure (req : Request.t) =
         | Some _ -> Hashtbl.remove t.inflight req.Request.id
         | None -> ());
         t.failed_requests <- t.failed_requests + 1;
+        (match t.spans with
+        | Some sp ->
+            Span.finish_root sp ~at:(Engine.now t.engine)
+              ~attrs:[ ("outcome", "failed") ]
+              ~req_id:req.Request.id ()
+        | None -> ());
         t.on_failed req
       end
       else begin
@@ -116,8 +138,8 @@ let handle_failure t r c failure (req : Request.t) =
             | None -> ())
       end
 
-let create ?(prestarted = true) ?trace ?recovery ?rng ?(admission = Admission.unbounded)
-    engine ~n_containers ~dispatch_ns ~make_strategy =
+let create ?(prestarted = true) ?trace ?spans ?recovery ?rng
+    ?(admission = Admission.unbounded) engine ~n_containers ~dispatch_ns ~make_strategy =
   if n_containers < 1 then invalid_arg "Invoker.create: need at least one container";
   let strategies = Array.init n_containers make_strategy in
   let strategies = if prestarted then strategies else Array.map with_cold_start strategies in
@@ -137,8 +159,8 @@ let create ?(prestarted = true) ?trace ?recovery ?rng ?(admission = Admission.un
   let containers =
     Array.mapi
       (fun i strategy ->
-        Container.create ?trace ~recovery:container_recovery ?rebuild:(rebuild_for i) ?rng
-          engine ~id:i strategy)
+        Container.create ?trace ?spans ~recovery:container_recovery
+          ?rebuild:(rebuild_for i) ?rng engine ~id:i strategy)
       strategies
   in
   let init_ns =
@@ -150,8 +172,11 @@ let create ?(prestarted = true) ?trace ?recovery ?rng ?(admission = Admission.un
   let t =
     {
       engine;
+      spans;
       containers;
-      queue = Admission.create ~on_shed:(fun r rq p -> !shed_hook r rq p) admission;
+      queue =
+        Admission.create ?trace ~label:"invoker" ~on_shed:(fun r rq p -> !shed_hook r rq p)
+          admission;
       dispatch_ns;
       init_ns;
       recovery;
@@ -172,12 +197,25 @@ let create ?(prestarted = true) ?trace ?recovery ?rng ?(admission = Admission.un
           bookkeeping so the tables don't leak. *)
        Hashtbl.remove t.attempts req.Request.id;
        Hashtbl.remove t.inflight req.Request.id;
+       (match t.spans with
+       | Some sp ->
+           let now = Engine.now t.engine in
+           Span.phase_stop sp ~at:now ~req_id:req.Request.id ~name:"invoker-queue" ();
+           Span.finish_root sp ~at:now
+             ~attrs:[ ("outcome", "shed"); ("reason", Admission.reason_name reason) ]
+             ~req_id:req.Request.id ()
+       | None -> ());
        t.on_shed reason req);
   Array.iter
     (fun c ->
       Container.set_on_idle c (fun c ->
-          match Admission.take t.queue ~now:(Engine.now t.engine) with
+          let now = Engine.now t.engine in
+          match Admission.take t.queue ~now with
           | Some (req, on_response) ->
+              (match t.spans with
+              | Some sp ->
+                  Span.phase_stop sp ~at:now ~req_id:req.Request.id ~name:"invoker-queue" ()
+              | None -> ());
               Container.submit ~dispatch_ns:t.dispatch_ns c req ~on_response
           | None -> ());
       (match recovery with

@@ -39,6 +39,7 @@ type t
 val create :
   ?prestarted:bool ->
   ?trace:Gh_sim.Trace.t ->
+  ?spans:Gh_sim.Span.t ->
   ?recovery:recovery ->
   ?rng:Gh_sim.Rng.t ->
   ?admission:Admission.config ->
@@ -57,7 +58,10 @@ val create :
     pacing. Without [recovery], hangs wedge their container and poisoned
     containers are retired (fail closed, no replacement). [admission]
     (default {!Admission.unbounded}) bounds the wait queue and selects the
-    shedding policy. *)
+    shedding policy. [spans] records request-scoped spans: a root per
+    request, an ["invoker-queue"] phase while queued, and the containers'
+    exec/restore trees; shed and abandoned requests get their root closed
+    here with an ["outcome"] attribute. *)
 
 val submit :
   t -> Request.t -> on_response:(Request.t -> Strategy_intf.invocation -> unit) -> unit

@@ -1,8 +1,9 @@
 module Engine = Gh_sim.Engine
 module Time_ns = Gh_sim.Time_ns
 module Trace = Gh_sim.Trace
+module Span = Gh_sim.Span
+module Metrics = Gh_sim.Metrics
 module Rng = Gh_sim.Rng
-module Reservoir = Gh_sim.Reservoir
 
 type config = {
   total_cores : int;
@@ -28,7 +29,9 @@ let default_config =
 (* Per-request latency samples kept per function. Far above what any test
    or experiment reads exactly (they stay below capacity, where the
    reservoir is an exact newest-first list), yet bounded, so week-long
-   open-loop runs can't grow without limit. *)
+   open-loop runs can't grow without limit. The histogram uses [All]
+   sampling with the pre-registry reservoir seed, so sample lists are
+   bit-identical to the raw-reservoir revisions. *)
 let e2e_reservoir_capacity = 8192
 
 type slot = {
@@ -62,21 +65,23 @@ type fn_stats = {
   queue_high_water : int;
 }
 
+(* Every per-function count lives in the node's metrics registry; the pool
+   holds the looked-up handles so the hot path never re-hashes a name. *)
 type pool = {
   fn_name : string;
   spec : Function_model.spec;
   mutable slots : slot list;
   queue : pending Admission.t;
-  mutable completed : int;
-  mutable cold_starts : int;
-  mutable evictions : int;
-  e2e : Reservoir.t;
-  mutable timeouts : int;
-  mutable failed_requests : int;
-  mutable quarantined : int;
-  mutable poisonings : int;
-  mutable brownout_shed : int;  (* arrivals dropped by the priority floor *)
-  mutable deadline_misses : int;  (* completions delivered past deadline *)
+  completed : Metrics.counter;
+  cold_starts : Metrics.counter;
+  evictions : Metrics.counter;
+  e2e : Metrics.histogram;  (* milliseconds *)
+  timeouts : Metrics.counter;
+  failed_requests : Metrics.counter;
+  quarantined : Metrics.counter;
+  poisonings : Metrics.counter;
+  brownout_shed : Metrics.counter;  (* arrivals dropped by the priority floor *)
+  deadline_misses : Metrics.counter;  (* completions delivered past deadline *)
   attempts : (int, int) Hashtbl.t;  (* req id -> tries, recovery only *)
 }
 
@@ -84,10 +89,18 @@ type t = {
   engine : Engine.t;
   config : config;
   trace : Trace.t option;
+  spans : Span.t option;
+  metrics : Metrics.t;
+  prefix : string;
   rng : Rng.t option;
   make_strategy : string -> Function_model.spec -> Strategy_intf.t;
   pools : (string, pool) Hashtbl.t;
   brownout : Brownout.t option;
+  (* Node-wide gauges mirror the three mutable fields below (the source of
+     truth for control decisions) into the registry. *)
+  g_used_mb : Metrics.gauge;
+  g_high_water_mb : Metrics.gauge;
+  g_busy : Metrics.gauge;
   mutable used_mb : int;
   mutable high_water_mb : int;
   mutable busy : int;
@@ -95,15 +108,23 @@ type t = {
   mutable on_shed : Admission.reason -> Request.t -> unit;
 }
 
-let create ?trace ?rng engine config ~make_strategy =
+let create ?trace ?spans ?metrics ?(metrics_prefix = "") ?rng engine config ~make_strategy =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let g name = Metrics.gauge metrics (metrics_prefix ^ "node." ^ name) in
   {
     engine;
     config;
     trace;
+    spans;
+    metrics;
+    prefix = metrics_prefix;
     rng;
     make_strategy;
     pools = Hashtbl.create 16;
-    brownout = Option.map Brownout.create config.brownout;
+    brownout = Option.map (fun cfg -> Brownout.create ?trace cfg) config.brownout;
+    g_used_mb = g "used_mb";
+    g_high_water_mb = g "high_water_mb";
+    g_busy = g "cores_busy";
     used_mb = 0;
     high_water_mb = 0;
     busy = 0;
@@ -111,39 +132,62 @@ let create ?trace ?rng engine config ~make_strategy =
     on_shed = (fun _ _ -> ());
   }
 
-let trace_emit t what detail =
-  match t.trace with
-  | Some tr -> Trace.emit tr ~at:(Engine.now t.engine) ~category:"node" ~what detail
-  | None -> ()
+let metrics t = t.metrics
+
+let trace_emitf t ~what fmt =
+  Trace.emitf_opt t.trace ~at:(Engine.now t.engine) ~category:"node" ~what fmt
+
+let sync_gauges t =
+  Metrics.set t.g_used_mb (float_of_int t.used_mb);
+  Metrics.set t.g_high_water_mb (float_of_int t.high_water_mb);
+  Metrics.set t.g_busy (float_of_int t.busy)
+
+let fn_metric t name field = Printf.sprintf "%snode.%s.%s" t.prefix name field
 
 let register t ~name spec =
   if Hashtbl.mem t.pools name then invalid_arg "Node.register: duplicate function";
   let pool_on_shed = ref (fun (_ : Admission.reason) (_ : Request.t) (_ : pending) -> ()) in
+  let c field = Metrics.counter t.metrics (fn_metric t name field) in
   let pool =
     {
       fn_name = name;
       spec;
       slots = [];
       queue =
-        Admission.create ~on_shed:(fun r rq p -> !pool_on_shed r rq p) t.config.admission;
-      completed = 0;
-      cold_starts = 0;
-      evictions = 0;
-      e2e = Reservoir.create ~seed:(Hashtbl.hash ("node-e2e", name)) e2e_reservoir_capacity;
-      timeouts = 0;
-      failed_requests = 0;
-      quarantined = 0;
-      poisonings = 0;
-      brownout_shed = 0;
-      deadline_misses = 0;
+        Admission.create ?trace:t.trace ~label:name
+          ~on_shed:(fun r rq p -> !pool_on_shed r rq p)
+          t.config.admission;
+      completed = c "completed";
+      cold_starts = c "cold_starts";
+      evictions = c "evictions";
+      e2e =
+        Metrics.histogram t.metrics
+          (fn_metric t name "e2e_ms")
+          ~capacity:e2e_reservoir_capacity
+          ~seed:(Hashtbl.hash ("node-e2e", name))
+          ~sampling:Metrics.All;
+      timeouts = c "timeouts";
+      failed_requests = c "failed_requests";
+      quarantined = c "quarantined";
+      poisonings = c "poisonings";
+      brownout_shed = c "brownout_shed";
+      deadline_misses = c "deadline_misses";
       attempts = Hashtbl.create 16;
     }
   in
   (pool_on_shed :=
      fun reason req _pending ->
        Hashtbl.remove pool.attempts req.Request.id;
-       trace_emit t "shed"
-         (Printf.sprintf "%s req#%d (%s)" name req.Request.id (Admission.reason_name reason));
+       trace_emitf t ~what:"shed" "%s req#%d (%s)" name req.Request.id
+         (Admission.reason_name reason);
+       (match t.spans with
+       | Some sp ->
+           let now = Engine.now t.engine in
+           Span.phase_stop sp ~at:now ~req_id:req.Request.id ~name:"node-queue" ();
+           Span.finish_root sp ~at:now
+             ~attrs:[ ("outcome", "shed"); ("reason", Admission.reason_name reason) ]
+             ~req_id:req.Request.id ()
+       | None -> ());
        t.on_shed reason req);
   Hashtbl.replace t.pools name pool
 
@@ -158,7 +202,7 @@ let slot_memory_mb spec (strategy : Strategy_intf.t) =
    change is rare (hysteresis), so the full sweep is cheap. *)
 let apply_brownout t b =
   let degraded = Brownout.defer_restores b in
-  trace_emit t "brownout" (Brownout.level_name (Brownout.level b));
+  trace_emitf t ~what:"brownout" "%s" (Brownout.level_name (Brownout.level b));
   Hashtbl.iter
     (fun _ pool ->
       List.iter
@@ -172,24 +216,41 @@ let rec dispatch t pool slot pending =
       (* Queueing delay is the overload signal: sampled at dispatch, fed to
          the hysteretic controller. *)
       let delay = Engine.now t.engine - pending.submitted in
-      if Brownout.observe b delay then apply_brownout t b
+      if Brownout.observe ~at:(Engine.now t.engine) b delay then apply_brownout t b
   | None -> ());
   slot.epoch <- slot.epoch + 1;
   t.busy <- t.busy + 1;
+  sync_gauges t;
+  (match t.spans with
+  | Some sp ->
+      Span.phase_stop sp ~at:(Engine.now t.engine) ~req_id:pending.req.Request.id
+        ~name:"node-queue" ()
+  | None -> ());
   Container.submit ~dispatch_ns:t.config.dispatch_ns slot.container pending.req
     ~on_response:(fun rq inv ->
       let now = Engine.now t.engine in
-      pool.completed <- pool.completed + 1;
-      Reservoir.add pool.e2e (Time_ns.to_ms (now - pending.submitted));
+      Metrics.incr pool.completed;
+      Metrics.observe pool.e2e (Time_ns.to_ms (now - pending.submitted));
       (match rq.Request.deadline with
-      | Some d when now > d -> pool.deadline_misses <- pool.deadline_misses + 1
+      | Some d when now > d -> Metrics.incr pool.deadline_misses
       | _ -> ());
+      (match t.spans with
+      | Some sp ->
+          Span.finish_root sp ~at:now
+            ~attrs:
+              [
+                ("outcome", Strategy_intf.outcome_name inv.Strategy_intf.outcome);
+                ("e2e_ns", string_of_int (now - pending.submitted));
+              ]
+            ~req_id:rq.Request.id ()
+      | None -> ());
       match pending.on_complete with Some f -> f rq inv | None -> ())
 
 (* A container just went idle: feed it, retarget the freed core, or start
    the eviction clock. *)
 and on_slot_idle t pool slot =
   t.busy <- t.busy - 1;
+  sync_gauges t;
   let now = Engine.now t.engine in
   Admission.purge_expired pool.queue ~now;
   if not (Admission.is_empty pool.queue) then begin
@@ -211,9 +272,10 @@ and on_slot_idle t pool slot =
 and evict t pool slot =
   slot.alive <- false;
   pool.slots <- List.filter (fun s -> s != slot) pool.slots;
-  pool.evictions <- pool.evictions + 1;
+  Metrics.incr pool.evictions;
   t.used_mb <- t.used_mb - slot.memory_mb;
-  trace_emit t "evict" (Printf.sprintf "%s (-%d MB)" pool.fn_name slot.memory_mb);
+  sync_gauges t;
+  trace_emitf t ~what:"evict" "%s (-%d MB)" pool.fn_name slot.memory_mb;
   (* Freed memory may unblock a queued cold start elsewhere. *)
   pump_other_pools t
 
@@ -223,10 +285,11 @@ and evict t pool slot =
 and on_slot_retired t pool slot =
   slot.alive <- false;
   pool.slots <- List.filter (fun s -> s != slot) pool.slots;
-  pool.quarantined <- pool.quarantined + 1;
+  Metrics.incr pool.quarantined;
   t.used_mb <- t.used_mb - slot.memory_mb;
   t.busy <- t.busy - 1;
-  trace_emit t "quarantine" (Printf.sprintf "%s (-%d MB)" pool.fn_name slot.memory_mb);
+  sync_gauges t;
+  trace_emitf t ~what:"quarantine" "%s (-%d MB)" pool.fn_name slot.memory_mb;
   pump_pool t pool;
   pump_other_pools t
 
@@ -237,27 +300,38 @@ and on_slot_failure t r pool (_slot : slot) failure (req : Request.t) =
   match failure with
   | Container.Poisoned_restore ->
       (* Response already delivered; the container cold-restarts itself. *)
-      pool.poisonings <- pool.poisonings + 1
+      Metrics.incr pool.poisonings
   | Container.Timed_out ->
-      pool.timeouts <- pool.timeouts + 1;
+      Metrics.incr pool.timeouts;
       let tries =
         match Hashtbl.find_opt pool.attempts req.Request.id with Some n -> n | None -> 1
       in
       if tries >= r.Invoker.max_attempts then begin
         Hashtbl.remove pool.attempts req.Request.id;
-        pool.failed_requests <- pool.failed_requests + 1;
-        trace_emit t "give-up"
-          (Printf.sprintf "%s req#%d after %d tries" pool.fn_name req.Request.id tries)
+        Metrics.incr pool.failed_requests;
+        trace_emitf t ~what:"give-up" "%s req#%d after %d tries" pool.fn_name req.Request.id
+          tries;
+        match t.spans with
+        | Some sp ->
+            Span.finish_root sp ~at:(Engine.now t.engine)
+              ~attrs:[ ("outcome", "failed") ]
+              ~req_id:req.Request.id ()
+        | None -> ()
       end
       else begin
         Hashtbl.replace pool.attempts req.Request.id (tries + 1);
         let delay = Backoff.delay r.Invoker.retry_backoff ?rng:t.rng ~attempt:tries in
         Engine.schedule t.engine ~after:delay (fun () ->
             let now = Engine.now t.engine in
-            ignore
-              (Admission.admit pool.queue ~now req
-                 { req; submitted = now; on_complete = None });
-            pump_pool t pool)
+            if Admission.admit pool.queue ~now req { req; submitted = now; on_complete = None }
+            then
+              match t.spans with
+              | Some sp ->
+                  Span.phase_start sp ~at:now ~req_id:req.Request.id ~name:"node-queue"
+                    ~cat:"queue" ();
+                  pump_pool t pool
+              | None -> pump_pool t pool
+            else pump_pool t pool)
       end
 
 (* Create a new container for [pool] if a core and memory allow; the new
@@ -300,8 +374,8 @@ and try_cold_start t pool =
                   | exception Failure msg -> Error msg) )
       in
       let container =
-        Container.create ?trace:t.trace ?recovery:container_recovery ?rebuild ?rng:t.rng
-          t.engine ~id strategy
+        Container.create ?trace:t.trace ?spans:t.spans ?recovery:container_recovery ?rebuild
+          ?rng:t.rng t.engine ~id strategy
       in
       let slot = { container; memory_mb; epoch = 0; alive = true } in
       Container.set_on_idle container (fun _ -> on_slot_idle t pool slot);
@@ -312,10 +386,11 @@ and try_cold_start t pool =
       | None -> ());
       Container.set_on_retired container (fun _ -> on_slot_retired t pool slot);
       pool.slots <- slot :: pool.slots;
-      pool.cold_starts <- pool.cold_starts + 1;
+      Metrics.incr pool.cold_starts;
       t.used_mb <- t.used_mb + memory_mb;
       t.high_water_mb <- max t.high_water_mb t.used_mb;
-      trace_emit t "cold-start" (Printf.sprintf "%s (+%d MB)" pool.fn_name memory_mb);
+      sync_gauges t;
+      trace_emitf t ~what:"cold-start" "%s (+%d MB)" pool.fn_name memory_mb;
       Some slot
     end
   end
@@ -371,17 +446,35 @@ let submit ?on_complete t ~name req =
     | None -> raise Not_found
   in
   let now = Engine.now t.engine in
+  (match t.spans with
+  | Some sp ->
+      ignore
+        (Span.ensure_root sp ~at:now ~req_id:req.Request.id
+           ~attrs:[ ("principal", req.Request.principal.Principal.name); ("fn", name) ]
+           ())
+  | None -> ());
   match t.brownout with
   | Some b when Brownout.should_shed b req.Request.principal ->
       (* Priority shed happens before the queue ever sees the request. *)
-      pool.brownout_shed <- pool.brownout_shed + 1;
-      trace_emit t "shed"
-        (Printf.sprintf "%s req#%d (brownout, priority %d)" name req.Request.id
-           (Principal.priority req.Request.principal));
+      Metrics.incr pool.brownout_shed;
+      trace_emitf t ~what:"shed" "%s req#%d (brownout, priority %d)" name req.Request.id
+        (Principal.priority req.Request.principal);
+      (match t.spans with
+      | Some sp ->
+          Span.finish_root sp ~at:now
+            ~attrs:[ ("outcome", "shed"); ("reason", "brownout") ]
+            ~req_id:req.Request.id ()
+      | None -> ());
       t.on_shed Admission.Brownout req
   | _ ->
-      if Admission.admit pool.queue ~now req { req; submitted = now; on_complete } then
+      if Admission.admit pool.queue ~now req { req; submitted = now; on_complete } then begin
+        (match t.spans with
+        | Some sp ->
+            Span.phase_start sp ~at:now ~req_id:req.Request.id ~name:"node-queue" ~cat:"queue"
+              ()
+        | None -> ());
         pump_pool t pool
+      end
 
 let set_on_shed t f = t.on_shed <- f
 let brownout_level t = Option.map Brownout.level t.brownout
@@ -393,19 +486,19 @@ let stats t =
     (fun _ pool acc ->
       ({
          fn_name = pool.fn_name;
-         completed = pool.completed;
-         cold_starts = pool.cold_starts;
-         evictions = pool.evictions;
+         completed = Metrics.counter_value pool.completed;
+         cold_starts = Metrics.counter_value pool.cold_starts;
+         evictions = Metrics.counter_value pool.evictions;
          queue_len = Admission.length pool.queue;
          containers = List.length pool.slots;
-         e2e_ms = Reservoir.to_list pool.e2e;
-         timeouts = pool.timeouts;
-         failed_requests = pool.failed_requests;
-         quarantined = pool.quarantined;
-         poisonings = pool.poisonings;
-         shed = Admission.shed_count pool.queue + pool.brownout_shed;
+         e2e_ms = Metrics.values pool.e2e;
+         timeouts = Metrics.counter_value pool.timeouts;
+         failed_requests = Metrics.counter_value pool.failed_requests;
+         quarantined = Metrics.counter_value pool.quarantined;
+         poisonings = Metrics.counter_value pool.poisonings;
+         shed = Admission.shed_count pool.queue + Metrics.counter_value pool.brownout_shed;
          expired = Admission.expired_count pool.queue;
-         deadline_misses = pool.deadline_misses;
+         deadline_misses = Metrics.counter_value pool.deadline_misses;
          queue_high_water = Admission.high_water pool.queue;
        }
         : fn_stats)
@@ -416,14 +509,23 @@ let stats t =
 let memory_used_mb t = t.used_mb
 let memory_high_water_mb t = t.high_water_mb
 let cores_busy t = t.busy
-let total_cold_starts t = Hashtbl.fold (fun _ p n -> n + p.cold_starts) t.pools 0
-let total_evictions t = Hashtbl.fold (fun _ p n -> n + p.evictions) t.pools 0
-let total_quarantined t = Hashtbl.fold (fun _ p n -> n + p.quarantined) t.pools 0
+let total_cold_starts t =
+  Hashtbl.fold (fun _ p n -> n + Metrics.counter_value p.cold_starts) t.pools 0
+
+let total_evictions t =
+  Hashtbl.fold (fun _ p n -> n + Metrics.counter_value p.evictions) t.pools 0
+
+let total_quarantined t =
+  Hashtbl.fold (fun _ p n -> n + Metrics.counter_value p.quarantined) t.pools 0
 
 let total_shed t =
-  Hashtbl.fold (fun _ p n -> n + Admission.shed_count p.queue + p.brownout_shed) t.pools 0
+  Hashtbl.fold
+    (fun _ p n ->
+      n + Admission.shed_count p.queue + Metrics.counter_value p.brownout_shed)
+    t.pools 0
 
 let total_expired t =
   Hashtbl.fold (fun _ p n -> n + Admission.expired_count p.queue) t.pools 0
 
-let total_deadline_misses t = Hashtbl.fold (fun _ p n -> n + p.deadline_misses) t.pools 0
+let total_deadline_misses t =
+  Hashtbl.fold (fun _ p n -> n + Metrics.counter_value p.deadline_misses) t.pools 0

@@ -75,6 +75,9 @@ type fn_stats = {
 
 val create :
   ?trace:Gh_sim.Trace.t ->
+  ?spans:Gh_sim.Span.t ->
+  ?metrics:Gh_sim.Metrics.t ->
+  ?metrics_prefix:string ->
   ?rng:Gh_sim.Rng.t ->
   Gh_sim.Engine.t ->
   config ->
@@ -83,7 +86,20 @@ val create :
 (** [make_strategy name spec] builds a fresh strategy instance for one new
     container of function [name] — with recovery enabled it is also the
     cold-restart rebuild path (a [Failure] it raises becomes a failed
-    rebuild attempt). [rng] jitters the recovery backoff delays. *)
+    rebuild attempt). [rng] jitters the recovery backoff delays.
+
+    [spans] records request-scoped spans: a root per request (attrs
+    [principal], [fn]), a ["node-queue"] phase while queued, the
+    containers' exec/restore trees, and root closure with [outcome] and
+    [e2e_ns] at response (or shed/give-up). [metrics] supplies the
+    registry holding every per-function counter and latency histogram
+    (names [<prefix>node.<fn>.<field>]) plus node-wide gauges; a private
+    registry is created when omitted, so counting behavior never changes —
+    {!stats} reads the same numbers either way. All instrumentation reads
+    the engine clock only; simulated time and RNG draws are untouched. *)
+
+val metrics : t -> Gh_sim.Metrics.t
+(** The registry backing {!stats} — pass it to an exporter. *)
 
 val register : t -> name:string -> Function_model.spec -> unit
 (** Deploy a function. @raise Invalid_argument on duplicate names. *)

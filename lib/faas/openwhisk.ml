@@ -21,12 +21,14 @@ type t = {
   rng : Gh_sim.Rng.t;
 }
 
-let deploy ?trace ?ttl_ns ?admission config ~make_strategy =
+let deploy ?trace ?spans ?ttl_ns ?admission config ~make_strategy =
   let engine = Gh_sim.Engine.create () in
   let rng = Gh_sim.Rng.create config.seed in
   let invoker =
-    Invoker.create ?trace ?admission engine ~n_containers:config.n_cores
+    Invoker.create ?trace ?spans ?admission engine ~n_containers:config.n_cores
       ~dispatch_ns:config.dispatch_ns ~make_strategy
   in
-  let controller = Controller.create ~overhead:config.overhead ?ttl_ns engine ~rng invoker in
+  let controller =
+    Controller.create ~overhead:config.overhead ?ttl_ns ?spans engine ~rng invoker
+  in
   { engine; controller; invoker; services = Services.create (); rng }

@@ -23,6 +23,7 @@ type t = {
 
 val deploy :
   ?trace:Gh_sim.Trace.t ->
+  ?spans:Gh_sim.Span.t ->
   ?ttl_ns:Gh_sim.Time_ns.t ->
   ?admission:Admission.config ->
   config ->
@@ -30,7 +31,9 @@ val deploy :
   t
 (** Build engine, invoker (with [n_cores] containers) and controller.
     [make_strategy i] supplies container [i]'s isolation strategy.
-    [trace] records container transitions for debugging. [ttl_ns] makes
-    the controller stamp deadlines (see {!Controller.create}); [admission]
-    bounds the invoker queue. Both default to off — the unprotected
-    deployment is bit-identical to earlier revisions. *)
+    [trace] records container transitions for debugging; [spans] records
+    the request-scoped span tree across controller, invoker queue and
+    containers (see {!Controller.create}). [ttl_ns] makes the controller
+    stamp deadlines (see {!Controller.create}); [admission] bounds the
+    invoker queue. All default to off — the uninstrumented deployment is
+    bit-identical to earlier revisions. *)

@@ -20,7 +20,44 @@ type invocation = {
   breakdown : Groundhog_core.Breakdown.t option;
   isolated : bool;
   outcome : outcome;
+  (* Span attribution: how the on-path time decomposes. All three are
+     *included in* [on_path_ns], never in addition to it, and default to
+     zero — they only feed observability, not accounting. *)
+  cold_ns : Gh_sim.Time_ns.t;
+      (** One-time initialization paid on this request's critical path
+          (container cold start). *)
+  io_ns : Gh_sim.Time_ns.t;
+      (** Actionloop interposition copy costs (input + output). *)
+  restore_on_path_ns : Gh_sim.Time_ns.t;
+      (** Restore work forced onto the critical path (e.g. settling a
+          brownout-deferred restore for a different principal). *)
+  restore_label : string;
+      (** Name for the deferred [post_ns] work's span (e.g. ["gh-restore"],
+          ["reap"], ["criu-restore"]); [""] for a generic ["restore"]. *)
 }
+
+(* Smart constructor: strategies state what they know, everything else
+   defaults. Keeps the record extensible without touching every literal. *)
+let invocation ?(post_ns = 0) ?breakdown ?(isolated = false) ?(cold_ns = 0) ?(io_ns = 0)
+    ?(restore_on_path_ns = 0) ?(restore_label = "") ~on_path_ns ~outcome response =
+  {
+    on_path_ns;
+    post_ns;
+    response;
+    breakdown;
+    isolated;
+    outcome;
+    cold_ns;
+    io_ns;
+    restore_on_path_ns;
+    restore_label;
+  }
+
+let outcome_name = function
+  | Completed -> "completed"
+  | Crashed -> "crashed"
+  | Hung -> "hung"
+  | Poisoned -> "poisoned"
 
 type status = [ `Clean | `Dirty | `Restoring | `Poisoned ]
 

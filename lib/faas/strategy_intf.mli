@@ -42,7 +42,37 @@ type invocation = {
   isolated : bool;
       (** Did the strategy guarantee the next request sees a clean state? *)
   outcome : outcome;
+  cold_ns : Gh_sim.Time_ns.t;
+      (** Span attribution: one-time initialization paid on this request's
+          critical path (cold start). Included in [on_path_ns]. *)
+  io_ns : Gh_sim.Time_ns.t;
+      (** Span attribution: actionloop interposition copy costs (input +
+          output). Included in [on_path_ns]. *)
+  restore_on_path_ns : Gh_sim.Time_ns.t;
+      (** Span attribution: restore work forced onto the critical path
+          (e.g. settling a brownout-deferred restore for a different
+          principal). Included in [on_path_ns]. *)
+  restore_label : string;
+      (** Span name for the deferred [post_ns] work (e.g. ["gh-restore"],
+          ["reap"]); [""] means a generic ["restore"]. *)
 }
+
+val invocation :
+  ?post_ns:Gh_sim.Time_ns.t ->
+  ?breakdown:Groundhog_core.Breakdown.t ->
+  ?isolated:bool ->
+  ?cold_ns:Gh_sim.Time_ns.t ->
+  ?io_ns:Gh_sim.Time_ns.t ->
+  ?restore_on_path_ns:Gh_sim.Time_ns.t ->
+  ?restore_label:string ->
+  on_path_ns:Gh_sim.Time_ns.t ->
+  outcome:outcome ->
+  Function_model.response ->
+  invocation
+(** Smart constructor; every attribution field defaults to zero/empty. *)
+
+val outcome_name : outcome -> string
+(** Lower-case label for spans and metrics. *)
 
 type status = [ `Clean | `Dirty | `Restoring | `Poisoned ]
 

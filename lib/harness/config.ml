@@ -8,6 +8,11 @@ type t = {
   breakdown_requests : int;
   n_containers : int;
   dispatch_ns : Gh_sim.Time_ns.t;
+  (* Observability sinks. [None] (the default everywhere) runs the
+     experiments without instrumentation; attaching collectors never
+     changes simulated behavior, only records it. *)
+  spans : Gh_sim.Span.t option;
+  metrics : Gh_sim.Metrics.t option;
 }
 
 let default =
@@ -21,6 +26,8 @@ let default =
     breakdown_requests = 25;
     n_containers = 4;
     dispatch_ns = Gh_sim.Time_ns.of_us 800.0;
+    spans = None;
+    metrics = None;
   }
 
 let full =

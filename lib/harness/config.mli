@@ -16,6 +16,13 @@ type t = {
   breakdown_requests : int;  (** Restores averaged for Fig. 8. *)
   n_containers : int;  (** Throughput containers (= cores). *)
   dispatch_ns : Gh_sim.Time_ns.t;  (** Invoker dispatch overhead. *)
+  spans : Gh_sim.Span.t option;
+      (** Span collector attached to every deployment the experiments
+          build; [None] (default) disables request tracing. Sim-time
+          neutral either way. *)
+  metrics : Gh_sim.Metrics.t option;
+      (** Shared metrics registry for node-based experiments; [None]
+          (default) gives each node a private registry. *)
 }
 
 val default : t

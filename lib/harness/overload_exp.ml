@@ -175,7 +175,17 @@ let measure cfg strategy spec ~util ~requests ~protected =
          else None);
     }
   in
-  let node = Node.create engine node_config ~make_strategy in
+  (* Each (strategy, protection, utilization) cell gets its own metric
+     namespace so one shared registry can hold the whole sweep. *)
+  let metrics_prefix =
+    Printf.sprintf "overload.%s.%s.u%.1f." (Registry.to_string strategy)
+      (if protected then "prot" else "raw")
+      util
+  in
+  let node =
+    Node.create ?spans:cfg.Config.spans ?metrics:cfg.Config.metrics ~metrics_prefix engine
+      node_config ~make_strategy
+  in
   let fn = "overload-fn" in
   Node.register node ~name:fn spec;
   let shed_ids = Hashtbl.create 64 in

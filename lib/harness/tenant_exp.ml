@@ -60,7 +60,8 @@ let run_mode cfg ~memory_mb ~duration_s ~rate_rps entries mode =
   let root = Rng.create seed in
   let engine = Engine.create () in
   let node =
-    Node.create engine
+    Node.create ?spans:cfg.Config.spans ?metrics:cfg.Config.metrics
+      ~metrics_prefix:("tenant." ^ mode_to_string mode ^ ".") engine
       {
         Node.default_config with
         Node.memory_mb;

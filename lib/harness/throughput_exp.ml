@@ -41,7 +41,7 @@ let run_one ?n_containers cfg strategy (entry : Catalog.entry) =
         | Error msg -> failwith msg
       in
       let deployment =
-        Gh_faas.Openwhisk.deploy
+        Gh_faas.Openwhisk.deploy ?spans:cfg.Config.spans
           {
             Gh_faas.Openwhisk.n_cores = n_containers;
             dispatch_ns = cfg.Config.dispatch_ns;

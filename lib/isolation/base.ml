@@ -18,14 +18,7 @@ let make_on ~rng inst =
     let acct = Account.create () in
     let response = Fm.invoke inst acct rng ~post_restore:false req in
     if response.Fm.hung then
-      {
-        Intf.on_path_ns = Account.total acct;
-        post_ns = 0;
-        response;
-        breakdown = None;
-        isolated = false;
-        outcome = Intf.Hung;
-      }
+      Intf.invocation ~on_path_ns:(Account.total acct) ~outcome:Intf.Hung response
     else if response.Fm.crashed then begin
       (* The rebuild charge is paid either way; if the rebuild mechanics
          themselves fault, the container is unusable — poisoned. *)
@@ -34,24 +27,10 @@ let make_on ~rng inst =
         | Ok _ -> Intf.Crashed
         | Error _ -> Intf.Poisoned
       in
-      {
-        Intf.on_path_ns = Account.total acct;
-        post_ns = init_ns;
-        response;
-        breakdown = None;
-        isolated = false;
-        outcome;
-      }
+      Intf.invocation ~on_path_ns:(Account.total acct) ~post_ns:init_ns
+        ~restore_label:"rebuild" ~outcome response
     end
-    else
-      {
-        Intf.on_path_ns = Account.total acct;
-        post_ns = 0;
-        response;
-        breakdown = None;
-        isolated = false;
-        outcome = Intf.Completed;
-      }
+    else Intf.invocation ~on_path_ns:(Account.total acct) ~outcome:Intf.Completed response
   in
   {
     Intf.name = "base";

@@ -22,17 +22,12 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
   let invoke req =
     let acct = Account.create () in
     (* Cold start: boot a container, boot the runtime, initialize state. *)
-    Account.charge acct (rt.Gh_faas.Runtime.init_ns + warm_ns);
+    let boot_ns = rt.Gh_faas.Runtime.init_ns + warm_ns in
+    Account.charge acct boot_ns;
     let response = Fm.invoke inst acct rng ~post_restore:false req in
     if response.Fm.hung then
-      {
-        Intf.on_path_ns = Account.total acct;
-        post_ns = 0;
-        response;
-        breakdown = None;
-        isolated = true;
-        outcome = Intf.Hung;
-      }
+      Intf.invocation ~on_path_ns:(Account.total acct) ~cold_ns:boot_ns ~isolated:true
+        ~outcome:Intf.Hung response
     else begin
       let outcome =
         (* The "fresh container" reset is simulation mechanics; if it
@@ -41,14 +36,8 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
         | Ok _ -> Intf.outcome_of_response response
         | Error _ -> Intf.Poisoned
       in
-      {
-        Intf.on_path_ns = Account.total acct;
-        post_ns = 0;
-        response;
-        breakdown = None;
-        isolated = true;
-        outcome;
-      }
+      Intf.invocation ~on_path_ns:(Account.total acct) ~cold_ns:boot_ns ~isolated:true
+        ~outcome response
     end
   in
   {

@@ -32,14 +32,7 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
     let acct = Account.create () in
     let response = Fm.invoke inst acct rng ~post_restore:true req in
     if response.Fm.hung then
-      {
-        Intf.on_path_ns = Account.total acct;
-        post_ns = 0;
-        response;
-        breakdown = None;
-        isolated = false;
-        outcome = Intf.Hung;
-      }
+      Intf.invocation ~on_path_ns:(Account.total acct) ~outcome:Intf.Hung response
     else begin
       (* The mechanism really reverts the state; the charge is the image
          deserialization model, not a dirty-proportional restore. *)
@@ -48,14 +41,8 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
       | Error _ ->
           (* The image restore failed mid-way: the attempt's cost is spent
              and the process state is unknown. *)
-          {
-            Intf.on_path_ns = Account.total acct;
-            post_ns = reset_ns;
-            response;
-            breakdown = None;
-            isolated = false;
-            outcome = Intf.Poisoned;
-          }
+          Intf.invocation ~on_path_ns:(Account.total acct) ~post_ns:reset_ns
+            ~restore_label:"criu-restore" ~outcome:Intf.Poisoned response
       | Ok mechanics ->
           let breakdown =
             {
@@ -66,14 +53,9 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
               pages_madvised = mechanics.Breakdown.pages_madvised;
             }
           in
-          {
-            Intf.on_path_ns = Account.total acct;
-            post_ns = reset_ns;
-            response;
-            breakdown = Some breakdown;
-            isolated = true;
-            outcome = Intf.outcome_of_response response;
-          }
+          Intf.invocation ~on_path_ns:(Account.total acct) ~post_ns:reset_ns ~breakdown
+            ~isolated:true ~restore_label:"criu-restore"
+            ~outcome:(Intf.outcome_of_response response) response
     end
   in
   {

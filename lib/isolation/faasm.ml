@@ -38,14 +38,7 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
         let acct = Account.create () in
         let response = Fm.invoke inst acct rng ~post_restore:false req in
         if response.Fm.hung then
-          {
-            Intf.on_path_ns = Account.total acct;
-            post_ns = 0;
-            response;
-            breakdown = None;
-            isolated = false;
-            outcome = Intf.Hung;
-          }
+          Intf.invocation ~on_path_ns:(Account.total acct) ~outcome:Intf.Hung response
         else begin
           (* Reset: the mechanism really restores (so isolation is real),
              but the charged cost is the remap model, not a pagemap scan. *)
@@ -53,14 +46,9 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
           | Error _ ->
               (* The linear-memory remap failed: the Faaslet's state is
                  unknown; only the base reset cost was spent. *)
-              {
-                Intf.on_path_ns = Account.total acct;
-                post_ns = Cost.default.Cost.faasm_reset_base_ns;
-                response;
-                breakdown = None;
-                isolated = false;
-                outcome = Intf.Poisoned;
-              }
+              Intf.invocation ~on_path_ns:(Account.total acct)
+                ~post_ns:Cost.default.Cost.faasm_reset_base_ns
+                ~restore_label:"faasm-reset" ~outcome:Intf.Poisoned response
           | Ok mechanics ->
               Gh_mem.Address_space.arm_cow_all (Fm.proc inst).Gh_proc.Process.mem;
               let restored = mechanics.Breakdown.pages_restored in
@@ -78,14 +66,9 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
                   syscalls_injected = mechanics.Breakdown.syscalls_injected;
                 }
               in
-              {
-                Intf.on_path_ns = Account.total acct;
-                post_ns = reset_ns;
-                response;
-                breakdown = Some breakdown;
-                isolated = true;
-                outcome = Intf.outcome_of_response response;
-              }
+              Intf.invocation ~on_path_ns:(Account.total acct) ~post_ns:reset_ns
+                ~breakdown ~isolated:true ~restore_label:"faasm-reset"
+                ~outcome:(Intf.outcome_of_response response) response
         end
       in
       Ok

@@ -26,6 +26,7 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
     let loop = Gh_faas.Actionloop.create rt in
     let invoke req =
       let acct = Account.create () in
+      let io0 = Gh_faas.Actionloop.io_total_ns loop in
       (* The freshly forked child is by construction clean: inputs flow
          through the interposition immediately. *)
       ignore (Gh_faas.Actionloop.offer loop acct ~clean:true req);
@@ -36,24 +37,15 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
       if response.Fm.hung then
         (* The child is wedged; the parent stays pristine, but no response
            exists — only the platform timeout frees the request's core. *)
-        {
-          Intf.on_path_ns = Account.total acct;
-          post_ns = 0;
-          response;
-          breakdown = None;
-          isolated = true;
-          outcome = Intf.Hung;
-        }
+        Intf.invocation ~on_path_ns:(Account.total acct)
+          ~io_ns:(Gh_faas.Actionloop.io_total_ns loop - io0) ~isolated:true
+          ~outcome:Intf.Hung response
       else begin
         Gh_faas.Actionloop.return_output loop acct ~output_kb:response.Fm.output_kb;
-        {
-          Intf.on_path_ns = Account.total acct;
-          post_ns = reap_ns;
-          response;
-          breakdown = None;
-          isolated = true;
-          outcome = Intf.outcome_of_response response;
-        }
+        Intf.invocation ~on_path_ns:(Account.total acct)
+          ~io_ns:(Gh_faas.Actionloop.io_total_ns loop - io0) ~post_ns:reap_ns
+          ~isolated:true ~restore_label:"reap"
+          ~outcome:(Intf.outcome_of_response response) response
       end
     in
     Ok

@@ -32,6 +32,7 @@ let deferred_restores s = s.deferred_restores
 
 let run_function s req =
   let acct = Account.create () in
+  let io0 = Actionloop.io_total_ns s.loop in
   let rt = Fm.runtime s.inst in
   (* The input reaches the function only when the process is provably
      clean (§4.5): via the interposed actionloop pipes (Intercept, paying
@@ -64,7 +65,7 @@ let run_function s req =
      match s.interposition with
      | Intercept -> Actionloop.return_output s.loop acct ~output_kb:response.Fm.output_kb
      | Platform_signal -> ());
-  (Account.total acct, response)
+  (Account.total acct, Actionloop.io_total_ns s.loop - io0, response)
 
 (* Pay off a restore deferred under brownout, before [req] may run. If the
    same principal is back, the residue is its own data — the same-security-
@@ -91,32 +92,20 @@ let invoke_with_lookahead s req ~next =
   | Error f ->
       (* The catch-up restore failed: the manager is poisoned and the
          request was never started — fail closed with an error response. *)
-      {
-        Intf.on_path_ns = f.Manager.spent_ns;
-        post_ns = 0;
-        response =
-          { Fm.value = 0; residue = []; output_kb = 0; service_denials = 0;
-            crashed = true; hung = false };
-        breakdown = None;
-        isolated = false;
-        outcome = Intf.Poisoned;
-      }
+      Intf.invocation ~on_path_ns:f.Manager.spent_ns
+        ~restore_on_path_ns:f.Manager.spent_ns ~outcome:Intf.Poisoned
+        { Fm.value = 0; residue = []; output_kb = 0; service_denials = 0;
+          crashed = true; hung = false }
   | Ok settle_ns ->
-  let on_path_ns, response = run_function s req in
+  let on_path_ns, io_ns, response = run_function s req in
   let on_path_ns = settle_ns + on_path_ns in
   s.last_req <- Some req;
   if response.Fm.hung then
     (* No output, no restore: the process is wedged mid-request and the
        manager stays [Dirty] — only a platform timeout (kill + cold
        restart) can free the container. *)
-    {
-      Intf.on_path_ns;
-      post_ns = 0;
-      response;
-      breakdown = None;
-      isolated = false;
-      outcome = Intf.Hung;
-    }
+    Intf.invocation ~on_path_ns ~io_ns ~restore_on_path_ns:settle_ns ~outcome:Intf.Hung
+      response
   else begin
     let skip =
       match next with
@@ -126,14 +115,8 @@ let invoke_with_lookahead s req ~next =
     if skip then begin
       Manager.skip_restore s.mgr;
       s.restored_since_last <- false;
-      {
-        Intf.on_path_ns;
-        post_ns = 0;
-        response;
-        breakdown = None;
-        isolated = false;
-        outcome = Intf.outcome_of_response response;
-      }
+      Intf.invocation ~on_path_ns ~io_ns ~restore_on_path_ns:settle_ns
+        ~outcome:(Intf.outcome_of_response response) response
     end
     else if s.degraded && not response.Fm.crashed && Manager.status s.mgr = Manager.Dirty
     then begin
@@ -148,38 +131,23 @@ let invoke_with_lookahead s req ~next =
       s.restored_since_last <- false;
       s.deferred_from <- Some req.Gh_faas.Request.principal;
       s.deferred_restores <- s.deferred_restores + 1;
-      {
-        Intf.on_path_ns;
-        post_ns = 0;
-        response;
-        breakdown = None;
-        isolated = false;
-        outcome = Intf.outcome_of_response response;
-      }
+      Intf.invocation ~on_path_ns ~io_ns ~restore_on_path_ns:settle_ns
+        ~outcome:(Intf.outcome_of_response response) response
     end
     else begin
       match Manager.restore s.mgr with
       | Ok breakdown ->
           s.restored_since_last <- true;
-          {
-            Intf.on_path_ns;
-            post_ns = breakdown.Groundhog_core.Breakdown.total_ns;
-            response;
-            breakdown = Some breakdown;
-            isolated = true;
-            outcome = Intf.outcome_of_response response;
-          }
+          Intf.invocation ~on_path_ns ~io_ns ~restore_on_path_ns:settle_ns
+            ~post_ns:breakdown.Groundhog_core.Breakdown.total_ns ~breakdown
+            ~isolated:true ~restore_label:"gh-restore"
+            ~outcome:(Intf.outcome_of_response response) response
       | Error f ->
           (* The failed attempt still burned manager time; the manager is
              now [Poisoned] and the container must be killed and rebuilt. *)
-          {
-            Intf.on_path_ns;
-            post_ns = f.Manager.spent_ns;
-            response;
-            breakdown = None;
-            isolated = false;
-            outcome = Intf.Poisoned;
-          }
+          Intf.invocation ~on_path_ns ~io_ns ~restore_on_path_ns:settle_ns
+            ~post_ns:f.Manager.spent_ns ~restore_label:"gh-restore"
+            ~outcome:Intf.Poisoned response
     end
   end
 

@@ -18,20 +18,16 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
   let loop = Gh_faas.Actionloop.create rt in
   let invoke req =
     let acct = Account.create () in
+    let io0 = Gh_faas.Actionloop.io_total_ns loop in
     (* Same interposition as full Groundhog; the single-domain container is
        always "clean" in the policy sense, so inputs flow immediately. *)
     ignore (Gh_faas.Actionloop.offer loop acct ~clean:true req);
     let response = Fm.invoke inst acct rng ~post_restore:false req in
     Manager.mark_dirty mgr;
+    let io_ns () = Gh_faas.Actionloop.io_total_ns loop - io0 in
     if response.Fm.hung then
-      {
-        Intf.on_path_ns = Account.total acct;
-        post_ns = 0;
-        response;
-        breakdown = None;
-        isolated = false;
-        outcome = Intf.Hung;
-      }
+      Intf.invocation ~on_path_ns:(Account.total acct) ~io_ns:(io_ns ()) ~outcome:Intf.Hung
+        response
     else begin
       Gh_faas.Actionloop.return_output loop acct ~output_kb:response.Fm.output_kb;
       (* Restoration is skipped between same-domain requests — but a crashed
@@ -39,34 +35,18 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
       if response.Fm.crashed then begin
         match Manager.restore mgr with
         | Ok b ->
-            {
-              Intf.on_path_ns = Account.total acct;
-              post_ns = b.Groundhog_core.Breakdown.total_ns;
-              response;
-              breakdown = Some b;
-              isolated = false;
-              outcome = Intf.Crashed;
-            }
+            Intf.invocation ~on_path_ns:(Account.total acct) ~io_ns:(io_ns ())
+              ~post_ns:b.Groundhog_core.Breakdown.total_ns ~breakdown:b
+              ~restore_label:"crash-restore" ~outcome:Intf.Crashed response
         | Error f ->
-            {
-              Intf.on_path_ns = Account.total acct;
-              post_ns = f.Manager.spent_ns;
-              response;
-              breakdown = None;
-              isolated = false;
-              outcome = Intf.Poisoned;
-            }
+            Intf.invocation ~on_path_ns:(Account.total acct) ~io_ns:(io_ns ())
+              ~post_ns:f.Manager.spent_ns ~restore_label:"crash-restore"
+              ~outcome:Intf.Poisoned response
       end
       else begin
         Manager.skip_restore mgr;
-        {
-          Intf.on_path_ns = Account.total acct;
-          post_ns = 0;
-          response;
-          breakdown = None;
-          isolated = false;
-          outcome = Intf.Completed;
-        }
+        Intf.invocation ~on_path_ns:(Account.total acct) ~io_ns:(io_ns ())
+          ~outcome:Intf.Completed response
       end
     end
   in

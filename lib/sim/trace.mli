@@ -24,6 +24,16 @@ val emit : t -> at:Time_ns.t -> category:string -> what:string -> string -> unit
 val emitf :
   t -> at:Time_ns.t -> category:string -> what:string -> ('a, unit, string, unit) format4 -> 'a
 
+val emitf_opt :
+  t option ->
+  at:Time_ns.t ->
+  category:string ->
+  what:string ->
+  ('a, unit, string, unit) format4 ->
+  'a
+(** Like {!emitf} on [Some tr]; on [None] the format arguments are
+    consumed without ever building the detail string (allocation-free). *)
+
 val events : t -> event list
 (** Oldest first. At most [capacity] events (older ones were dropped). *)
 

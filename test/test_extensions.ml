@@ -84,16 +84,9 @@ let constant_strategy ~exec_ns =
     init_ns = Time_ns.of_ms 100.0;
     invoke =
       (fun req ->
-        {
-          Intf.on_path_ns = exec_ns;
-          post_ns = 0;
-          response =
-            { Fm.value = req.Request.id; residue = []; output_kb = 1; service_denials = 0;
-              crashed = false; hung = false };
-          breakdown = None;
-          isolated = false;
-          outcome = Intf.Completed;
-        });
+        Intf.invocation ~on_path_ns:exec_ns ~outcome:Intf.Completed
+          { Fm.value = req.Request.id; residue = []; output_kb = 1; service_denials = 0;
+            crashed = false; hung = false });
     snapshot_pages = (fun () -> 0);
     status = Intf.no_status;
     kill = Intf.no_kill;

@@ -261,16 +261,10 @@ let strategy_of_constant ~exec_ns ~post_ns =
     invoke =
       (fun req ->
         incr count;
-        {
-          Strategy_intf.on_path_ns = exec_ns;
-          post_ns;
-          response =
-            { Function_model.value = req.Request.id; residue = []; output_kb = 1;
-              service_denials = 0; crashed = false; hung = false };
-          breakdown = None;
-          isolated = post_ns > 0;
-          outcome = Strategy_intf.Completed;
-        });
+        Strategy_intf.invocation ~on_path_ns:exec_ns ~post_ns ~isolated:(post_ns > 0)
+          ~outcome:Strategy_intf.Completed
+          { Function_model.value = req.Request.id; residue = []; output_kb = 1;
+            service_denials = 0; crashed = false; hung = false });
     snapshot_pages = (fun () -> 0);
     status = Strategy_intf.no_status;
     kill = Strategy_intf.no_kill;

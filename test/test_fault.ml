@@ -108,32 +108,14 @@ let scripted name next =
       (fun req ->
         match next req with
         | `Ok ->
-            {
-              Intf.on_path_ns = Time_ns.of_ms 1.0;
-              post_ns = 0;
-              response = resp req.Request.id;
-              breakdown = None;
-              isolated = false;
-              outcome = Intf.Completed;
-            }
+            Intf.invocation ~on_path_ns:(Time_ns.of_ms 1.0) ~outcome:Intf.Completed
+              (resp req.Request.id)
         | `Hang ->
-            {
-              Intf.on_path_ns = 0;
-              post_ns = 0;
-              response = resp ~hung:true req.Request.id;
-              breakdown = None;
-              isolated = false;
-              outcome = Intf.Hung;
-            }
+            Intf.invocation ~on_path_ns:0 ~outcome:Intf.Hung
+              (resp ~hung:true req.Request.id)
         | `Poison ->
-            {
-              Intf.on_path_ns = Time_ns.of_ms 1.0;
-              post_ns = Time_ns.of_ms 2.0;
-              response = resp req.Request.id;
-              breakdown = None;
-              isolated = false;
-              outcome = Intf.Poisoned;
-            });
+            Intf.invocation ~on_path_ns:(Time_ns.of_ms 1.0) ~post_ns:(Time_ns.of_ms 2.0)
+              ~outcome:Intf.Poisoned (resp req.Request.id));
     snapshot_pages = (fun () -> 0);
     status = Intf.no_status;
     kill = Intf.no_kill;

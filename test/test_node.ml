@@ -22,16 +22,9 @@ let strategy ~exec_ms ~init_ms ~buffer_pages =
     init_ns = Time_ns.of_ms init_ms;
     invoke =
       (fun req ->
-        {
-          Intf.on_path_ns = Time_ns.of_ms exec_ms;
-          post_ns = 0;
-          response =
-            { Fm.value = req.Request.id; residue = []; output_kb = 1; service_denials = 0;
-              crashed = false; hung = false };
-          breakdown = None;
-          isolated = false;
-          outcome = Intf.Completed;
-        });
+        Intf.invocation ~on_path_ns:(Time_ns.of_ms exec_ms) ~outcome:Intf.Completed
+          { Fm.value = req.Request.id; residue = []; output_kb = 1; service_denials = 0;
+            crashed = false; hung = false });
     snapshot_pages = (fun () -> buffer_pages);
     status = Intf.no_status;
     kill = Intf.no_kill;

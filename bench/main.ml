@@ -11,7 +11,10 @@
 
    Run with: dune exec bench/main.exe
    Pass `--quick` to shrink part 2's request counts (CI), or
-   `--bechamel-only` / `--figures-only` to run one part. *)
+   `--bechamel-only` / `--figures-only` to run one part;
+   `--bitmap-only` / `--mem-only` / `--engine-only` run a single
+   micro-benchmark group (the latter two also write BENCH_mem.json /
+   BENCH_engine.json). *)
 
 open Bechamel
 open Toolkit
@@ -405,6 +408,169 @@ let run_mem_bench () =
   close_out oc;
   print_endline "wrote BENCH_mem.json"
 
+(* == Engine hot loop: calendar queue vs reference binary heap == *)
+
+module Engine = Gh_sim.Engine
+module Heap = Gh_sim.Heap
+module Event_queue = Gh_sim.Event_queue
+
+let churn_sizes = [ (256, "256"); (16_384, "16k"); (262_144, "256k") ]
+
+(* Sustained churn at a fixed pending count: pop the earliest event,
+   schedule a replacement one average event-gap later — the steady state the
+   DES hot loop lives in. Replacement gaps scale with the population (a
+   bigger sweep spreads its pending events over a wider horizon), and each
+   run batches [churn_ops] pairs so per-sample harness noise amortizes. *)
+let churn_ops = 64
+
+let engine_churn_tests (p, size_name) =
+  let gap tick = 1 + (tick * 7919 mod (48 * p)) in
+  let heap = Heap.create () in
+  let q = Event_queue.create ~dummy:() in
+  for i = 1 to p do
+    Heap.push heap ~key:(i * 24) ();
+    Event_queue.push q ~key:(i * 24) ()
+  done;
+  let htick = ref 0 and qtick = ref 0 in
+  [
+    Test.make ~name:(Printf.sprintf "engine/churn-%s/calendar" size_name)
+      (Staged.stage (fun () ->
+           for _ = 1 to churn_ops do
+             match Event_queue.pop q with
+             | Some (k, ()) ->
+                 incr qtick;
+                 Event_queue.push q ~key:(k + gap !qtick) ()
+             | None -> assert false
+           done));
+    Test.make ~name:(Printf.sprintf "engine/churn-%s/heap" size_name)
+      (Staged.stage (fun () ->
+           for _ = 1 to churn_ops do
+             match Heap.pop heap with
+             | Some (k, ()) ->
+                 incr htick;
+                 Heap.push heap ~key:(k + gap !htick) ()
+             | None -> assert false
+           done));
+  ]
+
+(* One full engine event storm: dispatch 20k chained events over a pending
+   population of 1k, engine creation included (it is ~nothing). *)
+let storm_events = 20_000
+let storm_pending = 1_000
+
+let test_engine_storm =
+  Test.make ~name:"engine/storm-20k"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         let fired = ref 0 in
+         let rec cb () =
+           incr fired;
+           if !fired + storm_pending <= storm_events then
+             Engine.schedule e ~after:(1 + (!fired land 7)) cb
+         in
+         for i = 1 to storm_pending do
+           Engine.at e ~time:i cb
+         done;
+         Engine.run_all e))
+
+(* Bulk admission of a burst arrival schedule: one [at_batch] pass vs the
+   per-arrival [at] loop it replaced at the experiment call sites. *)
+let admit_n = 10_000
+
+let admit_list =
+  let rng = Rng.create 11 in
+  List.map
+    (fun t -> (t, fun () -> ()))
+    (Gh_workloads.Synthetic.burst rng ~rate_rps:50_000.0 ~n:admit_n)
+
+let test_admit_loop =
+  Test.make ~name:"engine/admit-10k/at-loop"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         List.iter (fun (t, f) -> Engine.at e ~time:t f) admit_list))
+
+let test_admit_batch =
+  Test.make ~name:"engine/admit-10k/at-batch"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         Engine.at_batch e admit_list))
+
+(* Wall-clock of `gh_bench run all --seed 42` (default profile) on this
+   machine, measured immediately before and after the engine moved to the
+   calendar queue — same discipline as [fig3_pre_pr_us]. The sweep is
+   dominated by per-request memory-model work (a ~45 us GH invoke dwarfs a
+   ~0.2 us event dispatch), so the queue swap holds the sweep at parity
+   while the queue-level rows above carry the speedup; the trajectory
+   toward ROADMAP item 2 is recorded here so the next optimization knows
+   its starting point. *)
+let runall_wall_s_pre_pr = 40.7
+let runall_wall_s_post_pr = 39.5
+let runall_md5 = "09fde233dc7f8a93b99557ab479b780f"
+
+let run_engine_bench () =
+  print_endline "== Engine hot loop: calendar queue vs reference binary heap ==";
+  Printf.printf "%-32s %14s\n" "benchmark" "time/run";
+  let run tests =
+    List.concat_map
+      (fun test ->
+        let es = estimates test in
+        List.iter (fun (name, t) -> Printf.printf "%-32s %14s\n" name (time_str t)) es;
+        es)
+      tests
+  in
+  let churn = run (List.concat_map engine_churn_tests churn_sizes) in
+  let rest = run [ test_engine_storm; test_admit_loop; test_admit_batch ] in
+  let find results name = List.assoc_opt name results in
+  print_newline ();
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"unit\": \"ns/run unless noted\",\n  \"churn\": {\n";
+  let n_sizes = List.length churn_sizes in
+  List.iteri
+    (fun si (p, size_name) ->
+      Buffer.add_string buf (Printf.sprintf "    \"%s\": {\n      \"pending\": %d" size_name p);
+      (match
+         ( find churn (Printf.sprintf "engine/churn-%s/calendar" size_name),
+           find churn (Printf.sprintf "engine/churn-%s/heap" size_name) )
+       with
+      | Some c, Some h ->
+          (* per-run figures cover [churn_ops] pop+push pairs *)
+          let c = c /. float_of_int churn_ops and h = h /. float_of_int churn_ops in
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\n      \"calendar_ns\": %.1f,\n      \"heap_ns\": %.1f,\n      \"speedup\": %.2f"
+               c h (h /. c));
+          Printf.printf "engine/churn-%s: %.2fx (heap %s -> calendar %s)\n" size_name (h /. c)
+            (time_str h) (time_str c)
+      | _ -> ());
+      Buffer.add_string buf (if si = n_sizes - 1 then "\n    }\n" else "\n    },\n"))
+    churn_sizes;
+  Buffer.add_string buf "  }";
+  (match find rest "engine/storm-20k" with
+  | Some t ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\n  \"storm_ns_per_event\": %.1f" (t /. float_of_int storm_events));
+      Printf.printf "engine/storm: %.1f ns/event\n" (t /. float_of_int storm_events)
+  | None -> ());
+  (match (find rest "engine/admit-10k/at-batch", find rest "engine/admit-10k/at-loop") with
+  | Some b, Some l ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n  \"admit_batch_ns_per_event\": %.1f,\n  \"admit_loop_ns_per_event\": %.1f,\n  \"admit_speedup\": %.2f"
+           (b /. float_of_int admit_n)
+           (l /. float_of_int admit_n)
+           (l /. b));
+      Printf.printf "engine/admit-10k: %.2fx (at-loop %s -> at-batch %s)\n" (l /. b)
+        (time_str l) (time_str b)
+  | _ -> ());
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\n  \"runall_seed42_wall_s_pre_pr\": %.1f,\n  \"runall_seed42_wall_s\": %.1f,\n  \"runall_seed42_md5\": \"%s\"\n}\n"
+       runall_wall_s_pre_pr runall_wall_s_post_pr runall_md5);
+  let oc = open_out "BENCH_engine.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  print_endline "wrote BENCH_engine.json"
+
 let run_figures profile =
   print_endline "== Regenerating every table and figure of the evaluation ==";
   Gh_harness.Experiments.run_all profile Format.std_formatter;
@@ -419,14 +585,17 @@ let () =
   let figures_only = List.mem "--figures-only" args in
   let bitmap_only = List.mem "--bitmap-only" args in
   let mem_only = List.mem "--mem-only" args in
+  let engine_only = List.mem "--engine-only" args in
   let profile = if quick then Gh_harness.Config.quick else Gh_harness.Config.default in
   if bitmap_only then run_bitmap_bench ()
   else if mem_only then run_mem_bench ()
+  else if engine_only then run_engine_bench ()
   else begin
     if not figures_only then begin
       run_bechamel ();
       run_bitmap_bench ();
-      run_mem_bench ()
+      run_mem_bench ();
+      run_engine_bench ()
     end;
     if not bechamel_only then run_figures profile
   end

@@ -24,6 +24,21 @@ dune exec bin/gh_bench.exe -- fault --smoke --seed 42 >/dev/null
 # serve, or cross-principal residue.
 dune exec bin/gh_bench.exe -- overload --smoke --seed 42 >/dev/null
 
+# Engine hot-loop bench: the calendar-queue vs reference-heap group must
+# build and run (the differential ordering property itself runs under
+# `dune runtest` above), and it records the trajectory in BENCH_engine.json.
+dune exec bench/main.exe -- --engine-only >/dev/null
+test -s BENCH_engine.json
+
+# Bit-identity gate: the quick-profile evaluation sweep must replay
+# byte-for-byte against the committed baseline — the determinism contract
+# (time, seq) event order, RNG streams, formatting — all of it. Regenerate
+# ci/runall_quick.md5 only with an intentional, reviewed behavior change.
+dune exec bin/gh_bench.exe -- run all --seed 42 --profile quick \
+  > /tmp/gh_ci_runall_quick.txt
+md5sum /tmp/gh_ci_runall_quick.txt | awk '{print $1}' \
+  | diff - ci/runall_quick.md5
+
 # Observability smoke: export a trace + metrics snapshot from a fixed-seed
 # run, validate the Chrome trace JSON against our own parser/schema check,
 # and diff the metrics snapshot against the committed baseline — any

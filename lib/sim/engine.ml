@@ -1,18 +1,34 @@
-type t = { mutable clock : Time_ns.t; queue : (unit -> unit) Heap.t }
+(* The hot loop runs on the calendar queue; the binary [Heap] survives as
+   the ordering oracle for the differential property tests. Both order
+   events by (time, insertion seq), so swapping queues is invisible to every
+   experiment: `run all` replays event-for-event. *)
 
-let create () = { clock = 0; queue = Heap.create () }
+let nop () = ()
+
+type t = { mutable clock : Time_ns.t; queue : (unit -> unit) Event_queue.t }
+
+let create () = { clock = 0; queue = Event_queue.create ~dummy:nop }
 let now t = t.clock
 
 let at t ~time f =
   if time < t.clock then invalid_arg "Engine.at: instant in the simulated past";
-  Heap.push t.queue ~key:time f
+  Event_queue.push t.queue ~key:time f
+
+let at_batch t events =
+  (* Validate everything up front so a bad instant raises before any event
+     is admitted, then admit the whole list in one pass. *)
+  List.iter
+    (fun (time, _) ->
+      if time < t.clock then invalid_arg "Engine.at_batch: instant in the simulated past")
+    events;
+  Event_queue.push_list t.queue events
 
 let schedule t ~after f =
   if after < 0 then invalid_arg "Engine.schedule: negative delay";
   at t ~time:(t.clock + after) f
 
 let step t =
-  match Heap.pop t.queue with
+  match Event_queue.pop t.queue with
   | None -> false
   | Some (time, f) ->
       t.clock <- time;
@@ -22,7 +38,7 @@ let step t =
 let run t ~until =
   let continue = ref true in
   while !continue do
-    match Heap.peek_key t.queue with
+    match Event_queue.peek_key t.queue with
     | Some key when key <= until -> ignore (step t)
     | Some _ | None -> continue := false
   done;
@@ -38,15 +54,15 @@ let run_all ?(max_events = default_max_events) t =
   let fired = ref 0 in
   let continue = ref true in
   while !continue do
-    if !fired >= max_events && Heap.size t.queue > 0 then
+    if !fired >= max_events && Event_queue.size t.queue > 0 then
       failwith
         (Printf.sprintf
            "Engine.run_all: dispatched %d events without draining (clock=%dns, %d still \
             pending) — likely a self-sustaining event chain; pass ~max_events to raise \
             the guard"
-           !fired t.clock (Heap.size t.queue))
+           !fired t.clock (Event_queue.size t.queue))
     else if step t then incr fired
     else continue := false
   done
 
-let pending t = Heap.size t.queue
+let pending t = Event_queue.size t.queue

@@ -1,7 +1,18 @@
+(* Reference binary min-heap. The engine's hot loop runs on
+   [Event_queue]; this implementation is kept as the simple, obviously
+   correct ordering oracle the differential property tests compare against
+   (the same scalar-reference pattern the page kernels use).
+
+   Slots are ['a entry option] so a vacated slot can be overwritten with
+   [None]: an earlier version left popped entries reachable at
+   [data.(len)] and beyond, pinning every dispatched event closure — and,
+   on a long-lived drained heap, its whole peak-capacity array — against
+   the GC. The array also shrinks on large drains for the same reason. *)
+
 type 'a entry = { key : int; seq : int; value : 'a }
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a entry option array;
   mutable len : int;
   mutable next_seq : int;
 }
@@ -10,13 +21,22 @@ let create () = { data = [||]; len = 0; next_seq = 0 }
 let is_empty t = t.len = 0
 let size t = t.len
 
+let get t i = match t.data.(i) with Some e -> e | None -> assert false
 let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
-let grow t entry =
+let grow t =
   let cap = Array.length t.data in
   if t.len = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let ndata = Array.make ncap entry in
+    let ndata = Array.make ncap None in
+    Array.blit t.data 0 ndata 0 t.len;
+    t.data <- ndata
+  end
+
+let shrink t =
+  let cap = Array.length t.data in
+  if cap > 64 && t.len * 4 < cap then begin
+    let ndata = Array.make (max 16 (cap / 2)) None in
     Array.blit t.data 0 ndata 0 t.len;
     t.data <- ndata
   end
@@ -24,15 +44,15 @@ let grow t entry =
 let push t ~key value =
   let entry = { key; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  t.data.(t.len) <- entry;
+  grow t;
+  t.data.(t.len) <- Some entry;
   t.len <- t.len + 1;
   (* Sift up. *)
   let i = ref (t.len - 1) in
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if less t.data.(!i) t.data.(parent) then begin
+    if less (get t !i) (get t parent) then begin
       let tmp = t.data.(parent) in
       t.data.(parent) <- t.data.(!i);
       t.data.(!i) <- tmp;
@@ -44,7 +64,7 @@ let push t ~key value =
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.data.(0) <- t.data.(t.len);
@@ -54,8 +74,8 @@ let pop t =
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < t.len && less t.data.(l) t.data.(!smallest) then smallest := l;
-        if r < t.len && less t.data.(r) t.data.(!smallest) then smallest := r;
+        if l < t.len && less (get t l) (get t !smallest) then smallest := l;
+        if r < t.len && less (get t r) (get t !smallest) then smallest := r;
         if !smallest <> !i then begin
           let tmp = t.data.(!smallest) in
           t.data.(!smallest) <- t.data.(!i);
@@ -65,10 +85,13 @@ let pop t =
         else continue := false
       done
     end;
+    t.data.(t.len) <- None;
+    (* release the popped entry *)
+    shrink t;
     Some (top.key, top.value)
   end
 
-let peek_key t = if t.len = 0 then None else Some t.data.(0).key
+let peek_key t = if t.len = 0 then None else Some (get t 0).key
 
 let clear t =
   t.data <- [||];

@@ -2,7 +2,14 @@
 
     Ties are broken by insertion order, so events scheduled for the same
     instant fire FIFO — a property the discrete-event engine relies on for
-    determinism. *)
+    determinism.
+
+    The engine itself now runs on {!Event_queue}; this heap is the simple
+    reference implementation the differential property tests compare it
+    against, so the two must keep identical observable ordering. Popped
+    slots are overwritten and the array shrinks on large drains, so a
+    drained heap no longer pins dispatched closures (or its peak-capacity
+    array) against the GC. *)
 
 type 'a t
 

@@ -19,12 +19,24 @@ let create ?(buckets_per_decade = 5) ~min_value ~max_value () =
 
 (* Index of the covering bucket, or the bucket count for values above the
    covered range — those are tallied separately so tail quantiles don't get
-   silently under-reported as the last bucket's bound. *)
+   silently under-reported as the last bucket's bound. The log quotient only
+   seeds the search: its round-off can land a value sitting exactly on a
+   bucket boundary (min *. ratio^k) one bucket off, so the index is nudged
+   until it agrees with the exact bound grid [bounds] reports. *)
 let bucket_of t v =
   if v <= t.min_value then 0
   else begin
+    let n = Array.length t.counts in
+    let lo k = t.min_value *. (t.ratio ** float_of_int k) in
     let i = int_of_float (log (v /. t.min_value) /. log t.ratio) in
-    min i (Array.length t.counts)
+    let i = ref (if i < 0 then 0 else min i n) in
+    while !i < n && v >= lo (!i + 1) do
+      incr i
+    done;
+    while !i > 0 && v < lo !i do
+      decr i
+    done;
+    !i
   end
 
 let add t v =

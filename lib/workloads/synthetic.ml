@@ -40,6 +40,14 @@ let log_uniform rng lo hi =
   let lo = Float.max 1e-9 lo in
   exp (Rng.float rng (log hi -. log lo) +. log lo)
 
+(* Names key per-function tallies (fn_stats, the capacity planner), so two
+   specs sharing one silently merges their stats — and 24-bit random tags
+   birthday-collide with ~50% odds by ~4800 draws. A process-wide counter
+   mixed into the formatted name makes them collision-free; the RNG stream
+   is consumed exactly as before, so every other field of a draw is
+   unchanged for existing seeds. *)
+let draw_counter = ref 0
+
 let draw ?(profile = default_profile) rng =
   let lang = languages.(Rng.int rng (Array.length languages)) in
   let rt = Runtime.for_lang lang in
@@ -57,7 +65,11 @@ let draw ?(profile = default_profile) rng =
   let pathological k = profile.allow_pathologies && Rng.int rng k = 0 in
   {
     Fm.default_spec with
-    Fm.name = Printf.sprintf "synthetic-%x" (Rng.int rng 0xFFFFFF);
+    Fm.name =
+      (let tag = Rng.int rng 0xFFFFFF in
+       let uniq = !draw_counter in
+       incr draw_counter;
+       Printf.sprintf "synthetic-%x-%x" tag uniq);
     lang;
     exec_ns = Time_ns.of_ms exec_ms;
     exec_jitter = Rng.float rng 0.1;

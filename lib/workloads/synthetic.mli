@@ -22,9 +22,14 @@ val tiny_profile : profile
 (** Small/fast specs for property tests. *)
 
 val draw : ?profile:profile -> Gh_sim.Rng.t -> Gh_faas.Function_model.spec
-(** A random spec; deterministic per RNG state. The generated spec is
-    always buildable: page quotas are clipped to the footprint and the
-    runtime's fixed regions. *)
+(** A random spec; every field but the name is deterministic per RNG state.
+    The name mixes the 24-bit random tag with a process-wide monotonic
+    counter so names never collide (per-function stats are keyed by name,
+    and random tags alone birthday-collide at the thousands-of-functions
+    scale); the counter consumes no randomness, so the RNG stream is
+    identical to older versions. The generated spec is always buildable:
+    page quotas are clipped to the footprint and the runtime's fixed
+    regions. *)
 
 val draw_many : ?profile:profile -> Gh_sim.Rng.t -> int -> Gh_faas.Function_model.spec list
 

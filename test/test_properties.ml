@@ -265,6 +265,73 @@ let heap_pops_sorted =
       in
       drain min_int)
 
+(* Differential oracle for the calendar queue: random interleaved
+   push/pop/peek sequences, with a narrow key range so duplicate keys (and
+   hence seq tie-breaks) are common, must agree with the reference binary
+   heap on every observation — popped (key, value) pairs, peeked keys, and
+   sizes. Values number the pushes, so a pop mismatch pinpoints a broken
+   (key, seq) order, the engine's determinism contract. *)
+type queue_op = Qpush of int | Qpop | Qpeek
+
+let event_queue_matches_heap =
+  let open QCheck2 in
+  let gen_op =
+    Gen.(
+      frequency
+        [
+          (5, map (fun k -> Qpush k) (int_bound 40));
+          (3, map (fun k -> Qpush (k * 100_003)) (int_bound 10_000));
+          (* wide keys force window rotations *)
+          (4, return Qpop);
+          (2, return Qpeek);
+        ])
+  in
+  Test.make ~name:"calendar queue replays the reference heap on random op sequences"
+    ~count:500
+    Gen.(list_size (int_range 0 400) gen_op)
+    (fun ops ->
+      let heap = Heap.create () in
+      let q = Gh_sim.Event_queue.create ~dummy:(-1) in
+      let counter = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Qpush key ->
+              let v = !counter in
+              incr counter;
+              Heap.push heap ~key v;
+              Gh_sim.Event_queue.push q ~key v;
+              true
+          | Qpop -> Heap.pop heap = Gh_sim.Event_queue.pop q
+          | Qpeek ->
+              Heap.peek_key heap = Gh_sim.Event_queue.peek_key q
+              && Heap.size heap = Gh_sim.Event_queue.size q)
+        ops
+      &&
+      (* Both must then drain identically to empty. *)
+      let rec drain () =
+        match (Heap.pop heap, Gh_sim.Event_queue.pop q) with
+        | None, None -> true
+        | a, b -> a = b && drain ()
+      in
+      drain ())
+
+let event_queue_batch_matches_loop =
+  let open QCheck2 in
+  Test.make ~name:"push_list equals a push loop, ties included" ~count:300
+    Gen.(list_size (int_range 0 200) (int_bound 30))
+    (fun keys ->
+      let a = Gh_sim.Event_queue.create ~dummy:(-1) in
+      let b = Gh_sim.Event_queue.create ~dummy:(-1) in
+      List.iteri (fun i k -> Gh_sim.Event_queue.push a ~key:k i) keys;
+      Gh_sim.Event_queue.push_list b (List.mapi (fun i k -> (k, i)) keys);
+      let rec drain () =
+        match (Gh_sim.Event_queue.pop a, Gh_sim.Event_queue.pop b) with
+        | None, None -> true
+        | x, y -> x = y && drain ()
+      in
+      drain ())
+
 let percentile_bounds =
   let open QCheck2 in
   Test.make ~name:"percentiles lie within [min,max] and grow with q" ~count:200
@@ -533,6 +600,8 @@ let () =
           to_alcotest bitmap_runs_cover_set_bits;
           to_alcotest bitmap_runs_are_maximal;
           to_alcotest heap_pops_sorted;
+          to_alcotest event_queue_matches_heap;
+          to_alcotest event_queue_batch_matches_loop;
           to_alcotest percentile_bounds;
           to_alcotest rng_int_bounds;
           to_alcotest online_stats_match;

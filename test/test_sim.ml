@@ -191,6 +191,125 @@ let test_heap_peek_and_size () =
   Heap.clear h;
   check_bool "cleared" true (Heap.is_empty h)
 
+(* A drained queue must not pin the closures it dispatched: watch the
+   payloads each closure captures through weak pointers and demand they are
+   collected once everything is popped. The original [Heap.pop] failed
+   this — vacated slots beyond [len] kept every entry reachable. *)
+let check_drained_releases name ~push ~pop =
+  let n = 16 in
+  let w = Weak.create n in
+  let sink = ref 0 in
+  for i = 0 to n - 1 do
+    let payload = ref (Array.make 64 i) in
+    Weak.set w i (Some payload);
+    (* The closure writes through [sink] so the capture of [payload] cannot
+       be optimized away. *)
+    push ~key:(i * 17 mod 5) (fun () -> sink := !sink + Array.length !payload)
+  done;
+  let rec drain () = match pop () with Some _ -> drain () | None -> () in
+  drain ();
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to n - 1 do
+    check_bool (Printf.sprintf "%s payload %d collected" name i) false (Weak.check w i)
+  done;
+  (* Touch the queue again so it stays live across the majors above — the
+     point is that the *drained structure* no longer pins the closures, not
+     that the structure itself became garbage. *)
+  match pop () with
+  | Some _ -> Alcotest.fail (name ^ ": expected drained")
+  | None -> ()
+
+let test_heap_pop_releases () =
+  let h = Heap.create () in
+  check_drained_releases "heap" ~push:(fun ~key f -> Heap.push h ~key f) ~pop:(fun () -> Heap.pop h)
+
+(* -- Event_queue -- *)
+
+let test_event_queue_ordering () =
+  let q = Event_queue.create ~dummy:0 in
+  List.iter (fun k -> Event_queue.push q ~key:k k) [ 5; 1; 9; 3; 7; 2; 8 ];
+  let out = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (List.rev !out)
+
+let test_event_queue_fifo_ties () =
+  let q = Event_queue.create ~dummy:"" in
+  Event_queue.push q ~key:5 "a";
+  Event_queue.push q ~key:5 "b";
+  Event_queue.push_list q [ (5, "c"); (5, "d") ];
+  let next () = match Event_queue.pop q with Some (_, v) -> v | None -> "?" in
+  let first = next () in
+  let second = next () in
+  let third = next () in
+  let fourth = next () in
+  Alcotest.(check (list string)) "insertion order among ties" [ "a"; "b"; "c"; "d" ]
+    [ first; second; third; fourth ]
+
+let test_event_queue_peek_and_size () =
+  let q = Event_queue.create ~dummy:0 in
+  check_bool "empty" true (Event_queue.is_empty q);
+  Alcotest.(check (option int)) "peek empty" None (Event_queue.peek_key q);
+  Event_queue.push q ~key:3 0;
+  Event_queue.push q ~key:1 0;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Event_queue.peek_key q);
+  check_int "size" 2 (Event_queue.size q);
+  Event_queue.clear q;
+  check_bool "cleared" true (Event_queue.is_empty q)
+
+let test_event_queue_wide_spread () =
+  (* Keys spanning ten orders of magnitude force window rotations, overflow
+     redistribution and bucket-width retunes; the pop order must still be
+     exact. *)
+  let q = Event_queue.create ~dummy:0 in
+  let rng = Rng.create 4242 in
+  let keys = Array.init 20_000 (fun _ -> Rng.int rng (1 lsl (1 + Rng.int rng 34))) in
+  Array.iter (fun k -> Event_queue.push q ~key:k k) keys;
+  (* Interleave draining with fresh near-past pushes to hit the below-window
+     path too. *)
+  let popped = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (k, _) ->
+        popped := k :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let expect = List.sort compare (Array.to_list keys) in
+  Alcotest.(check (list int)) "exact sorted order" expect (List.rev !popped)
+
+let test_event_queue_below_window () =
+  (* Peek can advance the internal window past sparse gaps; a later push at
+     a smaller (but legal) key must still pop first. *)
+  let q = Event_queue.create ~dummy:0 in
+  Event_queue.push q ~key:1_000_000_000 1;
+  Alcotest.(check (option int)) "peek far" (Some 1_000_000_000) (Event_queue.peek_key q);
+  Event_queue.push q ~key:7 2;
+  Alcotest.(check (option int)) "peek near" (Some 7) (Event_queue.peek_key q);
+  (match Event_queue.pop q with
+  | Some (k, v) ->
+      check_int "near key first" 7 k;
+      check_int "near value" 2 v
+  | None -> Alcotest.fail "expected an element");
+  (match Event_queue.pop q with
+  | Some (k, _) -> check_int "far key second" 1_000_000_000 k
+  | None -> Alcotest.fail "expected an element");
+  check_bool "drained" true (Event_queue.is_empty q)
+
+let test_event_queue_pop_releases () =
+  let q = Event_queue.create ~dummy:(fun () -> ()) in
+  check_drained_releases "event_queue"
+    ~push:(fun ~key f -> Event_queue.push q ~key f)
+    ~pop:(fun () -> Event_queue.pop q)
+
 (* -- Engine -- *)
 
 let test_engine_ordering () =
@@ -252,6 +371,66 @@ let test_engine_stress_ordering () =
   (* [fired] is newest-first, so it must be nonincreasing. *)
   check_bool "globally time-ordered" true (nonincreasing !fired)
 
+let test_engine_at_batch () =
+  (* A batch admission must replay exactly like the per-event loop it
+     replaces: same times, same FIFO ties, validated up front. *)
+  let fire log tag at = (at, fun () -> log := (tag, at) :: !log) in
+  let times = [ 30; 10; 10; 50; 10; 30 ] in
+  let log_a = ref [] and log_b = ref [] in
+  let a = Engine.create () in
+  List.iteri (fun i at -> Engine.at a ~time:at (snd (fire log_a i at))) times;
+  Engine.run_all a;
+  let b = Engine.create () in
+  Engine.at_batch b (List.mapi (fun i at -> fire log_b i at) times);
+  Engine.run_all b;
+  Alcotest.(check (list (pair int int))) "batch replays the loop" (List.rev !log_a)
+    (List.rev !log_b);
+  let c = Engine.create () in
+  Engine.schedule c ~after:10 (fun () -> ());
+  Engine.run_all c;
+  Alcotest.check_raises "whole batch rejected on one past instant"
+    (Invalid_argument "Engine.at_batch: instant in the simulated past") (fun () ->
+      Engine.at_batch c [ (20, (fun () -> ())); (5, fun () -> ()) ]);
+  check_int "nothing admitted" 0 (Engine.pending c)
+
+let test_engine_matches_reference_heap () =
+  (* Determinism contract: the engine (on the calendar queue) dispatches in
+     exactly the (time, seq) order of the reference binary heap, including
+     callbacks that schedule more work mid-run. *)
+  let rng = Rng.create 12345 in
+  let reference = Heap.create () in
+  let engine = Engine.create () in
+  let fired = ref [] in
+  let uid = ref 0 in
+  let rec plant depth ~time =
+    let id = !uid in
+    incr uid;
+    Heap.push reference ~key:time id;
+    Engine.at engine ~time (fun () ->
+        fired := (time, id) :: !fired;
+        if depth > 0 && Rng.int rng 3 = 0 then
+          plant (depth - 1) ~time:(time + Rng.int rng 1_000))
+  in
+  (* Duplicate-heavy initial schedule so ties are common. *)
+  for _ = 1 to 5_000 do
+    plant 2 ~time:(Rng.int rng 200)
+  done;
+  Engine.run_all engine;
+  (* Every plant pushed the same (time, id) into the reference heap with the
+     same sequence position, so its drain order is the ground-truth global
+     (time, seq) order the engine must have dispatched in. *)
+  let expected = ref [] in
+  let rec drain () =
+    match Heap.pop reference with
+    | Some (k, id) ->
+        expected := (k, id) :: !expected;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (pair int int))) "engine replays the reference order"
+    (List.rev !expected) (List.rev !fired)
+
 (* -- Histogram -- *)
 
 let test_histogram_bucketing () =
@@ -305,6 +484,32 @@ let test_histogram_quantile () =
         (Histogram.quantile
            (Histogram.create ~min_value:1.0 ~max_value:10.0 ())
            0.5))
+
+let test_histogram_boundary_exact () =
+  (* A sample sitting exactly on a bucket's lower bound must land in that
+     bucket: the log-quotient seed index alone can be one off from float
+     round-off, which the nudge against the exact bound grid corrects. *)
+  List.iter
+    (fun bpd ->
+      let fresh () = Histogram.create ~buckets_per_decade:bpd ~min_value:1.0 ~max_value:1000.0 () in
+      let layout = Histogram.buckets (fresh ()) in
+      List.iteri
+        (fun k (lo, hi, _) ->
+          let h = fresh () in
+          Histogram.add h lo;
+          (* and an interior point for good measure *)
+          Histogram.add h (sqrt (lo *. hi));
+          check_int (Printf.sprintf "bpd=%d no overflow at bucket %d" bpd k) 0
+            (Histogram.overflow h);
+          List.iteri
+            (fun j (_, _, n) ->
+              check_int
+                (Printf.sprintf "bpd=%d boundary of bucket %d counted in bucket %d" bpd k j)
+                (if j = k then 2 else 0)
+                n)
+            (Histogram.buckets h))
+        layout)
+    [ 1; 2; 3; 5; 7; 10 ]
 
 let test_histogram_render () =
   let h = Histogram.create ~min_value:1.0 ~max_value:100.0 () in
@@ -400,6 +605,17 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "peek and size" `Quick test_heap_peek_and_size;
+          Alcotest.test_case "drained heap releases closures" `Quick test_heap_pop_releases;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_event_queue_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_event_queue_fifo_ties;
+          Alcotest.test_case "peek and size" `Quick test_event_queue_peek_and_size;
+          Alcotest.test_case "wide key spread" `Quick test_event_queue_wide_spread;
+          Alcotest.test_case "below-window pushes" `Quick test_event_queue_below_window;
+          Alcotest.test_case "drained queue releases closures" `Quick
+            test_event_queue_pop_releases;
         ] );
       ( "engine",
         [
@@ -408,12 +624,16 @@ let () =
           Alcotest.test_case "run until" `Quick test_engine_run_until;
           Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
           Alcotest.test_case "stress ordering (50k events)" `Quick test_engine_stress_ordering;
+          Alcotest.test_case "batch admission" `Quick test_engine_at_batch;
+          Alcotest.test_case "replays the reference heap" `Quick
+            test_engine_matches_reference_heap;
         ] );
       ( "histogram",
         [
           Alcotest.test_case "bucketing" `Quick test_histogram_bucketing;
           Alcotest.test_case "quantile" `Quick test_histogram_quantile;
           Alcotest.test_case "overflow quantile" `Quick test_histogram_overflow_quantile;
+          Alcotest.test_case "boundary-exact bucketing" `Quick test_histogram_boundary_exact;
           Alcotest.test_case "render" `Quick test_histogram_render;
         ] );
       ( "trace",

@@ -152,11 +152,29 @@ let test_synthetic_specs_valid () =
     specs
 
 let test_synthetic_deterministic () =
+  (* The name carries a process-wide uniqueness counter, so it differs
+     between draws; every field actually drawn from the RNG must still
+     replay identically for the same seed. *)
+  let anon (s : Fm.spec) = { s with Fm.name = "" } in
   let a = Synthetic.draw (Gh_sim.Rng.create 9) in
   let b = Synthetic.draw (Gh_sim.Rng.create 9) in
-  check_bool "same seed, same spec" true (a = b);
+  check_bool "same seed, same spec up to name" true (anon a = anon b);
+  check_bool "names never repeat" true (a.Fm.name <> b.Fm.name);
   let c = Synthetic.draw (Gh_sim.Rng.create 10) in
-  check_bool "different seed, different spec" true (a <> c)
+  check_bool "different seed, different spec" true (anon a <> anon c)
+
+let test_synthetic_names_collision_free () =
+  (* 24-bit random tags alone birthday-collide well before the
+     thousands-of-functions scale; the counter suffix must keep every name
+     distinct even across draws from identical RNG states. *)
+  let rng_a = Gh_sim.Rng.create 77 and rng_b = Gh_sim.Rng.create 77 in
+  let specs =
+    Synthetic.draw_many ~profile:Synthetic.tiny_profile rng_a 2_000
+    @ Synthetic.draw_many ~profile:Synthetic.tiny_profile rng_b 2_000
+  in
+  let names = List.map (fun (s : Fm.spec) -> s.Fm.name) specs in
+  check_int "all names distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
 
 let test_synthetic_buildable () =
   let rng = Gh_sim.Rng.create 321 in
@@ -192,6 +210,7 @@ let () =
         [
           Alcotest.test_case "specs valid" `Quick test_synthetic_specs_valid;
           Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+          Alcotest.test_case "names collision-free" `Quick test_synthetic_names_collision_free;
           Alcotest.test_case "buildable" `Quick test_synthetic_buildable;
         ] );
     ]

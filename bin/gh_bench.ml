@@ -519,6 +519,104 @@ let overload_cmd =
   Cmd.v (Cmd.info "overload" ~doc)
     Term.(ret (const run $ profile_arg $ seed_arg $ bench_arg $ smoke_arg $ n_arg))
 
+(* -- cluster: multi-node fleet under node faults, failover on vs off -- *)
+
+let cluster_cmd =
+  let bench_arg =
+    Arg.(
+      value & opt string "deltablue (p)"
+      & info [ "benchmark"; "b" ] ~docv:"BENCHMARK" ~doc:"Benchmark the fleet serves.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Tiny CI run: one placement, rates 0 and 1%/min, few requests.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "n" ] ~doc:"Arrivals per (rate, placement, failover) cell.")
+  in
+  let run profile seed bench smoke n =
+    let cfg = with_seed profile seed in
+    match Gh_workloads.Catalog.find bench with
+    | None -> `Error (false, Printf.sprintf "benchmark %S not in catalog" bench)
+    | Some entry ->
+        let open Gh_harness.Cluster_exp in
+        let rates = if smoke then [ 0.0; 0.01 ] else default_rates in
+        let placements =
+          if smoke then [ Gh_faas.Cluster.Least_loaded ] else default_placements
+        in
+        let requests = if smoke then 150 else n in
+        let points = Gh_harness.Cluster_exp.run cfg ~rates ~placements ~requests entry in
+        Gh_harness.Cluster_exp.print Format.std_formatter entry points;
+        let violations = Gh_harness.Cluster_exp.violations points in
+        (* Acceptance on the 1%/min cells (when present): failover on keeps
+           availability >= 99% with bounded p99 inflation; failover off
+           collapses on the same seeded streams. *)
+        let rows = List.concat_map (fun (p : point) -> p.rows) points in
+        let find ~rate ~failover =
+          List.find_opt
+            (fun (r : row) -> r.rate_per_min = rate && r.failover = failover)
+            rows
+        in
+        let acceptance =
+          match (find ~rate:0.01 ~failover:true, find ~rate:0.01 ~failover:false) with
+          | Some on, Some off ->
+              let baseline_p99 =
+                match find ~rate:0.0 ~failover:true with
+                | Some b when not (Float.is_nan b.p99_ms) -> b.p99_ms
+                | _ -> Float.nan
+              in
+              let msgs = [] in
+              let msgs =
+                if on.availability < 0.99 then
+                  Printf.sprintf "failover-on availability %.2f%% < 99%%"
+                    (100.0 *. on.availability)
+                  :: msgs
+                else msgs
+              in
+              let msgs =
+                if
+                  (not (Float.is_nan baseline_p99))
+                  && (not (Float.is_nan on.p99_ms))
+                  && on.p99_ms > 8.0 *. baseline_p99
+                then
+                  Printf.sprintf "failover-on p99 %.1f ms > 8x fault-free %.1f ms"
+                    on.p99_ms baseline_p99
+                  :: msgs
+                else msgs
+              in
+              let msgs =
+                if off.availability > 0.90 then
+                  Printf.sprintf
+                    "failover-off availability %.2f%% did not collapse (> 90%%)"
+                    (100.0 *. off.availability)
+                  :: msgs
+                else msgs
+              in
+              msgs
+          | _ -> []
+        in
+        if violations > 0 then
+          `Error
+            ( false,
+              Printf.sprintf
+                "DELIVERY CONTRACT VIOLATION: %d breach(es) — double-serve, \
+                 shed-and-served, unaccounted completion, or dangling attempt"
+                violations )
+        else if acceptance <> [] then
+          `Error (false, "ACCEPTANCE FAILED: " ^ String.concat "; " acceptance)
+        else `Ok ()
+  in
+  let doc =
+    "Sweep node-level fault rates through the multi-node fleet with failover (health \
+     checks, breakers, restarts, retries, hedging) on and off; exits nonzero on any \
+     delivery-contract violation or if failover fails to hold availability."
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(ret (const run $ profile_arg $ seed_arg $ bench_arg $ smoke_arg $ n_arg))
+
 let main =
   let doc = "Groundhog reproduction: regenerate the paper's evaluation." in
   Cmd.group (Cmd.info "gh-bench" ~version:"1.0.0" ~doc)
@@ -533,6 +631,7 @@ let main =
       trace_validate_cmd;
       fault_cmd;
       overload_cmd;
+      cluster_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -18,6 +18,14 @@ done
 # served by a non-clean process (the fail-closed gate).
 dune exec bin/gh_bench.exe -- fault --smoke --seed 42 >/dev/null
 
+# Cluster fault sweep under three fixed seeds. The subcommand exits
+# nonzero on any delivery violation (double-serve, serve-after-fail,
+# unaccounted request, conservation breach) or if the failover arm
+# misses its availability/latency acceptance gates.
+for seed in 1 42 1337; do
+  dune exec bin/gh_bench.exe -- cluster --smoke --seed $seed >/dev/null
+done
+
 # Overload smoke sweep. The subcommand exits nonzero on any overload
 # contract breach: a request completing after its deadline without being
 # counted a miss, a shed request that consumed restore work, a non-clean

@@ -203,6 +203,17 @@ let take t ~now =
           t.length <- t.length - 1;
           Some (e.req, e.payload))
 
+(* Silent removal for hedge-loser cancellation: the request was (or will
+   be) served elsewhere, so this copy must vanish without counting as shed
+   or expired and without firing the shed hooks — no metrics residue. *)
+let cancel t ~req_id =
+  match List.find_opt (fun e -> e.req.Request.id = req_id) t.items with
+  | None -> None
+  | Some e ->
+      remove t e;
+      t.length <- t.length - 1;
+      Some e.payload
+
 let shed_all ?(now = 0) t reason =
   let dead = t.items in
   t.items <- [];

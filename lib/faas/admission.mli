@@ -66,6 +66,12 @@ val purge_expired : 'a t -> now:Gh_sim.Time_ns.t -> unit
 (** Shed every queued entry whose deadline has passed. Called internally by
     {!admit}/{!take}; exposed so owners can purge before counting. *)
 
+val cancel : 'a t -> req_id:int -> 'a option
+(** Remove the queued entry for [req_id], if any, {e silently}: no shed or
+    expired count, no shed hook, no trace event — a hedged request's loser
+    copy was served elsewhere, and cancellation must leave no metrics
+    residue. Returns the removed payload. *)
+
 val shed_all : ?now:Gh_sim.Time_ns.t -> 'a t -> reason -> unit
 (** Drop everything queued (e.g. when the owning pool is being torn down).
     [now] only timestamps the trace events (default 0). *)

@@ -8,8 +8,15 @@ type t = {
   jitter : float;
 }
 
-let default =
+(* The platform's one recovery-pacing schedule. Container cold-restart
+   rebuilds and cluster circuit-breaker probes both retry under this
+   configuration — a single set of constants, so every repair loop in the
+   system saturates at the same 2 s cap instead of each layer inventing
+   its own. *)
+let recovery =
   { base_ns = Time_ns.of_ms 10.0; cap_ns = Time_ns.of_sec 2.0; multiplier = 2.0; jitter = 0.1 }
+
+let default = recovery
 
 let make ?(base_ns = default.base_ns) ?(cap_ns = default.cap_ns)
     ?(multiplier = default.multiplier) ?(jitter = default.jitter) () =

@@ -16,7 +16,13 @@ type t = {
 }
 
 val default : t
-(** 10 ms base, 2 s cap, doubling, 10 % jitter. *)
+(** 10 ms base, 2 s cap, doubling, 10 % jitter. An alias of {!recovery}. *)
+
+val recovery : t
+(** The shared recovery-pacing configuration: {!Container} cold-restart
+    rebuilds and {!Breaker} half-open probes both retry under this exact
+    value (physically the same record), so every repair loop saturates at
+    the same cap. *)
 
 val make :
   ?base_ns:Gh_sim.Time_ns.t ->

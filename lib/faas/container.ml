@@ -19,7 +19,9 @@ let default_recovery =
   {
     timeout_ns = Some (Time_ns.of_sec 1.0);
     quarantine_after = 3;
-    rebuild_backoff = Backoff.default;
+    (* Shared with the cluster breaker's probe pacing: one capped schedule
+       for every repair loop in the platform. *)
+    rebuild_backoff = Backoff.recovery;
     max_rebuild_attempts = 5;
   }
 

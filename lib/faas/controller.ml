@@ -16,11 +16,17 @@ let default_overhead =
 let sample_overhead m rng =
   m.base_ns + int_of_float (Rng.lognormal rng ~mu:m.jitter_mu_ns ~sigma:m.jitter_sigma)
 
+(* What sits behind the front door. The classic shape is a single
+   [Invoker]; a [Sink] is any request consumer with the same response
+   contract — the cluster plugs in here without the controller knowing
+   about nodes, placement, or failover. *)
+type sink = Request.t -> on_response:(Request.t -> Strategy_intf.invocation -> unit) -> unit
+
 type t = {
   engine : Engine.t;
   rng : Rng.t;
   spans : Span.t option;
-  invoker : Invoker.t;
+  sink : sink;
   overhead : overhead_model;
   ttl_ns : Time_ns.t option;
   mutable completions : int;
@@ -35,7 +41,7 @@ type completion = {
   invoker_ns : Time_ns.t;
 }
 
-let create ?(overhead = default_overhead) ?ttl_ns ?spans engine ~rng invoker =
+let create_sink ?(overhead = default_overhead) ?ttl_ns ?spans engine ~rng sink =
   (match ttl_ns with
   | Some ttl when ttl <= 0 -> invalid_arg "Controller.create: ttl_ns must be positive"
   | _ -> ());
@@ -43,13 +49,17 @@ let create ?(overhead = default_overhead) ?ttl_ns ?spans engine ~rng invoker =
     engine;
     rng = Rng.split rng;
     spans;
-    invoker;
+    sink;
     overhead;
     ttl_ns;
     completions = 0;
     shed = 0;
     on_shed = ignore;
   }
+
+let create ?overhead ?ttl_ns ?spans engine ~rng invoker =
+  create_sink ?overhead ?ttl_ns ?spans engine ~rng (fun req ~on_response ->
+      Invoker.submit invoker req ~on_response)
 
 let submit t req ~on_complete =
   let t0 = Engine.now t.engine in
@@ -88,7 +98,7 @@ let submit t req ~on_complete =
         t.on_shed req
       end
       else
-        Invoker.submit t.invoker req ~on_response:(fun request invocation ->
+        t.sink req ~on_response:(fun request invocation ->
           let respond_at = Engine.now t.engine in
           (match t.spans with
           | Some sp -> (

@@ -17,6 +17,10 @@ val sample_overhead : overhead_model -> Gh_sim.Rng.t -> Gh_sim.Time_ns.t
 
 type t
 
+type sink = Request.t -> on_response:(Request.t -> Strategy_intf.invocation -> unit) -> unit
+(** Whatever sits behind the front door: given an accepted request, it must
+    eventually call [on_response] at most once (shed requests never do). *)
+
 type completion = {
   request : Request.t;
   invocation : Strategy_intf.invocation;
@@ -41,6 +45,19 @@ val create :
     the front/return platform overheads in ["controller"] spans, and closes
     the root at client response with ["outcome"] and ["e2e_ns"]
     attributes — timestamp reads only, zero simulated cost. *)
+
+val create_sink :
+  ?overhead:overhead_model ->
+  ?ttl_ns:Gh_sim.Time_ns.t ->
+  ?spans:Gh_sim.Span.t ->
+  Gh_sim.Engine.t ->
+  rng:Gh_sim.Rng.t ->
+  sink ->
+  t
+(** Same front door over an arbitrary backend — how a {!Cluster} sits
+    behind the controller. {!create} is [create_sink] over
+    [Invoker.submit]; RNG splitting and overhead sampling are identical,
+    so swapping one for the other never perturbs the random stream. *)
 
 val submit : t -> Request.t -> on_complete:(completion -> unit) -> unit
 (** Accept a request at the endpoint now; the completion callback fires when

@@ -63,6 +63,7 @@ type fn_stats = {
   expired : int;
   deadline_misses : int;
   queue_high_water : int;
+  cancelled : int;
 }
 
 (* Every per-function count lives in the node's metrics registry; the pool
@@ -82,6 +83,7 @@ type pool = {
   poisonings : Metrics.counter;
   brownout_shed : Metrics.counter;  (* arrivals dropped by the priority floor *)
   deadline_misses : Metrics.counter;  (* completions delivered past deadline *)
+  cancelled : Metrics.counter;  (* queued hedge losers removed by the cluster *)
   attempts : (int, int) Hashtbl.t;  (* req id -> tries, recovery only *)
 }
 
@@ -172,6 +174,7 @@ let register t ~name spec =
       poisonings = c "poisonings";
       brownout_shed = c "brownout_shed";
       deadline_misses = c "deadline_misses";
+      cancelled = c "cancelled";
       attempts = Hashtbl.create 16;
     }
   in
@@ -476,6 +479,36 @@ let submit ?on_complete t ~name req =
         pump_pool t pool
       end
 
+(* Hedge-loser cancellation: remove a still-queued request silently (no
+   shed accounting, no shed hook — it was served elsewhere). Returns false
+   when the request is not queued here (already executing or unknown), in
+   which case it runs to completion and the cluster discards the response. *)
+let cancel t ~name ~req_id =
+  match Hashtbl.find_opt t.pools name with
+  | None -> false
+  | Some pool -> (
+      match Admission.cancel pool.queue ~req_id with
+      | None -> false
+      | Some (_ : pending) ->
+          Hashtbl.remove pool.attempts req_id;
+          Metrics.incr pool.cancelled;
+          trace_emitf t ~what:"cancel" "%s req#%d (hedge loser)" name req_id;
+          (match t.spans with
+          | Some sp ->
+              Span.phase_stop sp ~at:(Engine.now t.engine) ~req_id ~name:"node-queue" ()
+          | None -> ());
+          true)
+
+(* Idle warm containers for [name] — the snapshot-warm-aware placement
+   signal: a dispatch here skips both the cold start and the queue. *)
+let warm_idle t ~name =
+  match Hashtbl.find_opt t.pools name with
+  | None -> 0
+  | Some pool ->
+      List.fold_left
+        (fun n s -> if s.alive && Container.is_idle s.container then n + 1 else n)
+        0 pool.slots
+
 let set_on_shed t f = t.on_shed <- f
 let brownout_level t = Option.map Brownout.level t.brownout
 let brownout_escalations t =
@@ -500,6 +533,7 @@ let stats t =
          expired = Admission.expired_count pool.queue;
          deadline_misses = Metrics.counter_value pool.deadline_misses;
          queue_high_water = Admission.high_water pool.queue;
+         cancelled = Metrics.counter_value pool.cancelled;
        }
         : fn_stats)
       :: acc)

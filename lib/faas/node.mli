@@ -71,6 +71,7 @@ type fn_stats = {
   expired : int;  (** Dropped: deadline passed (on arrival or queued). *)
   deadline_misses : int;  (** Completions delivered after their deadline. *)
   queue_high_water : int;  (** Largest backlog ever queued. *)
+  cancelled : int;  (** Queued hedge losers removed by {!cancel}. *)
 }
 
 val create :
@@ -111,6 +112,17 @@ val submit :
     above. [on_complete] fires when a response is delivered (not for shed,
     expired, or abandoned requests; recovery retries complete without it).
     @raise Not_found for unknown functions. *)
+
+val cancel : t -> name:string -> req_id:int -> bool
+(** Remove a still-queued request {e silently} — no shed count, no
+    [on_shed] — because a hedged duplicate was served elsewhere. Returns
+    [false] when the request is not queued under [name] (unknown, already
+    executing, or already done); an executing copy runs to completion and
+    its response must be discarded by the caller. *)
+
+val warm_idle : t -> name:string -> int
+(** Idle warm containers currently held for [name] (0 for unknown
+    functions) — the snapshot-warm-aware placement signal. *)
 
 val set_on_shed : t -> (Admission.reason -> Request.t -> unit) -> unit
 (** Called once per shed request, across all pools; the request will never

@@ -1,0 +1,64 @@
+(** Cluster fault-tolerance sweep: a multi-node fleet behind the
+    controller under seeded node-level faults, with the management plane
+    (health checks, circuit breakers, restart supervision, failover
+    retries, hedging) on and off over identical request streams.
+
+    Each nonzero fault rate combines a per-tick crash probability with
+    three scheduled crashes spread across the arrival span, so every
+    cell exercises real fleet damage deterministically at any seed. *)
+
+type row = {
+  rate_per_min : float;  (** Per-node crash rate, fraction per minute. *)
+  placement : Gh_faas.Cluster.placement;
+  failover : bool;
+  offered : int;
+  served : int;
+  failed : int;
+  availability : float;  (** served / offered. *)
+  goodput_rps : float;
+  p50_ms : float;
+  p99_ms : float;
+  failover_p99_ms : float;  (** First failure signal to winning response. *)
+  retries : int;
+  hedges : int;
+  cancelled : int;
+  crashes : int;
+  hangs : int;
+  restarts : int;
+  timeouts : int;
+  wasted : int;
+  lost : int;
+  double_served : int;  (** Must be 0. *)
+  shed_and_served : int;  (** Must be 0. *)
+  conservation_residue : int;  (** Must be 0. *)
+  inflight_residue : int;  (** Must be 0 (checked with failover on). *)
+}
+
+type point = { rate_per_min : float; rows : row list }
+
+val default_rates : float list
+val default_placements : Gh_faas.Cluster.placement list
+
+val measure :
+  Config.t ->
+  Gh_faas.Function_model.spec ->
+  rate_per_min:float ->
+  placement:Gh_faas.Cluster.placement ->
+  failover:bool ->
+  requests:int ->
+  row
+
+val run :
+  Config.t ->
+  ?rates:float list ->
+  ?placements:Gh_faas.Cluster.placement list ->
+  ?requests:int ->
+  Gh_workloads.Catalog.entry ->
+  point list
+
+val violations : point list -> int
+(** Delivery-contract breaches across all cells: double-serves,
+    shed-and-served requests, conservation residue, dangling attempts.
+    The CI gate — must be 0. *)
+
+val print : Format.formatter -> Gh_workloads.Catalog.entry -> point list -> unit

@@ -57,7 +57,7 @@ let default_recovery =
       {
         Container.timeout_ns = Some (Time_ns.of_sec 1.0);
         quarantine_after = 3;
-        rebuild_backoff = Backoff.default;
+        rebuild_backoff = Backoff.recovery;
         max_rebuild_attempts = 5;
       };
     max_attempts = 3;

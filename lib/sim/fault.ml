@@ -20,6 +20,10 @@ type site =
   | Snapshot_copy
   | Fn_crash
   | Fn_hang
+  | Node_crash
+  | Node_hang
+  | Cluster_msg_loss
+  | Heartbeat_drop
 
 let site_index = function
   | Ptrace_attach -> 0
@@ -32,13 +36,24 @@ let site_index = function
   | Snapshot_copy -> 7
   | Fn_crash -> 8
   | Fn_hang -> 9
+  | Node_crash -> 10
+  | Node_hang -> 11
+  | Cluster_msg_loss -> 12
+  | Heartbeat_drop -> 13
 
-let n_sites = 10
+let n_sites = 14
 
 let all_sites =
   [ Ptrace_attach; Ptrace_regs; Ptrace_inject; Ptrace_write;
     Procfs_maps; Procfs_scan; Procfs_clear; Snapshot_copy;
-    Fn_crash; Fn_hang ]
+    Fn_crash; Fn_hang;
+    Node_crash; Node_hang; Cluster_msg_loss; Heartbeat_drop ]
+
+(* Node-level sites, exercised only by the cluster layer: whole-node
+   crashes and hangs, controller<->node message loss/partition, and
+   dropped heartbeats. Each keeps its own stream, so a single-node run
+   never draws from (or perturbs) any of them. *)
+let cluster_sites = [ Node_crash; Node_hang; Cluster_msg_loss; Heartbeat_drop ]
 
 (* Sites exercised by the snapshot/restore machinery (as opposed to the
    function body itself). A uniform plan over these stresses the
@@ -58,6 +73,10 @@ let site_name = function
   | Snapshot_copy -> "snapshot-copy"
   | Fn_crash -> "fn-crash"
   | Fn_hang -> "fn-hang"
+  | Node_crash -> "node-crash"
+  | Node_hang -> "node-hang"
+  | Cluster_msg_loss -> "cluster-msg-loss"
+  | Heartbeat_drop -> "heartbeat-drop"
 
 type rule = { prob : float; nth : int list }
 

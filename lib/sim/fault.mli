@@ -24,6 +24,10 @@ type site =
   | Snapshot_copy      (** copying a region's pages into the snapshot *)
   | Fn_crash           (** the function body crashes mid-request *)
   | Fn_hang            (** the function body never returns *)
+  | Node_crash         (** a whole node dies: warm pool and in-flight work lost *)
+  | Node_hang          (** a node stops responding for a while (GC storm, IO stall) *)
+  | Cluster_msg_loss   (** a controller→node dispatch message is lost (partition) *)
+  | Heartbeat_drop     (** a node→controller heartbeat is lost in transit *)
 
 type t
 
@@ -65,7 +69,12 @@ val total_fired : t -> int
 val all_sites : site list
 val restore_sites : site list
 (** The sites exercised by snapshot/restore machinery (everything except
-    [Fn_crash] and [Fn_hang]). *)
+    [Fn_crash], [Fn_hang] and the node-level sites). *)
+
+val cluster_sites : site list
+(** The node-level sites exercised only by the cluster layer
+    ([Node_crash], [Node_hang], [Cluster_msg_loss], [Heartbeat_drop]).
+    Single-node runs never reach them, so their streams stay untouched. *)
 
 val site_name : site -> string
 val pp_site : Format.formatter -> site -> unit

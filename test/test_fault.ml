@@ -94,6 +94,62 @@ let test_prob_validation () =
   check_bool "prob 0 never fires" true
     (List.for_all not (List.init 20 (fun _ -> Fault.fire never Fault.Fn_crash)))
 
+(* -- Cluster-level sites: same plan semantics as the process-level ones -- *)
+
+let test_cluster_sites_listed () =
+  check_int "four node-level sites" 4 (List.length Fault.cluster_sites);
+  List.iter
+    (fun site ->
+      check_bool "cluster sites are in all_sites" true (List.mem site Fault.all_sites))
+    Fault.cluster_sites;
+  check_bool "distinct site names" true
+    (let names = List.map Fault.site_name Fault.cluster_sites in
+     List.sort_uniq compare names = List.sort compare names)
+
+let test_cluster_sites_prob_and_nth () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun site ->
+          (* Probability rule: deterministic per seed, independent stream. *)
+          let a = schedule ~seed ~prob:0.3 site 300 in
+          let b = schedule ~seed ~prob:0.3 site 300 in
+          check_bool "identical schedule" true (a = b);
+          check_bool "some fired" true (List.mem true a);
+          check_bool "some spared" true (List.mem false a);
+          (* nth rule: fires exactly at the listed occurrences. *)
+          let t = Fault.create ~seed in
+          Fault.set t site ~nth:[ 2; 7 ] ();
+          let fires = List.init 9 (fun _ -> Fault.fire t site) in
+          check_bool "nth occurrences fire" true
+            (fires = [ false; true; false; false; false; false; true; false; false ]);
+          check_int "occurrences counted" 9 (Fault.occurrences t site);
+          check_int "fired counted" 2 (Fault.fired t site))
+        Fault.cluster_sites)
+    seeds
+
+let test_cluster_sites_independent () =
+  List.iter
+    (fun seed ->
+      (* A crash draw must not move the hang stream, and vice versa. *)
+      let alone = schedule ~seed ~prob:0.25 Fault.Node_crash 200 in
+      let t = Fault.uniform ~seed ~prob:0.25 [ Fault.Node_crash; Fault.Node_hang ] in
+      let interleaved =
+        List.init 200 (fun _ ->
+            ignore (Fault.fire t Fault.Node_hang);
+            Fault.fire t Fault.Node_crash)
+      in
+      check_bool "sites keep independent streams" true (alone = interleaved))
+    seeds
+
+let test_cluster_sites_none_sentinel () =
+  List.iter
+    (fun site ->
+      check_bool "none never fires a cluster site" false (Fault.fire Fault.none site);
+      check_int "none records no occurrence" 0 (Fault.occurrences Fault.none site))
+    Fault.cluster_sites;
+  check_bool "none still the physical sentinel" true (Fault.is_none Fault.none)
+
 (* -- The recovery pipeline, driven by scripted strategies -- *)
 
 let resp ?(hung = false) id =
@@ -341,6 +397,13 @@ let () =
           Alcotest.test_case "nth occurrence" `Quick test_nth_occurrence;
           Alcotest.test_case "none sentinel" `Quick test_none_sentinel;
           Alcotest.test_case "prob validation" `Quick test_prob_validation;
+        ] );
+      ( "cluster-sites",
+        [
+          Alcotest.test_case "listed and distinct" `Quick test_cluster_sites_listed;
+          Alcotest.test_case "prob and nth rules" `Quick test_cluster_sites_prob_and_nth;
+          Alcotest.test_case "independent streams" `Quick test_cluster_sites_independent;
+          Alcotest.test_case "none sentinel" `Quick test_cluster_sites_none_sentinel;
         ] );
       ( "recovery",
         [

@@ -260,11 +260,18 @@ let trace_cmd =
              histogram, node gauges) for the metrics snapshot. *)
           let node_engine = Gh_sim.Engine.create () in
           let node =
+            (* Restore verification and idle-time scrubbing are on so the
+               snapshot-integrity counters land in the metrics snapshot. *)
             Gh_faas.Node.create node_engine
-              { Gh_faas.Node.default_config with Gh_faas.Node.total_cores = 1 }
+              {
+                Gh_faas.Node.default_config with
+                Gh_faas.Node.total_cores = 1;
+                scrub = Some Gh_faas.Container.default_scrub;
+              }
               ~make_strategy:(fun _name sp ->
                 match
                   Gh_isolation.Registry.make strategy
+                    ~verify:Groundhog_core.Manager.Verify_full
                     ~rng:(Gh_sim.Rng.named_split root "node")
                     sp
                 with
@@ -617,6 +624,64 @@ let cluster_cmd =
   Cmd.v (Cmd.info "cluster" ~doc)
     Term.(ret (const run $ profile_arg $ seed_arg $ bench_arg $ smoke_arg $ n_arg))
 
+(* -- scrub: snapshot integrity under seeded corruption -- *)
+
+let scrub_cmd =
+  let bench_arg =
+    Arg.(
+      value & opt string "deltablue (p)"
+      & info [ "benchmark"; "b" ] ~docv:"BENCHMARK" ~doc:"Benchmark to corrupt.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Tiny CI run: policies off and full, rates 0 and 5%, few requests.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 60 & info [ "n" ] ~doc:"Requests per (strategy, rate, policy) cell.")
+  in
+  let run profile seed bench smoke n =
+    let cfg = with_seed profile seed in
+    match Gh_workloads.Catalog.find bench with
+    | None -> `Error (false, Printf.sprintf "benchmark %S not in catalog" bench)
+    | Some entry ->
+        let open Gh_harness.Scrub_exp in
+        let rates = if smoke then [ 0.0; 0.05 ] else default_rates in
+        let policies = if smoke then [ Off; Full ] else default_policies in
+        let requests = if smoke then 30 else n in
+        let points = Gh_harness.Scrub_exp.run cfg ~rates ~policies ~requests entry in
+        Gh_harness.Scrub_exp.print Format.std_formatter entry points;
+        let corrupt = protected_corrupted_serves points in
+        let window = unprotected_corrupted_serves points in
+        let max_rate = List.fold_left Float.max 0.0 rates in
+        if corrupt > 0 then
+          `Error
+            ( false,
+              Printf.sprintf
+                "INTEGRITY VIOLATION: %d request(s) served from corrupted state under \
+                 full verification"
+                corrupt )
+        else if List.mem Off policies && max_rate > 0.0 && window = 0 then
+          (* The sweep must also prove the hazard is real: with verification
+             off and corruption injected, the oracle has to catch at least
+             one corrupted serve, or the protected zero above means nothing. *)
+          `Error
+            ( false,
+              "VACUOUS SWEEP: corruption injected but the unverified baseline served \
+               nothing corrupt — the zero under full verification proves nothing" )
+        else `Ok ()
+  in
+  let doc =
+    "Sweep seeded snapshot-corruption rates against the verification policies (off, \
+     scrub-only, sampled, full); exits nonzero if any request is served from corrupted \
+     state under full verification, or if the unverified baseline fails to demonstrate \
+     the hazard."
+  in
+  Cmd.v (Cmd.info "scrub" ~doc)
+    Term.(ret (const run $ profile_arg $ seed_arg $ bench_arg $ smoke_arg $ n_arg))
+
 let main =
   let doc = "Groundhog reproduction: regenerate the paper's evaluation." in
   Cmd.group (Cmd.info "gh-bench" ~version:"1.0.0" ~doc)
@@ -632,6 +697,7 @@ let main =
       fault_cmd;
       overload_cmd;
       cluster_cmd;
+      scrub_cmd;
     ]
 
 let () = exit (Cmd.eval main)

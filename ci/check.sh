@@ -26,6 +26,14 @@ for seed in 1 42 1337; do
   dune exec bin/gh_bench.exe -- cluster --smoke --seed $seed >/dev/null
 done
 
+# Snapshot-integrity smoke sweep under three fixed seeds. The subcommand
+# exits nonzero if any request is served from corrupted state under full
+# verification (fail-closed), or if the unverified baseline fails to
+# demonstrate the hazard the verification machinery closes.
+for seed in 1 42 1337; do
+  dune exec bin/gh_bench.exe -- scrub --smoke --seed $seed >/dev/null
+done
+
 # Overload smoke sweep. The subcommand exits nonzero on any overload
 # contract breach: a request completing after its deadline without being
 # counted a miss, a shed request that consumed restore work, a non-clean

@@ -63,6 +63,8 @@ let gh_with_cost cost spec =
     status = Intf.no_status;
     kill = Intf.no_kill;
     degrade = Intf.no_degrade;
+    scrub = Intf.no_scrub;
+    audit = Intf.no_audit;
   }
 
 let () =

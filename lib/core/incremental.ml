@@ -21,6 +21,17 @@ let shell_region (v : Vma.t) =
   (* The shell's data starts all-zero; the salvage hook keeps [zeros] in
      step as it materialises real contents. *)
   Bitmap.fill zeros true;
+  let n_blocks =
+    (v.Vma.n_pages + Snapshot.block_pages - 1) / Snapshot.block_pages
+  in
+  (* Hashes match the all-zero shell contents; the salvage hook marks
+     blocks stale as it materialises real contents, and they re-seal
+     against the salvaged data at the next audit. *)
+  let hashes =
+    Array.init n_blocks (fun b ->
+        Snapshot.zero_block_hash
+          (min Snapshot.block_pages (v.Vma.n_pages - (b * Snapshot.block_pages))))
+  in
   {
     Snapshot.start_addr = v.Vma.start_addr;
     n_pages = v.Vma.n_pages;
@@ -29,6 +40,8 @@ let shell_region (v : Vma.t) =
     data = Array.make v.Vma.n_pages 0;
     present = Bitmap.copy v.Vma.present;
     zeros;
+    hashes;
+    hstale = Bitmap.create n_blocks;
   }
 
 exception Stop of Gh_sim.Fault.site
@@ -84,6 +97,10 @@ let capture acct (p : Process.t) =
                    if not (Bitmap.get saved i) then begin
                      region.Snapshot.data.(i) <- vma.Vma.data.(i);
                      Bitmap.set region.Snapshot.zeros i (vma.Vma.data.(i) = 0);
+                     (* Salvage is a legitimate content change: mark the
+                        block stale so the hash re-seals instead of
+                        flagging the salvaged bytes as corruption. *)
+                     Bitmap.set region.Snapshot.hstale (i / Snapshot.block_pages) true;
                      Bitmap.set saved i true;
                      t.saved <- t.saved + 1
                    end

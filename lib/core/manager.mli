@@ -54,11 +54,30 @@ type failure = {
   spent_ns : Gh_sim.Time_ns.t;  (** Manager time burned by the failed attempt. *)
 }
 
-val create : ?paranoid:bool -> ?mode:mode -> Gh_proc.Process.t -> t
+(** Restore-time hash-audit policy. Unlike [paranoid] (which re-reads
+    every stored word), the audit hashes the {e restored process's}
+    memory per {!Snapshot.block_pages}-page block against the hashes
+    captured from the source — so it also catches corruption of the
+    stored buffer itself and silently-skipped restore writes. Its
+    modeled cost is tallied on {!verify_ns} / {!verified_blocks}, never
+    charged to the account (DESIGN §14: the timeline is identical with
+    verification on or off). *)
+type verify =
+  | Verify_off
+  | Verify_sampled of int
+      (** Check every [k]-th block, rotating the offset with the restore
+          count: any persistent corruption is caught within [k]
+          restores at [1/k] of the full audit's work. *)
+  | Verify_full  (** Check every block on every restore. *)
+
+val create : ?paranoid:bool -> ?verify:verify -> ?mode:mode -> Gh_proc.Process.t -> t
 (** [paranoid] makes every {!restore} verify the result against the
     snapshot and poison the manager on any mismatch (off by default;
-    incompatible with [Incremental]). [mode] defaults to [Eager]. The
-    fresh manager starts [Dirty] — nothing is proven until the snapshot. *)
+    incompatible with [Incremental]). [verify] (default [Verify_off])
+    adds the hash audit after each restore — also eager-only: an
+    incremental shell's hashes cover the salvaged buffer, not the full
+    process image. [mode] defaults to [Eager]. The fresh manager starts
+    [Dirty] — nothing is proven until the snapshot. *)
 
 val process : t -> Gh_proc.Process.t
 val account : t -> Gh_sim.Account.t
@@ -115,6 +134,48 @@ val last_failure : t -> failure option
 
 val total_manager_ns : t -> Gh_sim.Time_ns.t
 (** All manager CPU time so far: snapshot + every restore. *)
+
+(** {1 Integrity: scrubbing, audit accounting, ground truth} *)
+
+val scrub :
+  t -> blocks:int -> [ `Skip | `Checked of int * bool | `Corrupt of Snapshot.corruption ]
+(** One bounded slice of stored-side scrubbing: re-hash up to [blocks]
+    snapshot blocks from the internal cursor. [`Checked (n, finished)]
+    verified [n] clean blocks, [finished] meaning the pass reached the
+    snapshot's end (the caller should stop rescheduling until the next
+    idle period). [`Corrupt] poisons the manager — the stored buffer can
+    no longer be trusted to restore from. [`Skip] when poisoned or not
+    yet snapshotted. Detects bitflips and torn captures in the buffer;
+    restore-skips live in the restore path and are the audit's job. *)
+
+val audit_oracle : t -> [ `Intact | `Corrupt of string ] option
+(** Ground truth for experiments: does the current process image match
+    the snapshot hashes? [Some] only when [Clean] {e via an actual
+    restore} (eager mode) — after a fresh snapshot or a trusted
+    [skip_restore] the process itself is the reference and the probe is
+    meaningless. Free: reads memory only. *)
+
+val verified_blocks : t -> int
+(** Blocks hash-audited across all restores. *)
+
+val last_verify_blocks : t -> int
+(** Blocks audited by the most recent successful restore (0 if the last
+    audit failed or never ran). *)
+
+val verify_ns : t -> int
+(** Modeled audit cost (pages hashed × [hash_per_page_ns]) — tallied,
+    never charged to the account. *)
+
+val verify_failures : t -> int
+val scrubbed_blocks : t -> int
+
+val scrub_ns : t -> int
+(** Modeled scrub cost, same tally-only discipline as {!verify_ns}. *)
+
+val last_corruption : t -> Snapshot.corruption option
+(** Location of the most recent corruption found by the audit or the
+    scrubber — the dedup layer uses it to poison every sharer of the
+    block. *)
 
 val buffer_pages : t -> int
 (** Pages of function memory held in the manager: the whole present

@@ -134,15 +134,23 @@ let ok_or_stop = function Ok v -> v | Error site -> raise (Stop site)
 (* Returns (pages copied/zeroed, pages madvised, madvise syscall count,
    time spent in madvise injections) — the injections are part of the
    layout-reversal budget, not the memory-copy budget. *)
-let restore_region session acct (snap : Snapshot.region) (vma : Vma.t) dirty =
+let restore_region session acct fault (snap : Snapshot.region) (vma : Vma.t) dirty =
   let restored = ref 0 and madvised = ref 0 and injected = ref 0 in
   let inject_ns = ref 0 in
   iter_action_runs snap vma dirty (fun pos len action ->
       match action with
       | Copy ->
-          ok_or_stop
-            (Ptrace.write_pages session acct vma ~pos ~len ~src:snap.Snapshot.data ~src_pos:pos);
-          restored := !restored + len
+          (* Silent-corruption site: the run is "restored" (counted,
+             reported complete) but never written — the previous request's
+             bytes survive. No error surfaces; only the restore-time hash
+             audit can see it. *)
+          if Fault.fire fault Fault.Restore_skip then restored := !restored + len
+          else begin
+            ok_or_stop
+              (Ptrace.write_pages session acct vma ~pos ~len ~src:snap.Snapshot.data
+                 ~src_pos:pos);
+            restored := !restored + len
+          end
       | Zero ->
           ok_or_stop (Ptrace.zero_pages session acct vma ~pos ~len);
           restored := !restored + len
@@ -273,7 +281,9 @@ let run acct (snapshot : Snapshot.t) (p : Process.t) =
             if List.exists (fun (s, _) -> s == snap) !recreated then empty_dirty
             else dirty_of vma
           in
-          let r, md, inj, inj_ns = restore_region session acct snap vma dirty in
+          let r, md, inj, inj_ns =
+            restore_region session acct p.Process.fault snap vma dirty
+          in
           restored := !restored + r;
           madvised := !madvised + md;
           injected := !injected + inj;

@@ -16,7 +16,60 @@ type region = {
   data : int array;
   present : Bitmap.t;
   zeros : Bitmap.t;
+  hashes : int array;
+  hstale : Bitmap.t;
 }
+
+(* -- Content hashing ----------------------------------------------------
+   One hash per 63-page block (the bitmap word granularity, so the hash
+   pass shares the zero-elision scan's word loop). The per-word update is
+   injective in the word for a fixed running state, and injective in the
+   state for a fixed word — so any single-word difference within a block
+   is *guaranteed* to change the block hash (multi-word collisions are
+   ~2^-63). That makes bitflip detection a theorem, not a probability. *)
+
+let block_pages = Bitmap.bits_per_word
+
+let hash_mix h x =
+  let h = h lxor x in
+  let h = h * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
+let hash_words data ~pos ~len =
+  let h = ref (hash_mix 0x27D4EB2F165667C5 len) in
+  for i = pos to pos + len - 1 do
+    h := hash_mix !h (Array.unsafe_get data i)
+  done;
+  !h
+
+(* All-zero blocks get their hash by construction — no data read. Full
+   blocks dominate, so the 63-page constant is precomputed once. *)
+let zero_words = Array.make block_pages 0
+let zero_full_hash = hash_words zero_words ~pos:0 ~len:block_pages
+
+let zero_block_hash len =
+  if len = block_pages then zero_full_hash else hash_words zero_words ~pos:0 ~len
+
+let region_blocks (r : region) = (r.n_pages + block_pages - 1) / block_pages
+
+let block_len (r : region) b = min block_pages (r.n_pages - (b * block_pages))
+
+(* The reference hash for block [b]. For eager captures this is the hash
+   taken from the *source* during the copy; for incremental shells the
+   salvage hook marks salvaged blocks stale, and the first audit re-seals
+   them from the (legitimately updated) stored content. *)
+let block_hash (r : region) b =
+  if Bitmap.get r.hstale b then begin
+    r.hashes.(b) <- hash_words r.data ~pos:(b * block_pages) ~len:(block_len r b);
+    Bitmap.set r.hstale b false
+  end;
+  r.hashes.(b)
+
+(* Does the stored content still match the reference hash? Stale blocks
+   seal (their content is the reference) and thus always pass. *)
+let verify_block (r : region) b =
+  let stored = block_hash r b in
+  stored = hash_words r.data ~pos:(b * block_pages) ~len:(block_len r b)
 
 type t = {
   brk : int;
@@ -27,13 +80,18 @@ type t = {
   capture_ns : Gh_sim.Time_ns.t;
 }
 
-(* Regions can share a start address only when one is zero-length; keep
-   the first (list-order) one, matching what the linear search returned. *)
+(* Duplicate start addresses are a hard error: the old first-wins guard
+   silently shadowed the second region, so its pages could never be found
+   (nor restored) through the index — exactly the kind of quiet data loss
+   the integrity layer exists to rule out. *)
 let make ~brk ~regs ~regions ~present_pages ~capture_ns =
   let by_start = Hashtbl.create (2 * List.length regions) in
   List.iter
     (fun r ->
-      if not (Hashtbl.mem by_start r.start_addr) then Hashtbl.add by_start r.start_addr r)
+      if Hashtbl.mem by_start r.start_addr then
+        invalid_arg
+          (Printf.sprintf "Snapshot.make: duplicate region start address 0x%x" r.start_addr);
+      Hashtbl.add by_start r.start_addr r)
     regions;
   { brk; regs; regions; by_start; present_pages; capture_ns }
 
@@ -59,6 +117,8 @@ let copy_region acct fault cost (v : Vma.t) =
   let data = Array.make n 0 in
   let zeros = Bitmap.create n in
   let bpw = Bitmap.bits_per_word in
+  let n_blocks = (n + bpw - 1) / bpw in
+  let hashes = Array.make n_blocks 0 in
   let i = ref 0 in
   while !i < n do
     let lim = min bpw (n - !i) in
@@ -67,9 +127,37 @@ let copy_region acct fault cost (v : Vma.t) =
       if Array.unsafe_get src (!i + b) = 0 then w := !w lor (1 lsl b)
     done;
     Bitmap.set_word zeros (!i / bpw) !w;
-    if !w <> Bitmap.mask ~pos:0 ~len:lim then Array.blit src !i data !i lim;
+    (* The block hash is taken from the *source* while it is hot in cache;
+       all-zero blocks get theirs by construction, so the hash pass is
+       elided exactly where the copy is. Hashing before the store also
+       means a corrupted buffer (below) never forges its own hash. *)
+    if !w <> Bitmap.mask ~pos:0 ~len:lim then begin
+      Array.blit src !i data !i lim;
+      hashes.(!i / bpw) <- hash_words src ~pos:!i ~len:lim
+    end
+    else hashes.(!i / bpw) <- zero_block_hash lim;
     i := !i + lim
   done;
+  (* Silent corruption sites. Both fire *after* the hash pass — the hashes
+     reflect the true source, so the damage below is detectable. One
+     occurrence per region copied. *)
+  if Fault.fire fault Fault.Snapshot_bitflip && n > 0 then begin
+    (* A stray bit flips in the manager's buffer: one stored word changes,
+       the zeros map goes quietly stale with it (real corruption updates
+       no metadata). *)
+    let page = Fault.draw fault Fault.Snapshot_bitflip ~bound:n in
+    let bit = Fault.draw fault Fault.Snapshot_bitflip ~bound:62 in
+    data.(page) <- data.(page) lxor (1 lsl bit)
+  end;
+  if Fault.fire fault Fault.Snapshot_torn && n > 1 then begin
+    (* The capture is interrupted mid-region but reported complete: pages
+       past the tear keep the buffer's pre-copy contents (zeros). The
+       zeros map describes what is actually stored, so a restore would
+       faithfully write the torn — wrong — content back. *)
+    let cut = 1 + Fault.draw fault Fault.Snapshot_torn ~bound:(n - 1) in
+    Array.fill data cut (n - cut) 0;
+    Bitmap.set_range zeros ~pos:cut ~len:(n - cut) true
+  end;
   {
     start_addr = v.Vma.start_addr;
     n_pages = n;
@@ -78,6 +166,8 @@ let copy_region acct fault cost (v : Vma.t) =
     data;
     present;
     zeros;
+    hashes;
+    hstale = Bitmap.create n_blocks;
   }
 
 let capture acct (p : Process.t) =
@@ -120,6 +210,67 @@ let capture_exn acct p =
 let find_region t ~start_addr = Hashtbl.find_opt t.by_start start_addr
 
 let memory_words t = List.fold_left (fun n r -> n + Array.length r.data) 0 t.regions
+
+(* -- Self-scrubbing -----------------------------------------------------
+   Re-hash stored blocks and compare against the reference hashes taken at
+   capture. Detects buffer corruption (bitflips, torn captures) before a
+   restore ever serves it. Blocks are addressed by a flat cursor across
+   regions so callers can walk the snapshot in bounded slices. *)
+
+type corruption = { region_addr : int; block : int; what : string }
+
+let pp_corruption ppf c =
+  Format.fprintf ppf "%s at region %x block %d" c.what c.region_addr c.block
+
+let total_blocks t = List.fold_left (fun n r -> n + region_blocks r) 0 t.regions
+
+type scrub_result = {
+  checked_blocks : int;
+  checked_pages : int;
+  next_cursor : int;  (** 0 once the pass reached the end of the snapshot. *)
+  corrupt : corruption option;
+}
+
+let scrub t ~cursor ~blocks =
+  let cursor = max 0 cursor in
+  let checked = ref 0 and pages = ref 0 in
+  let corrupt = ref None in
+  let base = ref 0 in
+  let hit_budget = ref false in
+  (try
+     List.iter
+       (fun r ->
+         let nb = region_blocks r in
+         for b = max 0 (cursor - !base) to nb - 1 do
+           if !checked >= blocks then begin
+             hit_budget := true;
+             raise Exit
+           end;
+           if not (verify_block r b) then begin
+             corrupt :=
+               Some
+                 { region_addr = r.start_addr; block = b; what = "stored block hash mismatch" };
+             raise Exit
+           end;
+           incr checked;
+           pages := !pages + block_len r b
+         done;
+         base := !base + nb)
+       t.regions
+   with Exit -> ());
+  let next_cursor =
+    if !corrupt = None && !hit_budget then cursor + !checked else 0
+  in
+  {
+    checked_blocks = !checked;
+    checked_pages = !pages;
+    next_cursor;
+    corrupt = !corrupt;
+  }
+
+let self_check t =
+  let r = scrub t ~cursor:0 ~blocks:max_int in
+  r.corrupt
 
 let pp ppf t =
   Format.fprintf ppf "snapshot: %d regions, %d present pages, %d threads, captured in %a"

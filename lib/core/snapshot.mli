@@ -17,7 +17,42 @@ type region = {
       (** Which stored pages are all-zero ([data.(i) = 0]), captured
           during the copy — the restore engine's Zero/Copy split consults
           this instead of re-scanning page contents per restore. *)
+  hashes : int array;
+      (** One content hash per {!block_pages}-page block, taken from the
+          *source* during the zero-elided copy (all-zero blocks get theirs
+          by construction, no data read). The snapshot's cryptographic
+          identity: scrubbing re-hashes stored data against these;
+          restore-time verification re-hashes restored memory. *)
+  hstale : Gh_mem.Bitmap.t;
+      (** Blocks whose stored content was legitimately updated after
+          capture (incremental salvage): their hash re-seals from the
+          stored data at the next audit. *)
 }
+
+(** {1 Content hashing} *)
+
+val block_pages : int
+(** Pages per hash block (= [Bitmap.bits_per_word], 63). *)
+
+val hash_words : int array -> pos:int -> len:int -> int
+(** Hash [len] page words starting at [pos]. Any single-word change is
+    guaranteed to change the hash (the per-word mix is injective). *)
+
+val zero_block_hash : int -> int
+(** [zero_block_hash len] = [hash_words] of [len] zero words, without
+    reading data (precomputed for full blocks). *)
+
+val region_blocks : region -> int
+val block_len : region -> int -> int
+(** Pages covered by block [b] (= {!block_pages} except the last). *)
+
+val block_hash : region -> int -> int
+(** The reference hash for block [b]; re-seals stale (salvage-touched)
+    blocks from the stored content first. *)
+
+val verify_block : region -> int -> bool
+(** Does the stored content of block [b] still match its reference hash?
+    Stale blocks seal and trivially pass. *)
 
 type t = {
   brk : int;
@@ -35,9 +70,11 @@ val make :
   present_pages:int ->
   capture_ns:Gh_sim.Time_ns.t ->
   t
-(** Assemble a snapshot, building the by-start index. Regions sharing a
-    start address (possible only with zero-length regions) resolve to the
-    first in list order, like the linear search used to. *)
+(** Assemble a snapshot, building the by-start index. The start address
+    is each region's identity — scrub cursors, dedup membership and
+    restore verification all key on it — so two regions sharing one
+    would make every downstream result ambiguous.
+    @raise Invalid_argument if two regions share a start address. *)
 
 val capture : Gh_sim.Account.t -> Gh_proc.Process.t -> (t, Gh_sim.Fault.site) result
 (** Interrupt, copy, arm soft-dirty tracking, resume. All costs are charged
@@ -54,5 +91,34 @@ val find_region : t -> start_addr:int -> region option
 
 val memory_words : t -> int
 (** Size of the snapshot buffer, in stored page words (= pages copied). *)
+
+(** {1 Self-scrubbing}
+
+    Re-hash stored blocks against the reference hashes captured from the
+    source: detects buffer corruption ({!Gh_sim.Fault.Snapshot_bitflip},
+    {!Gh_sim.Fault.Snapshot_torn}) before a restore ever serves it. *)
+
+type corruption = { region_addr : int; block : int; what : string }
+
+val pp_corruption : Format.formatter -> corruption -> unit
+
+val total_blocks : t -> int
+(** Hash blocks across all regions — the length of one full scrub pass. *)
+
+type scrub_result = {
+  checked_blocks : int;
+  checked_pages : int;
+  next_cursor : int;  (** 0 once the pass reached the end of the snapshot. *)
+  corrupt : corruption option;
+}
+
+val scrub : t -> cursor:int -> blocks:int -> scrub_result
+(** Verify up to [blocks] blocks starting at flat block index [cursor]
+    (counted across regions in order). Stops early at the first
+    corruption. Reads stored memory only — charges nothing, draws no
+    randomness. *)
+
+val self_check : t -> corruption option
+(** One unbounded scrub pass over the whole snapshot. *)
 
 val pp : Format.formatter -> t -> unit

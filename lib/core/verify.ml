@@ -76,3 +76,44 @@ let state_matches (snapshot : Snapshot.t) (p : Process.t) =
   check_threads snapshot p
 
 let pp_mismatch ppf m = Format.fprintf ppf "%s at %s" m.what m.where
+
+(* Hash audit: re-hash the *restored process's* memory per block and
+   compare against the snapshot's reference hashes. Where [state_matches]
+   reads every snapshot word (a full second copy's worth of compares),
+   the audit reads only the restored memory and 1 stored hash per block —
+   and [stride]/[offset] let the manager rotate a sampled sweep across
+   restores. Catches everything the block granularity can express:
+   corrupted stored pages served by restore, torn captures, and restore
+   runs that were silently skipped. *)
+let audit_hashes ?(stride = 1) ?(offset = 0) (snapshot : Snapshot.t) (p : Process.t) =
+  if stride <= 0 then invalid_arg "Verify.audit_hashes: stride must be positive";
+  let offset = ((offset mod stride) + stride) mod stride in
+  let checked = ref 0 in
+  let bad = ref None in
+  let corrupt (snap : Snapshot.region) block what =
+    bad := Some { Snapshot.region_addr = snap.Snapshot.start_addr; block; what };
+    raise Exit
+  in
+  let gb = ref 0 in
+  (try
+     List.iter
+       (fun (snap : Snapshot.region) ->
+         let nb = Snapshot.region_blocks snap in
+         (match As.find_vma p.Process.mem snap.Snapshot.start_addr with
+         | None -> corrupt snap 0 "region missing from restored address space"
+         | Some vma ->
+             if vma.Vma.n_pages <> snap.Snapshot.n_pages then
+               corrupt snap 0 "restored region size mismatch";
+             for b = 0 to nb - 1 do
+               if (!gb + b) mod stride = offset then begin
+                 let pos = b * Snapshot.block_pages in
+                 let len = Snapshot.block_len snap b in
+                 if Snapshot.hash_words vma.Vma.data ~pos ~len <> Snapshot.block_hash snap b
+                 then corrupt snap b "restored block hash mismatch";
+                 incr checked
+               end
+             done);
+         gb := !gb + nb)
+       snapshot.Snapshot.regions
+   with Exit -> ());
+  match !bad with Some c -> Error c | None -> Ok !checked

@@ -16,3 +16,19 @@ val state_matches : Snapshot.t -> Gh_proc.Process.t -> (unit, mismatch) result
     equal the snapshot. Stops at the first mismatch. *)
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
+
+val audit_hashes :
+  ?stride:int ->
+  ?offset:int ->
+  Snapshot.t ->
+  Gh_proc.Process.t ->
+  (int, Snapshot.corruption) result
+(** Re-hash the restored process's memory per {!Snapshot.block_pages}-page
+    block against the snapshot's reference hashes; [Ok n] is the number of
+    blocks checked. Checks only blocks whose flat index ≡ [offset]
+    (mod [stride]) — [stride = 1] (default) is a full audit; the manager's
+    sampled policy rotates [offset] across restores so every block is
+    eventually covered. Unlike {!state_matches} this reads no stored page
+    words (one hash per block), and it catches silently-skipped restore
+    runs, served bitflips and torn captures alike. Reads memory only:
+    charges nothing, draws no randomness. *)

@@ -6,7 +6,10 @@ module Rng = Gh_sim.Rng
 
 type state = Idle | Busy | Restoring | Replacing | Quarantined
 
-type failure = Timed_out | Poisoned_restore
+type failure =
+  | Timed_out of Request.t
+  | Poisoned_restore of Request.t
+  | Corrupt_snapshot of string
 
 type recovery = {
   timeout_ns : Time_ns.t option;
@@ -25,6 +28,19 @@ let default_recovery =
     max_rebuild_attempts = 5;
   }
 
+type scrub = {
+  idle_delay : Time_ns.t;
+  interval : Time_ns.t;
+  blocks_per_slice : int;
+}
+
+let default_scrub =
+  {
+    idle_delay = Time_ns.of_ms 5.0;
+    interval = Time_ns.of_ms 1.0;
+    blocks_per_slice = 256;
+  }
+
 type t = {
   id : int;
   mutable strategy : Strategy_intf.t;
@@ -34,19 +50,26 @@ type t = {
   recovery : recovery;
   rebuild : (unit -> (Strategy_intf.t, string) result) option;
   rng : Rng.t option;
+  scrub : scrub option;
   mutable state : state;
   mutable completed : int;
   mutable on_idle : t -> unit;
-  mutable on_failure : t -> failure -> Request.t -> unit;
+  mutable on_failure : t -> failure -> unit;
   mutable on_retired : t -> unit;
+  mutable on_scrub : t -> int -> unit;
   mutable consecutive_failures : int;
   mutable failures : int;
   mutable timeouts : int;
   mutable replacements : int;
   mutable recovery_ns : Time_ns.t list;
+  mutable scrub_epoch : int;
+  mutable scrub_slices : int;
+  mutable scrubbed_blocks : int;
+  mutable scrub_corruptions : int;
 }
 
-let create ?trace ?spans ?(recovery = default_recovery) ?rebuild ?rng engine ~id strategy =
+let create ?trace ?spans ?(recovery = default_recovery) ?rebuild ?rng ?scrub engine ~id
+    strategy =
   {
     id;
     strategy;
@@ -56,16 +79,22 @@ let create ?trace ?spans ?(recovery = default_recovery) ?rebuild ?rng engine ~id
     recovery;
     rebuild;
     rng;
+    scrub;
     state = Idle;
     completed = 0;
     on_idle = ignore;
-    on_failure = (fun _ _ _ -> ());
+    on_failure = (fun _ _ -> ());
     on_retired = ignore;
+    on_scrub = (fun _ _ -> ());
     consecutive_failures = 0;
     failures = 0;
     timeouts = 0;
     replacements = 0;
     recovery_ns = [];
+    scrub_epoch = 0;
+    scrub_slices = 0;
+    scrubbed_blocks = 0;
+    scrub_corruptions = 0;
   }
 
 let trace_emit t ~what detail =
@@ -163,16 +192,53 @@ let recovery_ns t = t.recovery_ns
 let set_on_idle t f = t.on_idle <- f
 let set_on_failure t f = t.on_failure <- f
 let set_on_retired t f = t.on_retired <- f
+let set_on_scrub t f = t.on_scrub <- f
+let scrub_slices t = t.scrub_slices
+let scrubbed_blocks t = t.scrubbed_blocks
+let scrub_corruptions t = t.scrub_corruptions
 
-let become_idle t =
+(* The idle/recovery state machine and the scrubber are one recursive knot:
+   going idle starts a scrub pass, a corrupt slice fails the container, and
+   a completed replacement goes idle again. *)
+let rec become_idle t =
   t.state <- Idle;
+  t.scrub_epoch <- t.scrub_epoch + 1;
   trace_emit t ~what:"idle" "";
-  t.on_idle t
+  t.on_idle t;
+  (* [on_idle] may have dispatched the next request already; a slice is
+     only worth scheduling when the container actually stayed idle. The
+     epoch guard catches the remaining races (gone busy and idle again
+     before the slice fires). *)
+  match t.scrub with
+  | Some cfg when t.state = Idle ->
+      let epoch = t.scrub_epoch in
+      Engine.schedule t.engine ~after:cfg.idle_delay (fun () -> scrub_slice t cfg epoch)
+  | _ -> ()
+
+(* One scrub slice: hash-check a bounded number of snapshot blocks against
+   their capture-time hashes. Reading memory is free in simulated time (the
+   modelled cost is tallied by the strategy's manager), so the slices never
+   perturb the request timeline; a pass runs once per idle period and stops
+   at the end of the snapshot, so the event queue always drains. *)
+and scrub_slice t cfg epoch =
+  if t.state = Idle && t.scrub_epoch = epoch then
+    match t.strategy.Strategy_intf.scrub cfg.blocks_per_slice with
+    | Strategy_intf.Scrub_skip -> ()
+    | Strategy_intf.Scrubbed (blocks, finished) ->
+        t.scrub_slices <- t.scrub_slices + 1;
+        t.scrubbed_blocks <- t.scrubbed_blocks + blocks;
+        t.on_scrub t blocks;
+        if not finished then
+          Engine.schedule t.engine ~after:cfg.interval (fun () -> scrub_slice t cfg epoch)
+    | Strategy_intf.Scrub_corrupt why ->
+        t.scrub_corruptions <- t.scrub_corruptions + 1;
+        trace_emit t ~what:"scrub-corrupt" why;
+        fail t (Corrupt_snapshot why)
 
 (* Quarantine: k consecutive recovery failures (or no way to rebuild) mean
    this container is wasting its core on a hot loop — retire it for good.
    The owner (invoker / node) frees the core and memory in [on_retired]. *)
-let retire t =
+and retire t =
   t.state <- Quarantined;
   trace_emit t ~what:"quarantine"
     (Printf.sprintf "after %d consecutive failures" t.consecutive_failures);
@@ -182,7 +248,7 @@ let retire t =
    all charged to the fresh strategy's manager and occupying this core for
    the strategy's [init_ns]. A rebuild that itself fails (e.g. a fault
    during the re-snapshot) retries under capped exponential backoff. *)
-let rec replace t rebuild ~started ~attempt =
+and replace t rebuild ~started ~attempt =
   t.state <- Replacing;
   trace_emit t ~what:"replace" (Printf.sprintf "cold-restart attempt %d" attempt);
   match rebuild () with
@@ -202,10 +268,15 @@ let rec replace t rebuild ~started ~attempt =
         Engine.schedule t.engine ~after:delay (fun () ->
             replace t rebuild ~started ~attempt:(attempt + 1))
 
-let fail t failure req =
+and fail t failure =
+  (* Whatever the flavour, the process (and its snapshot) is done serving:
+     kill first, so the strategy releases everything it holds — notably a
+     dedup registration — on every recovery path, including the ones that
+     end in quarantine. [kill] is idempotent and free. *)
+  t.strategy.Strategy_intf.kill ();
   t.failures <- t.failures + 1;
   t.consecutive_failures <- t.consecutive_failures + 1;
-  t.on_failure t failure req;
+  t.on_failure t failure;
   if t.consecutive_failures >= t.recovery.quarantine_after then retire t
   else
     match t.rebuild with
@@ -240,8 +311,7 @@ let submit ?(dispatch_ns = 0) t req ~on_response =
                        ~parent:(Span.ensure_root sp ~at:now ~req_id:req.Request.id ())
                        ~name:"timeout-kill" ~cat:"failure" ())
               | None -> ());
-              t.strategy.Strategy_intf.kill ();
-              fail t Timed_out req)
+              fail t (Timed_out req))
       | None ->
           (* No timeout configured: the container is stuck for good. *)
           trace_emit t ~what:"hang" (Printf.sprintf "req#%d (no timeout)" req.Request.id))
@@ -260,9 +330,9 @@ let submit ?(dispatch_ns = 0) t req ~on_response =
                 trace_emit t ~what:"restore-failed"
                   (Printf.sprintf "%.2fms burned" (Time_ns.to_ms inv.Strategy_intf.post_ns));
                 Engine.schedule t.engine ~after:inv.Strategy_intf.post_ns (fun () ->
-                    fail t Poisoned_restore req)
+                    fail t (Poisoned_restore req))
               end
-              else fail t Poisoned_restore req
+              else fail t (Poisoned_restore req)
           | _ ->
               (* A request served and recovered end-to-end: the container
                  earned its health back. *)

@@ -21,8 +21,17 @@
 type state = Idle | Busy | Restoring | Replacing | Quarantined
 
 type failure =
-  | Timed_out  (** Request hung; process killed at the timeout. *)
-  | Poisoned_restore  (** Deferred restore/verify failed after the response. *)
+  | Timed_out of Request.t
+      (** The request hung; process killed at the timeout. No response was
+          produced — the owner may retry it elsewhere. *)
+  | Poisoned_restore of Request.t
+      (** The deferred restore (or its hash audit) failed after the
+          response was already delivered. *)
+  | Corrupt_snapshot of string
+      (** The idle-time scrubber found a snapshot block whose content no
+          longer matches its capture-time hash — detected {e before} any
+          request was served from it. The payload is the corruption
+          description. *)
 
 type recovery = {
   timeout_ns : Gh_sim.Time_ns.t option;
@@ -36,6 +45,27 @@ type recovery = {
 val default_recovery : recovery
 (** 1 s timeout, quarantine after 3, {!Backoff.default}, 5 rebuild tries. *)
 
+type scrub = {
+  idle_delay : Gh_sim.Time_ns.t;
+      (** Quiet time after going idle before the first slice (back-to-back
+          traffic never sees a scrub). *)
+  interval : Gh_sim.Time_ns.t;  (** Pacing between slices of one pass. *)
+  blocks_per_slice : int;  (** Snapshot blocks hash-checked per slice. *)
+}
+(** Idle-time snapshot scrubbing: while the container is idle, walk its
+    strategy's stored snapshot in bounded slices and compare each block
+    against its capture-time hash. One pass per idle period — the pass
+    stops at the end of the snapshot (so the simulation's event queue
+    always drains) and a fresh pass starts the next time the container
+    goes idle. Slices read memory and the engine clock only; the modelled
+    hashing cost is tallied by the strategy's manager off the timeline, so
+    enabling scrubbing never changes request timings. A corrupt block
+    fails the container with {!Corrupt_snapshot} (kill + cold restart)
+    before the snapshot can poison a restore. *)
+
+val default_scrub : scrub
+(** 5 ms idle delay, 1 ms between slices, 256 blocks (~64 MB) per slice. *)
+
 type t
 
 val create :
@@ -44,6 +74,7 @@ val create :
   ?recovery:recovery ->
   ?rebuild:(unit -> (Strategy_intf.t, string) result) ->
   ?rng:Gh_sim.Rng.t ->
+  ?scrub:scrub ->
   Gh_sim.Engine.t ->
   id:int ->
   Strategy_intf.t ->
@@ -56,7 +87,8 @@ val create :
     {!Groundhog_core.Breakdown} step, marked [offpath]. Emission reads the
     engine clock only — it never charges simulated time. [rebuild] builds a
     replacement strategy for the cold-restart path; without it any failure
-    retires the container. [rng] jitters the rebuild backoff. *)
+    retires the container. [rng] jitters the rebuild backoff. [scrub]
+    (default off) enables idle-time snapshot scrubbing. *)
 
 val id : t -> int
 val state : t -> state
@@ -75,13 +107,28 @@ val recovery_ns : t -> Gh_sim.Time_ns.t list
 (** Time from each failure detection to the container serving again
     (MTTR samples), newest first. *)
 
+val scrub_slices : t -> int
+(** Scrub slices executed (excluding skipped ones). *)
+
+val scrubbed_blocks : t -> int
+(** Snapshot blocks hash-checked by the scrubber, lifetime total. *)
+
+val scrub_corruptions : t -> int
+(** Corruptions the scrubber detected (each triggered a recovery). *)
+
 val set_on_idle : t -> (t -> unit) -> unit
 (** Called (at simulated time) whenever the container becomes idle. *)
 
-val set_on_failure : t -> (t -> failure -> Request.t -> unit) -> unit
-(** Called at failure detection, before recovery starts. For [Timed_out]
-    the request produced no response — the owner may retry it elsewhere;
-    for [Poisoned_restore] the response was already delivered. *)
+val set_on_failure : t -> (t -> failure -> unit) -> unit
+(** Called at failure detection, before recovery starts. The strategy has
+    already been killed. [Corrupt_snapshot] fires from the {e idle} state:
+    an owner that does core accounting must re-claim the core the idle
+    transition handed back, because the recovery (and the idle transition
+    that ends it) runs on it. *)
+
+val set_on_scrub : t -> (t -> int -> unit) -> unit
+(** Called after every clean scrub slice with the number of blocks it
+    checked (corrupt slices surface through [set_on_failure] instead). *)
 
 val set_on_retired : t -> (t -> unit) -> unit
 (** Called when the container is quarantined: the owner must free its core

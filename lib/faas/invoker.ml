@@ -102,13 +102,18 @@ let rec submit t req ~on_response =
 
 and find_idle t = Array.find_opt Container.is_idle t.containers
 
-let handle_failure t r c failure (req : Request.t) =
+let handle_failure t r c failure =
   match failure with
-  | Container.Poisoned_restore ->
+  | Container.Poisoned_restore _ ->
       (* The response was already delivered; the container replaces or
          quarantines itself — nothing to retry. *)
       ()
-  | Container.Timed_out ->
+  | Container.Corrupt_snapshot _ ->
+      (* Caught by the idle scrubber before any request touched the bad
+         snapshot: no request is in flight, the container recovers
+         itself. *)
+      ()
+  | Container.Timed_out (req : Request.t) ->
       t.timeouts <- t.timeouts + 1;
       ignore c;
       let tries =
@@ -138,7 +143,7 @@ let handle_failure t r c failure (req : Request.t) =
             | None -> ())
       end
 
-let create ?(prestarted = true) ?trace ?spans ?recovery ?rng
+let create ?(prestarted = true) ?trace ?spans ?recovery ?rng ?scrub
     ?(admission = Admission.unbounded) engine ~n_containers ~dispatch_ns ~make_strategy =
   if n_containers < 1 then invalid_arg "Invoker.create: need at least one container";
   let strategies = Array.init n_containers make_strategy in
@@ -160,7 +165,7 @@ let create ?(prestarted = true) ?trace ?spans ?recovery ?rng
     Array.mapi
       (fun i strategy ->
         Container.create ?trace ?spans ~recovery:container_recovery
-          ?rebuild:(rebuild_for i) ?rng engine ~id:i strategy)
+          ?rebuild:(rebuild_for i) ?rng ?scrub engine ~id:i strategy)
       strategies
   in
   let init_ns =
@@ -219,7 +224,7 @@ let create ?(prestarted = true) ?trace ?spans ?recovery ?rng
               Container.submit ~dispatch_ns:t.dispatch_ns c req ~on_response
           | None -> ());
       (match recovery with
-      | Some r -> Container.set_on_failure c (fun c failure req -> handle_failure t r c failure req)
+      | Some r -> Container.set_on_failure c (fun c failure -> handle_failure t r c failure)
       | None -> ());
       Container.set_on_retired c (fun _ -> t.quarantined <- t.quarantined + 1))
     containers;

@@ -42,6 +42,7 @@ val create :
   ?spans:Gh_sim.Span.t ->
   ?recovery:recovery ->
   ?rng:Gh_sim.Rng.t ->
+  ?scrub:Container.scrub ->
   ?admission:Admission.config ->
   Gh_sim.Engine.t ->
   n_containers:int ->
@@ -56,7 +57,11 @@ val create :
     timeline before serving its first request — container cold starts.
     [rng] jitters the backoff delays; omit it for fully deterministic
     pacing. Without [recovery], hangs wedge their container and poisoned
-    containers are retired (fail closed, no replacement). [admission]
+    containers are retired (fail closed, no replacement). [scrub] enables
+    idle-time snapshot scrubbing in every container (see
+    {!Container.scrub}); a corruption it finds recovers the container
+    through the same pipeline, before any request is served from the bad
+    snapshot. [admission]
     (default {!Admission.unbounded}) bounds the wait queue and selects the
     shedding policy. [spans] records request-scoped spans: a root per
     request, an ["invoker-queue"] phase while queued, and the containers'

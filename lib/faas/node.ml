@@ -13,6 +13,7 @@ type config = {
   recovery : Invoker.recovery option;
   admission : Admission.config;
   brownout : Brownout.config option;
+  scrub : Container.scrub option;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     recovery = None;
     admission = Admission.unbounded;
     brownout = None;
+    scrub = None;
   }
 
 (* Per-request latency samples kept per function. Far above what any test
@@ -84,6 +86,11 @@ type pool = {
   brownout_shed : Metrics.counter;  (* arrivals dropped by the priority floor *)
   deadline_misses : Metrics.counter;  (* completions delivered past deadline *)
   cancelled : Metrics.counter;  (* queued hedge losers removed by the cluster *)
+  verified_blocks : Metrics.counter;  (* snapshot blocks audited at restore *)
+  verify_failures : Metrics.counter;  (* restore-time hash-audit failures *)
+  scrub_slices : Metrics.counter;  (* clean idle-scrub slices executed *)
+  scrubbed_blocks : Metrics.counter;  (* blocks the idle scrubber checked *)
+  scrub_corruptions : Metrics.counter;  (* corruptions the scrubber caught *)
   attempts : (int, int) Hashtbl.t;  (* req id -> tries, recovery only *)
 }
 
@@ -175,6 +182,11 @@ let register t ~name spec =
       brownout_shed = c "brownout_shed";
       deadline_misses = c "deadline_misses";
       cancelled = c "cancelled";
+      verified_blocks = c "verified_blocks";
+      verify_failures = c "verify_failures";
+      scrub_slices = c "scrub_slices";
+      scrubbed_blocks = c "scrubbed_blocks";
+      scrub_corruptions = c "scrub_corruptions";
       attempts = Hashtbl.create 16;
     }
   in
@@ -237,6 +249,10 @@ let rec dispatch t pool slot pending =
       (match rq.Request.deadline with
       | Some d when now > d -> Metrics.incr pool.deadline_misses
       | _ -> ());
+      (match inv.Strategy_intf.verify with
+      | Strategy_intf.Unverified -> ()
+      | Strategy_intf.Verified blocks -> Metrics.incr ~by:blocks pool.verified_blocks
+      | Strategy_intf.Verify_failed _ -> Metrics.incr pool.verify_failures);
       (match t.spans with
       | Some sp ->
           Span.finish_root sp ~at:now
@@ -275,6 +291,9 @@ and on_slot_idle t pool slot =
 and evict t pool slot =
   slot.alive <- false;
   pool.slots <- List.filter (fun s -> s != slot) pool.slots;
+  (* The strategy's process and snapshot go away with the slot; killing it
+     releases whatever it holds elsewhere (notably a dedup registration). *)
+  (Container.strategy slot.container).Strategy_intf.kill ();
   Metrics.incr pool.evictions;
   t.used_mb <- t.used_mb - slot.memory_mb;
   sync_gauges t;
@@ -299,43 +318,59 @@ and on_slot_retired t pool slot =
 (* A hung request was killed: the container replaces itself (still holding
    its core); the request retries from the queue under backoff, up to the
    configured attempt budget. *)
-and on_slot_failure t r pool (_slot : slot) failure (req : Request.t) =
+and on_slot_failure t recovery pool (_slot : slot) failure =
   match failure with
-  | Container.Poisoned_restore ->
-      (* Response already delivered; the container cold-restarts itself. *)
-      Metrics.incr pool.poisonings
-  | Container.Timed_out ->
-      Metrics.incr pool.timeouts;
-      let tries =
-        match Hashtbl.find_opt pool.attempts req.Request.id with Some n -> n | None -> 1
-      in
-      if tries >= r.Invoker.max_attempts then begin
-        Hashtbl.remove pool.attempts req.Request.id;
-        Metrics.incr pool.failed_requests;
-        trace_emitf t ~what:"give-up" "%s req#%d after %d tries" pool.fn_name req.Request.id
-          tries;
-        match t.spans with
-        | Some sp ->
-            Span.finish_root sp ~at:(Engine.now t.engine)
-              ~attrs:[ ("outcome", "failed") ]
-              ~req_id:req.Request.id ()
-        | None -> ()
-      end
-      else begin
-        Hashtbl.replace pool.attempts req.Request.id (tries + 1);
-        let delay = Backoff.delay r.Invoker.retry_backoff ?rng:t.rng ~attempt:tries in
-        Engine.schedule t.engine ~after:delay (fun () ->
-            let now = Engine.now t.engine in
-            if Admission.admit pool.queue ~now req { req; submitted = now; on_complete = None }
-            then
-              match t.spans with
-              | Some sp ->
-                  Span.phase_start sp ~at:now ~req_id:req.Request.id ~name:"node-queue"
-                    ~cat:"queue" ();
-                  pump_pool t pool
-              | None -> pump_pool t pool
-            else pump_pool t pool)
-      end
+  | Container.Poisoned_restore _ ->
+      (* Response already delivered; the container cold-restarts itself.
+         (Counted only under a recovery config, matching the era when the
+         handler was not installed without one.) *)
+      if recovery <> None then Metrics.incr pool.poisonings
+  | Container.Corrupt_snapshot _ ->
+      (* The idle scrubber caught a bad snapshot block before any request
+         was served from it. The failing container was idle — its core was
+         already handed back — but its rebuild (or retirement) runs on a
+         core, so claim one; the recovery's terminal idle/retire transition
+         releases it again. *)
+      Metrics.incr pool.scrub_corruptions;
+      t.busy <- t.busy + 1;
+      sync_gauges t
+  | Container.Timed_out req -> (
+      match recovery with
+      | None -> ()
+      | Some r ->
+          Metrics.incr pool.timeouts;
+          let tries =
+            match Hashtbl.find_opt pool.attempts req.Request.id with Some n -> n | None -> 1
+          in
+          if tries >= r.Invoker.max_attempts then begin
+            Hashtbl.remove pool.attempts req.Request.id;
+            Metrics.incr pool.failed_requests;
+            trace_emitf t ~what:"give-up" "%s req#%d after %d tries" pool.fn_name
+              req.Request.id tries;
+            match t.spans with
+            | Some sp ->
+                Span.finish_root sp ~at:(Engine.now t.engine)
+                  ~attrs:[ ("outcome", "failed") ]
+                  ~req_id:req.Request.id ()
+            | None -> ()
+          end
+          else begin
+            Hashtbl.replace pool.attempts req.Request.id (tries + 1);
+            let delay = Backoff.delay r.Invoker.retry_backoff ?rng:t.rng ~attempt:tries in
+            Engine.schedule t.engine ~after:delay (fun () ->
+                let now = Engine.now t.engine in
+                if
+                  Admission.admit pool.queue ~now req
+                    { req; submitted = now; on_complete = None }
+                then
+                  match t.spans with
+                  | Some sp ->
+                      Span.phase_start sp ~at:now ~req_id:req.Request.id ~name:"node-queue"
+                        ~cat:"queue" ();
+                      pump_pool t pool
+                  | None -> pump_pool t pool
+                else pump_pool t pool)
+          end)
 
 (* Create a new container for [pool] if a core and memory allow; the new
    container pays its initialization on its first request. *)
@@ -378,15 +413,15 @@ and try_cold_start t pool =
       in
       let container =
         Container.create ?trace:t.trace ?spans:t.spans ?recovery:container_recovery ?rebuild
-          ?rng:t.rng t.engine ~id strategy
+          ?rng:t.rng ?scrub:t.config.scrub t.engine ~id strategy
       in
       let slot = { container; memory_mb; epoch = 0; alive = true } in
       Container.set_on_idle container (fun _ -> on_slot_idle t pool slot);
-      (match t.config.recovery with
-      | Some r ->
-          Container.set_on_failure container (fun _ failure req ->
-              on_slot_failure t r pool slot failure req)
-      | None -> ());
+      Container.set_on_failure container (fun _ failure ->
+          on_slot_failure t t.config.recovery pool slot failure);
+      Container.set_on_scrub container (fun _ blocks ->
+          Metrics.incr pool.scrub_slices;
+          Metrics.incr ~by:blocks pool.scrubbed_blocks);
       Container.set_on_retired container (fun _ -> on_slot_retired t pool slot);
       pool.slots <- slot :: pool.slots;
       Metrics.incr pool.cold_starts;

@@ -45,11 +45,19 @@ type config = {
   brownout : Brownout.config option;
       (** [Some cfg] enables the graceful-degradation controller; [None]
           (default) disables it entirely. *)
+  scrub : Container.scrub option;
+      (** [Some cfg] enables idle-time snapshot scrubbing in every
+          container (see {!Container.scrub}). A corruption the scrubber
+          finds fails the container through the recovery pipeline before
+          any request is served from the bad snapshot; the per-function
+          counters [scrub_slices], [scrubbed_blocks] and
+          [scrub_corruptions] land in the metrics registry. [None]
+          (default) disables scrubbing. *)
 }
 
 val default_config : config
 (** 4 cores, 8 GiB, 60 s idle timeout, no recovery, unbounded admission,
-    no brownout. *)
+    no brownout, no scrubbing. *)
 
 type t
 

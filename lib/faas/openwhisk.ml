@@ -21,11 +21,11 @@ type t = {
   rng : Gh_sim.Rng.t;
 }
 
-let deploy ?trace ?spans ?ttl_ns ?admission config ~make_strategy =
+let deploy ?trace ?spans ?ttl_ns ?admission ?scrub config ~make_strategy =
   let engine = Gh_sim.Engine.create () in
   let rng = Gh_sim.Rng.create config.seed in
   let invoker =
-    Invoker.create ?trace ?spans ?admission engine ~n_containers:config.n_cores
+    Invoker.create ?trace ?spans ?admission ?scrub engine ~n_containers:config.n_cores
       ~dispatch_ns:config.dispatch_ns ~make_strategy
   in
   let controller =

@@ -26,6 +26,7 @@ val deploy :
   ?spans:Gh_sim.Span.t ->
   ?ttl_ns:Gh_sim.Time_ns.t ->
   ?admission:Admission.config ->
+  ?scrub:Container.scrub ->
   config ->
   make_strategy:(int -> Strategy_intf.t) ->
   t
@@ -35,5 +36,7 @@ val deploy :
     the request-scoped span tree across controller, invoker queue and
     containers (see {!Controller.create}). [ttl_ns] makes the controller
     stamp deadlines (see {!Controller.create}); [admission] bounds the
-    invoker queue. All default to off — the uninstrumented deployment is
-    bit-identical to earlier revisions. *)
+    invoker queue; [scrub] enables idle-time snapshot scrubbing in every
+    container (reads memory and the clock only — timings are unchanged in
+    corruption-free runs). All default to off — the uninstrumented
+    deployment is bit-identical to earlier revisions. *)

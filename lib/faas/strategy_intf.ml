@@ -13,6 +13,14 @@ type outcome =
           the response (if any) was already delivered, but the container
           must never serve again — kill + cold restart required. *)
 
+(* What restore-time hash verification saw for this invocation. *)
+type verify_outcome =
+  | Unverified  (** No audit ran (policy off, or no restore happened). *)
+  | Verified of int  (** Audit passed; the number of blocks it checked. *)
+  | Verify_failed of string
+      (** Audit caught corruption — the container is poisoned and this
+          request must NOT have been served from the corrupt state. *)
+
 type invocation = {
   on_path_ns : Gh_sim.Time_ns.t;
   post_ns : Gh_sim.Time_ns.t;
@@ -20,6 +28,7 @@ type invocation = {
   breakdown : Groundhog_core.Breakdown.t option;
   isolated : bool;
   outcome : outcome;
+  verify : verify_outcome;
   (* Span attribution: how the on-path time decomposes. All three are
      *included in* [on_path_ns], never in addition to it, and default to
      zero — they only feed observability, not accounting. *)
@@ -38,8 +47,9 @@ type invocation = {
 
 (* Smart constructor: strategies state what they know, everything else
    defaults. Keeps the record extensible without touching every literal. *)
-let invocation ?(post_ns = 0) ?breakdown ?(isolated = false) ?(cold_ns = 0) ?(io_ns = 0)
-    ?(restore_on_path_ns = 0) ?(restore_label = "") ~on_path_ns ~outcome response =
+let invocation ?(post_ns = 0) ?breakdown ?(isolated = false) ?(verify = Unverified)
+    ?(cold_ns = 0) ?(io_ns = 0) ?(restore_on_path_ns = 0) ?(restore_label = "")
+    ~on_path_ns ~outcome response =
   {
     on_path_ns;
     post_ns;
@@ -47,6 +57,7 @@ let invocation ?(post_ns = 0) ?breakdown ?(isolated = false) ?(cold_ns = 0) ?(io
     breakdown;
     isolated;
     outcome;
+    verify;
     cold_ns;
     io_ns;
     restore_on_path_ns;
@@ -60,6 +71,19 @@ let outcome_name = function
   | Poisoned -> "poisoned"
 
 type status = [ `Clean | `Dirty | `Restoring | `Poisoned ]
+
+(* One bounded slice of idle-time snapshot scrubbing. *)
+type scrub_result =
+  | Scrubbed of int * bool
+      (** [n] blocks verified clean; [true] means the pass reached the end
+          of the snapshot (the caller must stop rescheduling slices until
+          the next idle period, or the event loop never drains). *)
+  | Scrub_corrupt of string
+      (** Corruption found in the stored snapshot: the strategy poisoned
+          itself (and blasted dedup sharers) — kill + cold restart. *)
+  | Scrub_skip
+      (** Nothing to scrub: no snapshot, already poisoned, or scrubbing
+          deferred (brownout). *)
 
 type t = {
   name : string;
@@ -80,6 +104,17 @@ type t = {
           restore) until pressure passes; [degrade false] restores full
           service. Must never weaken isolation across security domains —
           strategies that cannot degrade safely ignore it. *)
+  scrub : int -> scrub_result;
+      (** [scrub blocks]: verify up to [blocks] stored snapshot blocks
+          against their capture-time hashes. Driven by the container's
+          idle-time scrubber; strategies without a snapshot (and degraded
+          ones — scrubbing is the definition of non-critical work) return
+          [Scrub_skip]. *)
+  audit : unit -> [ `Intact | `Corrupt of string ] option;
+      (** Ground-truth probe for experiments: does the process image the
+          next request would see match the snapshot? [None] when the
+          strategy has no such oracle (no snapshot, not clean via an
+          actual restore). Free — reads memory only. *)
 }
 
 let no_post inv = inv.post_ns = 0
@@ -88,6 +123,8 @@ let no_post inv = inv.post_ns = 0
 let no_status () = None
 let no_kill () = ()
 let no_degrade (_ : bool) = ()
+let no_scrub (_ : int) = Scrub_skip
+let no_audit () = None
 
 let outcome_of_response (r : Function_model.response) =
   if r.Function_model.hung then Hung

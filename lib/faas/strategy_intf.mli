@@ -28,6 +28,14 @@ type outcome =
           the response (if any) was already delivered, but the container
           must never serve again — kill + cold restart required. *)
 
+(** What restore-time hash verification saw for an invocation. *)
+type verify_outcome =
+  | Unverified  (** No audit ran (policy off, or no restore happened). *)
+  | Verified of int  (** Audit passed; the number of blocks it checked. *)
+  | Verify_failed of string
+      (** Audit caught corruption — the container is poisoned and this
+          request must NOT have been served from the corrupt state. *)
+
 type invocation = {
   on_path_ns : Gh_sim.Time_ns.t;
       (** Function execution incl. in-function isolation overheads (page
@@ -42,6 +50,10 @@ type invocation = {
   isolated : bool;
       (** Did the strategy guarantee the next request sees a clean state? *)
   outcome : outcome;
+  verify : verify_outcome;
+      (** Hash-audit result for the restore work tied to this invocation
+          (the restore that preceded it on-path, or the deferred one that
+          followed). *)
   cold_ns : Gh_sim.Time_ns.t;
       (** Span attribution: one-time initialization paid on this request's
           critical path (cold start). Included in [on_path_ns]. *)
@@ -61,6 +73,7 @@ val invocation :
   ?post_ns:Gh_sim.Time_ns.t ->
   ?breakdown:Groundhog_core.Breakdown.t ->
   ?isolated:bool ->
+  ?verify:verify_outcome ->
   ?cold_ns:Gh_sim.Time_ns.t ->
   ?io_ns:Gh_sim.Time_ns.t ->
   ?restore_on_path_ns:Gh_sim.Time_ns.t ->
@@ -75,6 +88,18 @@ val outcome_name : outcome -> string
 (** Lower-case label for spans and metrics. *)
 
 type status = [ `Clean | `Dirty | `Restoring | `Poisoned ]
+
+(** One bounded slice of idle-time snapshot scrubbing. *)
+type scrub_result =
+  | Scrubbed of int * bool
+      (** [n] blocks verified clean; [true] means the pass reached the end
+          of the snapshot (stop rescheduling until the next idle period). *)
+  | Scrub_corrupt of string
+      (** Corruption found in the stored snapshot: the strategy poisoned
+          itself (and blasted dedup sharers) — kill + cold restart. *)
+  | Scrub_skip
+      (** Nothing to scrub: no snapshot, already poisoned, or scrubbing
+          deferred (brownout). *)
 
 type t = {
   name : string;
@@ -99,6 +124,16 @@ type t = {
           restore) until pressure passes; [degrade false] restores full
           service. Must never weaken isolation across security domains —
           strategies that cannot degrade safely ignore it. *)
+  scrub : int -> scrub_result;
+      (** [scrub blocks]: verify up to [blocks] stored snapshot blocks
+          against their capture-time hashes. Driven by the container's
+          idle-time scrubber; strategies without a snapshot (and degraded
+          ones — scrubbing is the definition of non-critical work) return
+          [Scrub_skip]. *)
+  audit : unit -> [ `Intact | `Corrupt of string ] option;
+      (** Ground-truth probe for experiments: does the process image the
+          next request would see match the snapshot? [None] when the
+          strategy has no such oracle. Free — reads memory only. *)
 }
 
 val no_post : invocation -> bool
@@ -112,6 +147,12 @@ val no_kill : unit -> unit
 
 val no_degrade : bool -> unit
 (** No-op degrade, for strategies with no deferrable work. *)
+
+val no_scrub : int -> scrub_result
+(** [fun _ -> Scrub_skip]: for strategies that keep no snapshot. *)
+
+val no_audit : unit -> [ `Intact | `Corrupt of string ] option
+(** [fun () -> None]: for strategies with no hash oracle. *)
 
 val outcome_of_response : Function_model.response -> outcome
 (** [Hung]/[Crashed]/[Completed] from the response flags — for strategies

@@ -43,7 +43,11 @@ let run_one ?(with_faasm = true) cfg (entry : Catalog.entry) =
   let rng = Rng.create seed in
   let n = min (Config.latency_requests_for cfg entry.Catalog.spec) cfg.Config.breakdown_requests in
   let n = max 3 n in
-  let strategy, state = Gh_isolation.Gh.make_with_state ~rng:(Rng.split rng) entry.Catalog.spec in
+  (* Verified restores (tallied off the timeline): breakdowns identical. *)
+  let strategy, state =
+    Gh_isolation.Gh.make_with_state ~verify:Groundhog_core.Manager.Verify_full
+      ~rng:(Rng.split rng) entry.Catalog.spec
+  in
   let mean = collect_breakdowns strategy n entry.Catalog.spec.Fm.input_kb in
   let snapshot = Groundhog_core.Manager.snapshot (Gh_isolation.Gh.manager state) in
   let snapshot_ms, snapshot_pages =

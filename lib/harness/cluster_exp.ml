@@ -183,6 +183,7 @@ let measure cfg spec ~rate_per_min ~placement ~failover ~requests =
           recovery = None;
           admission = Admission.bounded ~policy:Admission.Edf_drop (10 * cores_per_node);
           brownout = None;
+          scrub = None;
         };
       placement;
       failover;

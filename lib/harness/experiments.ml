@@ -23,6 +23,7 @@ type id =
   | Crash_recovery
   | Fault_injection
   | Overload
+  | Scrub_integrity
 
 let all =
   [ Fig3_left; Fig3_right; Fig4; Fig5; Fig6; Fig7; Fig8; Table1; Table2; Table3; Headline ]
@@ -39,6 +40,7 @@ let extras =
     Crash_recovery;
     Fault_injection;
     Overload;
+    Scrub_integrity;
   ]
 
 let to_string = function
@@ -63,6 +65,7 @@ let to_string = function
   | Crash_recovery -> "crash-recovery"
   | Fault_injection -> "fault-injection"
   | Overload -> "overload"
+  | Scrub_integrity -> "scrub-integrity"
 
 let of_string s =
   match String.lowercase_ascii s with
@@ -88,6 +91,7 @@ let of_string s =
   | "crash-recovery" | "crash" -> Ok Crash_recovery
   | "fault-injection" | "fault" | "faults" -> Ok Fault_injection
   | "overload" | "brownout" -> Ok Overload
+  | "scrub-integrity" | "scrub" | "integrity" -> Ok Scrub_integrity
   | other -> Error (Printf.sprintf "unknown experiment %S" other)
 
 let describe = function
@@ -114,6 +118,8 @@ let describe = function
       "seeded fault injection: availability/goodput/MTTR/p99 under fail-closed recovery"
   | Overload ->
       "overload sweep: goodput/shedding/deadline misses with protection on vs off"
+  | Scrub_integrity ->
+      "snapshot integrity: corruption rate x verification policy (hashing, scrubbing, dedup)"
 
 (* Within one process, latency/throughput/breakdown sweeps over the catalog
    are shared between the experiments that need them. *)
@@ -207,6 +213,9 @@ let run id cfg ppf =
   | Overload ->
       let entry = Option.get (Catalog.find "deltablue (p)") in
       Overload_exp.print ppf entry (Overload_exp.run cfg entry)
+  | Scrub_integrity ->
+      let entry = Option.get (Catalog.find "deltablue (p)") in
+      Scrub_exp.print ppf entry (Scrub_exp.run cfg entry)
 
 let run_list ids cfg ppf =
   List.iter

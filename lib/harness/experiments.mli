@@ -32,6 +32,9 @@ type id =
       (** Seeded fault injection through the fail-closed recovery pipeline:
           availability, goodput, MTTR, p99 vs fault rate (robustness
           extension). *)
+  | Scrub_integrity
+      (** Snapshot integrity: corruption rate x verification policy, with
+          idle-time scrubbing and dedup sharing (robustness extension). *)
 
 val all : id list
 (** The paper's tables and figures, in order. *)

@@ -81,9 +81,15 @@ let measure cfg strategy spec ~fault_rate ~n_containers ~n_requests =
       let attempt a =
         let fault =
           if fault_rate > 0.0 then
+            (* Loud sites only: every fault here aborts its operation and
+               surfaces, which is what the fail-closed gate is about. The
+               silent corruption sites complete "successfully" and are
+               undetectable without hash verification — they get their own
+               sweep ({!Scrub_exp}), where the oracle can call them out. *)
             Fault.uniform
               ~seed:(Hashtbl.hash (seed, i, b, a))
-              ~prob:fault_rate Fault.all_sites
+              ~prob:fault_rate
+              (Fault.restore_sites @ [ Fault.Fn_crash; Fault.Fn_hang ])
           else Fault.none
         in
         Registry.make strategy ~fault

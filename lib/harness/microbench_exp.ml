@@ -26,7 +26,8 @@ let measure cfg strategy spec =
   else begin
     let seed = cfg.Config.seed lxor Hashtbl.hash ("ubench", spec.Fm.name, Registry.to_string strategy) in
     let rng = Rng.create seed in
-    match Registry.make strategy ~rng spec with
+    (* Verified restores (tallied off the timeline): timings identical. *)
+    match Registry.make strategy ~verify:Groundhog_core.Manager.Verify_full ~rng spec with
     | Error _ -> None
     | Ok strat ->
         let n = cfg.Config.microbench_requests in

@@ -173,6 +173,7 @@ let measure cfg strategy spec ~util ~requests ~protected =
                shed_below_priority = 1;
              }
          else None);
+      scrub = None;
     }
   in
   (* Each (strategy, protection, utilization) cell gets its own metric

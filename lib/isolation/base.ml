@@ -42,6 +42,8 @@ let make_on ~rng inst =
     kill = Intf.no_kill;
     (* No post-completion recovery work exists to defer. *)
     degrade = Intf.no_degrade;
+    scrub = Intf.no_scrub;
+    audit = Intf.no_audit;
   }
 
 let make ?(fault = Gh_sim.Fault.none) ~rng spec =

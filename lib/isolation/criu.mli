@@ -14,10 +14,14 @@
     structural flaw Groundhog's dirty-proportional restore fixes. *)
 
 val make :
+  ?verify:Groundhog_core.Manager.verify ->
   ?fault:Gh_sim.Fault.t ->
   rng:Gh_sim.Rng.t ->
   Gh_faas.Function_model.spec ->
   Gh_faas.Strategy_intf.t
+(** [verify] (default off) hash-audits each image restore; an audit
+    failure surfaces as a [Poisoned] invocation with [Verify_failed] and
+    the strategy never serves again (its scrub/audit hooks go silent). *)
 
 val restore_cost_ns : present_pages:int -> int
 (** The modelled image-restore cost (exposed for tests and tables). *)

@@ -84,4 +84,6 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
           status = Intf.no_status;
           kill = Intf.no_kill;
           degrade = Intf.no_degrade;
+          scrub = Intf.no_scrub;
+          audit = Intf.no_audit;
         }

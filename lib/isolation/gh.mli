@@ -19,6 +19,8 @@ type interposition =
 val make :
   ?policy:Policy.t ->
   ?paranoid:bool ->
+  ?verify:Groundhog_core.Manager.verify ->
+  ?dedup:Groundhog_core.Dedup.t ->
   ?mode:Groundhog_core.Manager.mode ->
   ?interposition:interposition ->
   ?fault:Gh_sim.Fault.t ->
@@ -28,11 +30,16 @@ val make :
 (** [policy] defaults to [Always_isolate]; with [Trust_same_principal] the
     {!Gh_faas.Strategy_intf.t.invoke} path still restores eagerly (no
     lookahead), but {!invoke_with_lookahead} exposes the skip. [paranoid]
-    verifies each restore bit-for-bit (testing). [mode] selects eager or
-    incremental (§5.5) snapshots; default eager. [fault] attaches a fault
-    plan to the function process (default {!Gh_sim.Fault.none}); a fault
-    during the initial snapshot raises [Failure] (a failed container
-    build).
+    verifies each restore bit-for-bit (testing). [verify] (default off)
+    hash-audits each restore and reports the result on the invocation's
+    [verify] field; an audit failure poisons the manager and — when the
+    corrupt block is dedup-shared — blasts every sharer. [dedup]
+    registers the snapshot in a cross-container index (eager mode only);
+    [snapshot_pages] then reports only the pages this container actually
+    stores, and [kill] unregisters. [mode] selects eager or incremental
+    (§5.5) snapshots; default eager. [fault] attaches a fault plan to the
+    function process (default {!Gh_sim.Fault.none}); a fault during the
+    initial snapshot raises [Failure] (a failed container build).
 
     A failed restore poisons the manager and surfaces as a
     [Poisoned]-outcome invocation whose [post_ns] is the manager time the
@@ -44,6 +51,8 @@ type state
 val make_with_state :
   ?policy:Policy.t ->
   ?paranoid:bool ->
+  ?verify:Groundhog_core.Manager.verify ->
+  ?dedup:Groundhog_core.Dedup.t ->
   ?mode:Groundhog_core.Manager.mode ->
   ?interposition:interposition ->
   ?fault:Gh_sim.Fault.t ->

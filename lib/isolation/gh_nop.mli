@@ -12,7 +12,12 @@
     substrate here; it is not special-cased. *)
 
 val make :
+  ?verify:Groundhog_core.Manager.verify ->
+  ?dedup:Groundhog_core.Dedup.t ->
   ?fault:Gh_sim.Fault.t ->
   rng:Gh_sim.Rng.t ->
   Gh_faas.Function_model.spec ->
   Gh_faas.Strategy_intf.t
+(** [verify] (default off) hash-audits the crash-restore path — the only
+    restore GH_NOP ever performs. [dedup] registers the snapshot in a
+    cross-container index, like {!Gh.make}. *)

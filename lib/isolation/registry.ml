@@ -29,16 +29,16 @@ let supports id (spec : Gh_faas.Function_model.spec) =
   | Faasm -> spec.Gh_faas.Function_model.wasm_factor <> None
   | Base | Gh | Gh_nop | Coldstart | Criu -> true
 
-let make id ?fault ~rng spec =
+let make id ?fault ?verify ?dedup ~rng spec =
   let build () =
     match id with
     | Base -> Ok (Base.make ?fault ~rng spec)
-    | Gh -> Ok (Gh.make ?fault ~rng spec)
-    | Gh_nop -> Ok (Gh_nop.make ?fault ~rng spec)
+    | Gh -> Ok (Gh.make ?verify ?dedup ?fault ~rng spec)
+    | Gh_nop -> Ok (Gh_nop.make ?verify ?dedup ?fault ~rng spec)
     | Fork -> Fork_isolation.make ?fault ~rng spec
     | Faasm -> Faasm.make ?fault ~rng spec
     | Coldstart -> Ok (Coldstart.make ?fault ~rng spec)
-    | Criu -> Ok (Criu.make ?fault ~rng spec)
+    | Criu -> Ok (Criu.make ?verify ?fault ~rng spec)
   in
   (* A fault during container initialization (warm-up snapshot) raises
      [Failure site]; surface it as a failed build so the recovery

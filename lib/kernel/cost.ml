@@ -34,6 +34,7 @@ type t = {
   fork_per_present_page_ns : int;
   faasm_reset_base_ns : int;
   faasm_reset_per_dirty_page_ns : int;
+  hash_per_page_ns : int;
 }
 
 (* Calibration anchors (Appendix A, Table 3 of the paper):
@@ -80,6 +81,7 @@ let default =
     fork_per_present_page_ns = 95;
     faasm_reset_base_ns = 210_000;
     faasm_reset_per_dirty_page_ns = 3_000;
+    hash_per_page_ns = 150;
   }
 
 let no_coalescing = { default with coalesce_runs = false }

@@ -94,6 +94,13 @@ type t = {
   (* -- FAASM-style linear-memory reset. -- *)
   faasm_reset_base_ns : int;
   faasm_reset_per_dirty_page_ns : int;
+  (* -- Snapshot integrity. -- *)
+  hash_per_page_ns : int;
+      (** Hash one 4 KiB page already in cache (xxHash-class throughput).
+          The integrity layer's accounting unit: capture-time hashing,
+          restore-time verification and idle scrubbing are *tallied* at
+          this rate in the metrics registry, but never injected into the
+          event timeline (see DESIGN §14's charging model). *)
 }
 
 val default : t

@@ -24,6 +24,9 @@ type site =
   | Node_hang
   | Cluster_msg_loss
   | Heartbeat_drop
+  | Snapshot_bitflip
+  | Snapshot_torn
+  | Restore_skip
 
 let site_index = function
   | Ptrace_attach -> 0
@@ -40,14 +43,18 @@ let site_index = function
   | Node_hang -> 11
   | Cluster_msg_loss -> 12
   | Heartbeat_drop -> 13
+  | Snapshot_bitflip -> 14
+  | Snapshot_torn -> 15
+  | Restore_skip -> 16
 
-let n_sites = 14
+let n_sites = 17
 
 let all_sites =
   [ Ptrace_attach; Ptrace_regs; Ptrace_inject; Ptrace_write;
     Procfs_maps; Procfs_scan; Procfs_clear; Snapshot_copy;
     Fn_crash; Fn_hang;
-    Node_crash; Node_hang; Cluster_msg_loss; Heartbeat_drop ]
+    Node_crash; Node_hang; Cluster_msg_loss; Heartbeat_drop;
+    Snapshot_bitflip; Snapshot_torn; Restore_skip ]
 
 (* Node-level sites, exercised only by the cluster layer: whole-node
    crashes and hangs, controller<->node message loss/partition, and
@@ -61,6 +68,12 @@ let cluster_sites = [ Node_crash; Node_hang; Cluster_msg_loss; Heartbeat_drop ]
 let restore_sites =
   [ Ptrace_attach; Ptrace_regs; Ptrace_inject; Ptrace_write;
     Procfs_maps; Procfs_scan; Procfs_clear; Snapshot_copy ]
+
+(* Silent data-corruption sites: unlike the loud sites above (which abort
+   the operation and surface an [Error site]), these complete "successfully"
+   while leaving wrong bytes behind. Only content hashing — restore-time
+   verification or idle-time scrubbing — can detect them. *)
+let corruption_sites = [ Snapshot_bitflip; Snapshot_torn; Restore_skip ]
 
 let site_name = function
   | Ptrace_attach -> "ptrace-attach"
@@ -77,6 +90,9 @@ let site_name = function
   | Node_hang -> "node-hang"
   | Cluster_msg_loss -> "cluster-msg-loss"
   | Heartbeat_drop -> "heartbeat-drop"
+  | Snapshot_bitflip -> "snapshot-bitflip"
+  | Snapshot_torn -> "snapshot-torn"
+  | Restore_skip -> "restore-skip"
 
 type rule = { prob : float; nth : int list }
 
@@ -131,6 +147,14 @@ let fire t site =
           true
         end
         else false
+
+(* Parameter draw for a site that just fired (which page to flip, where to
+   tear). Drawn from the site's own stream, so it only advances when the
+   site actually fires — disabled plans and other sites are unaffected. *)
+let draw t site ~bound =
+  if is_none t then invalid_arg "Fault.draw: Fault.none never fires";
+  if bound <= 0 then invalid_arg "Fault.draw: bound must be positive";
+  Rng.int t.rngs.(site_index site) bound
 
 let occurrences t site = t.seen.(site_index site)
 let fired t site = t.hits.(site_index site)

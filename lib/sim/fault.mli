@@ -28,6 +28,9 @@ type site =
   | Node_hang          (** a node stops responding for a while (GC storm, IO stall) *)
   | Cluster_msg_loss   (** a controller→node dispatch message is lost (partition) *)
   | Heartbeat_drop     (** a node→controller heartbeat is lost in transit *)
+  | Snapshot_bitflip   (** a captured page word is silently corrupted in the buffer *)
+  | Snapshot_torn      (** capture interrupted mid-region: a tail of stale bytes persists *)
+  | Restore_skip       (** a dirty run is silently not written back during restore *)
 
 type t
 
@@ -63,6 +66,14 @@ val occurrences : t -> site -> int
 val fired : t -> site -> int
 (** How many times [site] has fired. *)
 
+val draw : t -> site -> bound:int -> int
+(** [draw t site ~bound] draws a uniform int in [\[0, bound)] from the
+    site's own stream — the corruption parameter (page index, tear point)
+    for a site that just fired. Only call after {!fire} returned [true]:
+    the draw advances the site's stream, so guarding it keeps disabled
+    and miss-only runs bit-identical. Raises [Invalid_argument] on
+    {!none} or a non-positive bound. *)
+
 val total_fired : t -> int
 (** Total fired faults across all sites. *)
 
@@ -75,6 +86,12 @@ val cluster_sites : site list
 (** The node-level sites exercised only by the cluster layer
     ([Node_crash], [Node_hang], [Cluster_msg_loss], [Heartbeat_drop]).
     Single-node runs never reach them, so their streams stay untouched. *)
+
+val corruption_sites : site list
+(** The silent data-corruption sites ([Snapshot_bitflip], [Snapshot_torn],
+    [Restore_skip]): the operation "succeeds" but leaves wrong bytes
+    behind. Only content-hash verification or scrubbing can detect them —
+    no [Error site] is ever surfaced. *)
 
 val site_name : site -> string
 val pp_site : Format.formatter -> site -> unit

@@ -135,6 +135,8 @@ let scripted ~service_ns name =
     status = Intf.no_status;
     kill = Intf.no_kill;
     degrade = Intf.no_degrade;
+    scrub = Intf.no_scrub;
+    audit = Intf.no_audit;
     describe = (fun () -> name);
   }
 
@@ -149,6 +151,7 @@ let node_config ~cores ~admission =
     recovery = None;
     admission;
     brownout = None;
+    scrub = None;
   }
 
 (* -- Node.cancel: a removed hedge loser leaves no residue -- *)

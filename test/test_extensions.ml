@@ -91,6 +91,8 @@ let constant_strategy ~exec_ns =
     status = Intf.no_status;
     kill = Intf.no_kill;
     degrade = Intf.no_degrade;
+    scrub = Intf.no_scrub;
+    audit = Intf.no_audit;
     describe = (fun () -> "constant");
   }
 
@@ -403,7 +405,7 @@ let test_crash_experiment_shape () =
 (* -- Registry -- *)
 
 let test_extras_registry () =
-  check_int "ten extras" 10 (List.length Experiments.extras);
+  check_int "eleven extras" 11 (List.length Experiments.extras);
   List.iter
     (fun id ->
       match Experiments.of_string (Experiments.to_string id) with

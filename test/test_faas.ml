@@ -269,6 +269,8 @@ let strategy_of_constant ~exec_ns ~post_ns =
     status = Strategy_intf.no_status;
     kill = Strategy_intf.no_kill;
     degrade = Strategy_intf.no_degrade;
+    scrub = Strategy_intf.no_scrub;
+    audit = Strategy_intf.no_audit;
     describe = (fun () -> "constant-latency test strategy");
   }
 

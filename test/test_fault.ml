@@ -176,6 +176,8 @@ let scripted name next =
     status = Intf.no_status;
     kill = Intf.no_kill;
     degrade = Intf.no_degrade;
+    scrub = Intf.no_scrub;
+    audit = Intf.no_audit;
     describe = (fun () -> name);
   }
 

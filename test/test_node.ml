@@ -29,6 +29,8 @@ let strategy ~exec_ms ~init_ms ~buffer_pages =
     status = Intf.no_status;
     kill = Intf.no_kill;
     degrade = Intf.no_degrade;
+    scrub = Intf.no_scrub;
+    audit = Intf.no_audit;
     describe = (fun () -> "fixed-cost test strategy");
   }
 
@@ -46,6 +48,7 @@ let make_node ?(cores = 2) ?(memory_mb = 64) ?(idle_timeout_s = 5.0) ?(admission
       recovery = None;
       admission;
       brownout;
+      scrub = None;
     }
     ~make_strategy:strategy_of
 

@@ -22,7 +22,45 @@ let seed_arg =
   let doc = "Root random seed (experiments are deterministic per seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Fan experiment cells across $(docv) domains (0 = one per core). The report is \
+     byte-identical for any value — each cell seeds its own RNG from the root seed and \
+     the cell's identity, and results merge in input order."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let gc_stats_arg =
+  let doc =
+    "After the run, print GC allocation totals (all domains) and snapshot buffer-pool \
+     reuse counters to stderr; stdout is untouched, so reports stay bit-identical."
+  in
+  Arg.(value & flag & info [ "gc-stats" ] ~doc)
+
 let with_seed cfg seed = { cfg with Gh_harness.Config.seed = seed }
+
+let with_jobs cfg jobs =
+  let jobs = if jobs <= 0 then Gh_sim.Domain_pool.recommended_jobs () else jobs in
+  { cfg with Gh_harness.Config.jobs = jobs }
+
+(* Allocation totals must sum every domain: Gc.stat is per-domain in
+   OCaml 5, so the pool accumulates its workers' words as they exit and we
+   add the main domain's own tally here. Stderr only — never the report. *)
+let print_gc_stats () =
+  let st = Gc.quick_stat () in
+  let w_minor, w_major = Gh_sim.Domain_pool.worker_gc_words () in
+  let pool = Gh_sim.Buffer_pool.stats () in
+  Printf.eprintf
+    "gc-stats: minor_words=%.0f major_words=%.0f (main domain %.0f/%.0f, workers \
+     %.0f/%.0f)\n"
+    (st.Gc.minor_words +. w_minor)
+    (st.Gc.major_words +. w_major)
+    st.Gc.minor_words st.Gc.major_words w_minor w_major;
+  Printf.eprintf
+    "gc-stats: buffer-pool hits=%d misses=%d releases=%d held_words=%d (main domain \
+     only)\n%!"
+    pool.Gh_sim.Buffer_pool.hits pool.Gh_sim.Buffer_pool.misses
+    pool.Gh_sim.Buffer_pool.releases pool.Gh_sim.Buffer_pool.held_words
 
 let write_file path content =
   let oc = open_out path in
@@ -63,8 +101,8 @@ let metrics_out_arg =
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let run profile seed output trace_out metrics_out names =
-    let cfg = with_seed profile seed in
+  let run profile seed jobs gc_stats output trace_out metrics_out names =
+    let cfg = with_jobs (with_seed profile seed) jobs in
     (* Observability sinks are attached only on request; either way the
        simulated runs are bit-identical (collectors only read clocks). *)
     let spans = Gh_sim.Span.create () in
@@ -114,6 +152,7 @@ let run_cmd =
         names
     in
     export_observability ?trace_out ?metrics_out spans metrics;
+    if gc_stats then print_gc_stats ();
     match List.find_opt Result.is_error results with
     | Some (Error msg) -> `Error (false, msg)
     | _ -> `Ok ()
@@ -122,8 +161,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
-        (const run $ profile_arg $ seed_arg $ output_arg $ trace_out_arg $ metrics_out_arg
-       $ experiments_arg))
+        (const run $ profile_arg $ seed_arg $ jobs_arg $ gc_stats_arg $ output_arg
+       $ trace_out_arg $ metrics_out_arg $ experiments_arg))
 
 (* -- list -- *)
 

@@ -55,6 +55,20 @@ dune exec bin/gh_bench.exe -- run all --seed 42 --profile quick \
 md5sum /tmp/gh_ci_runall_quick.txt | awk '{print $1}' \
   | diff - ci/runall_quick.md5
 
+# Parallel bit-identity gate: the same sweep fanned across 4 domains must
+# be byte-for-byte identical to the serial run (and hence to the committed
+# baseline) — cells seed their own RNGs and merge in input order, so any
+# difference means shared state leaked into a sweep.
+dune exec bin/gh_bench.exe -- run all --seed 42 --profile quick -j 4 \
+  > /tmp/gh_ci_runall_quick_j4.txt
+diff /tmp/gh_ci_runall_quick.txt /tmp/gh_ci_runall_quick_j4.txt
+md5sum /tmp/gh_ci_runall_quick_j4.txt | awk '{print $1}' \
+  | diff - ci/runall_quick.md5
+
+# Domain-pool suite once more with an oversubscribed job count: the
+# List.map-equivalence properties must hold when workers outnumber cores.
+GH_JOBS=8 dune exec test/test_parallel.exe >/dev/null
+
 # Observability smoke: export a trace + metrics snapshot from a fixed-seed
 # run, validate the Chrome trace JSON against our own parser/schema check,
 # and diff the metrics snapshot against the committed baseline — any

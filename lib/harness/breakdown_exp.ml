@@ -81,7 +81,11 @@ let run_one ?(with_faasm = true) cfg (entry : Catalog.entry) =
     faasm_reset_ms;
   }
 
-let run ?with_faasm cfg entries = List.map (run_one ?with_faasm cfg) entries
+(* One cell per entry (the per-entry seed depends only on the display
+   name), fanned across domains; parallel_map preserves input order. *)
+let run ?with_faasm cfg entries =
+  Gh_sim.Domain_pool.parallel_map ~jobs:(Config.effective_jobs cfg)
+    (run_one ?with_faasm cfg) entries
 
 let print_fig8 ppf results =
   let step_labels = List.map fst (Breakdown.steps Breakdown.zero) in

@@ -13,6 +13,7 @@ type t = {
      changes simulated behavior, only records it. *)
   spans : Gh_sim.Span.t option;
   metrics : Gh_sim.Metrics.t option;
+  jobs : int;
 }
 
 let default =
@@ -28,6 +29,7 @@ let default =
     dispatch_ns = Gh_sim.Time_ns.of_us 800.0;
     spans = None;
     metrics = None;
+    jobs = 1;
   }
 
 let full =
@@ -51,6 +53,12 @@ let quick =
     microbench_requests = 8;
     breakdown_requests = 6;
   }
+
+(* Span and Metrics collectors are plain mutable structures shared across
+   every cell of a sweep; rather than wrap each sink in a lock (distorting
+   what the traces measure), an instrumented run simply stays serial. *)
+let effective_jobs t =
+  if t.spans <> None || t.metrics <> None then 1 else max 1 t.jobs
 
 let sec = 1_000_000_000
 

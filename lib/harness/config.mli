@@ -23,6 +23,11 @@ type t = {
   metrics : Gh_sim.Metrics.t option;
       (** Shared metrics registry for node-based experiments; [None]
           (default) gives each node a private registry. *)
+  jobs : int;
+      (** Domains to fan sweep cells across ({!Gh_sim.Domain_pool}).
+          1 (default) keeps every sweep serial; any value produces
+          byte-identical report output because each cell derives its RNG
+          from the seed and the cell's identity, never from run order. *)
 }
 
 val default : t
@@ -31,6 +36,11 @@ val full : t
 
 val quick : t
 (** Minimal counts for CI smoke runs. *)
+
+val effective_jobs : t -> int
+(** [jobs], clamped to 1 when a span or metrics sink is attached: the
+    collectors are shared mutable state, so instrumented runs serialize
+    rather than lock every record call. *)
 
 val latency_requests_for : t -> Gh_faas.Function_model.spec -> int
 (** Adaptive request count by benchmark duration. *)

@@ -121,50 +121,101 @@ let describe = function
   | Scrub_integrity ->
       "snapshot integrity: corruption rate x verification policy (hashing, scrubbing, dedup)"
 
-(* Within one process, latency/throughput/breakdown sweeps over the catalog
-   are shared between the experiments that need them. *)
-type cache = {
-  mutable latency : Latency_exp.result list option;
-  mutable tput : Throughput_exp.result list option;
-  mutable breakdown_all : Breakdown_exp.result list option;
-  mutable breakdown_rep : Breakdown_exp.result list option;
+(* Latency/throughput/breakdown sweeps over the catalog are shared between
+   the experiments that need them — Table1 after Fig4 must not re-measure.
+   The memo used to be a process-global mutable record, which (a) silently
+   reused results across configs within one process and (b) raced if two
+   callers ever filled a slot concurrently. It is now a value the caller
+   threads through one batch of experiments; each slot is a tiny
+   single-assignment cell guarded by a mutex + condition so concurrent
+   callers block on the one computation instead of duplicating it. *)
+type 'a slot = {
+  m : Mutex.t;
+  cond : Condition.t;
+  mutable state : 'a slot_state;
 }
 
-let cache = { latency = None; tput = None; breakdown_all = None; breakdown_rep = None }
+and 'a slot_state = Empty | Running | Done of 'a
 
-let latency_results cfg =
-  match cache.latency with
-  | Some r -> r
-  | None ->
-      let r = Latency_exp.run cfg Catalog.all in
-      cache.latency <- Some r;
-      r
+let slot () = { m = Mutex.create (); cond = Condition.create (); state = Empty }
 
-let tput_results cfg =
-  match cache.tput with
-  | Some r -> r
-  | None ->
-      let r = Throughput_exp.run cfg Catalog.all in
-      cache.tput <- Some r;
-      r
+(* Fill-once: the first caller computes (outside the lock — the sweeps take
+   seconds), later callers wait on the condition. A raising computation
+   resets the slot so the next caller retries rather than deadlocking. *)
+let memo slot compute =
+  let rec await () =
+    match slot.state with
+    | Done v ->
+        Mutex.unlock slot.m;
+        v
+    | Running ->
+        Condition.wait slot.cond slot.m;
+        await ()
+    | Empty -> (
+        slot.state <- Running;
+        Mutex.unlock slot.m;
+        match compute () with
+        | v ->
+            Mutex.lock slot.m;
+            slot.state <- Done v;
+            Condition.broadcast slot.cond;
+            Mutex.unlock slot.m;
+            v
+        | exception exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock slot.m;
+            slot.state <- Empty;
+            Condition.broadcast slot.cond;
+            Mutex.unlock slot.m;
+            Printexc.raise_with_backtrace exn bt)
+  in
+  Mutex.lock slot.m;
+  await ()
 
-let breakdown_all cfg =
-  match cache.breakdown_all with
-  | Some r -> r
-  | None ->
-      let r = Breakdown_exp.run cfg Catalog.all in
-      cache.breakdown_all <- Some r;
-      r
+type cache = {
+  latency : Latency_exp.result list slot;
+  tput : Throughput_exp.result list slot;
+  breakdown_all : Breakdown_exp.result list slot;
+  breakdown_rep : Breakdown_exp.result list slot;
+}
 
-let breakdown_rep cfg =
-  match cache.breakdown_rep with
-  | Some r -> r
-  | None ->
-      let r = Breakdown_exp.run cfg Representative.entries in
-      cache.breakdown_rep <- Some r;
-      r
+(* The config parameter documents the contract — a cache holds results for
+   exactly one configuration; reusing it under another cfg would serve that
+   config stale sweeps. *)
+let cache (_ : Config.t) =
+  {
+    latency = slot ();
+    tput = slot ();
+    breakdown_all = slot ();
+    breakdown_rep = slot ();
+  }
 
-let run id cfg ppf =
+let latency_results cache cfg =
+  memo cache.latency (fun () -> Latency_exp.run cfg Catalog.all)
+
+let tput_results cache cfg =
+  memo cache.tput (fun () -> Throughput_exp.run cfg Catalog.all)
+
+let breakdown_all cache cfg =
+  memo cache.breakdown_all (fun () -> Breakdown_exp.run cfg Catalog.all)
+
+let breakdown_rep cache cfg =
+  memo cache.breakdown_rep (fun () -> Breakdown_exp.run cfg Representative.entries)
+
+(* Single-benchmark experiments pin their workload by catalog name; a
+   lookup miss used to surface as [Option.get] (anonymous
+   [Invalid_argument]) — fail naming the entry instead. *)
+let catalog_entry name =
+  match Catalog.find name with
+  | Some entry -> entry
+  | None -> failwith (Printf.sprintf "Experiments: no catalog entry named %S" name)
+
+let run ?cache:c id cfg ppf =
+  let cache = match c with Some c -> c | None -> cache cfg in
+  let latency_results cfg = latency_results cache cfg in
+  let tput_results cfg = tput_results cache cfg in
+  let breakdown_all cfg = breakdown_all cache cfg in
+  let breakdown_rep cfg = breakdown_rep cache cfg in
   match id with
   | Fig3_left ->
       Microbench_exp.print ppf
@@ -195,34 +246,46 @@ let run id cfg ppf =
   | Ablation_coalescing ->
       Ablation_exp.print_coalescing ppf (Ablation_exp.run_coalescing cfg ())
   | Policy_skip ->
-      let entry = Option.get (Catalog.find "deltablue (p)") in
+      let entry = catalog_entry "deltablue (p)" in
       Policy_exp.print ppf entry (Policy_exp.run cfg entry)
   | Load_latency ->
-      let entry = Option.get (Catalog.find "deltablue (p)") in
+      let entry = catalog_entry "deltablue (p)" in
       Load_exp.print ppf entry (Load_exp.run cfg entry)
   | Snapshot_cost -> Snapshot_exp.print ppf (Snapshot_exp.run cfg Catalog.all)
   | Multi_tenant ->
       let entries = List.filter_map Catalog.find Tenant_exp.default_functions in
       Tenant_exp.print ppf (Tenant_exp.run cfg entries)
   | Crash_recovery ->
-      let entry = Option.get (Catalog.find "deltablue (p)") in
+      let entry = catalog_entry "deltablue (p)" in
       Crash_exp.print ppf entry (Crash_exp.run cfg entry)
   | Fault_injection ->
-      let entry = Option.get (Catalog.find "deltablue (p)") in
+      let entry = catalog_entry "deltablue (p)" in
       Fault_exp.print ppf entry (Fault_exp.run cfg entry)
   | Overload ->
-      let entry = Option.get (Catalog.find "deltablue (p)") in
+      let entry = catalog_entry "deltablue (p)" in
       Overload_exp.print ppf entry (Overload_exp.run cfg entry)
   | Scrub_integrity ->
-      let entry = Option.get (Catalog.find "deltablue (p)") in
+      let entry = catalog_entry "deltablue (p)" in
       Scrub_exp.print ppf entry (Scrub_exp.run cfg entry)
 
+(* Each experiment renders into its own buffer-backed formatter (header
+   included); the buffers are concatenated in request order, so the merged
+   report is byte-for-byte what serial printing straight to [ppf] produced.
+   Experiments themselves run one after another — the parallelism lives in
+   the per-cell sweeps underneath (see {!Gh_sim.Domain_pool}) — and they
+   share one {!cache} so e.g. Table1 after Fig4 reuses the latency sweep. *)
 let run_list ids cfg ppf =
+  let cache = cache cfg in
   List.iter
     (fun id ->
-      Format.fprintf ppf "@.#### %s: %s@." (to_string id) (describe id);
-      run id cfg ppf)
-    ids
+      let buf = Buffer.create 4096 in
+      let bppf = Format.formatter_of_buffer buf in
+      Format.fprintf bppf "@.#### %s: %s@." (to_string id) (describe id);
+      run ~cache id cfg bppf;
+      Format.pp_print_flush bppf ();
+      Format.pp_print_string ppf (Buffer.contents buf))
+    ids;
+  Format.pp_print_flush ppf ()
 
 let run_all cfg ppf = run_list all cfg ppf
 let run_extras cfg ppf = run_list extras cfg ppf

@@ -46,10 +46,20 @@ val to_string : id -> string
 val of_string : string -> (id, string) result
 val describe : id -> string
 
-val run : id -> Config.t -> Format.formatter -> unit
-(** Execute the experiment and print its table/series. Results within one
-    process are cached, so running [Table1] after [Fig4] reuses the
-    latency measurements. *)
+type cache
+(** Memo for the catalog-wide latency/throughput/breakdown sweeps shared
+    between experiments (Table1 after Fig4 reuses the latency sweep).
+    Safe for concurrent callers: each slot fills exactly once, other
+    callers block until it is done. A cache belongs to one configuration;
+    never reuse it with a different [Config.t]. *)
+
+val cache : Config.t -> cache
+(** A fresh, empty cache for one batch of experiments under this config. *)
+
+val run : ?cache:cache -> id -> Config.t -> Format.formatter -> unit
+(** Execute the experiment and print its table/series. Pass [cache] to
+    share the catalog-wide sweeps across several [run] calls; without it
+    each call measures independently. *)
 
 val run_all : Config.t -> Format.formatter -> unit
 (** Run {!all} — the paper set. *)

@@ -48,27 +48,46 @@ let measure cfg strategy spec =
         Some (!low /. n, !high /. n)
   end
 
-let run_point cfg x spec =
-  let low = ref [] and high = ref [] in
-  List.iter
-    (fun strategy ->
-      match measure cfg strategy spec with
-      | Some (l, h) ->
-          low := (strategy, l) :: !low;
-          high := (strategy, h) :: !high
-      | None -> ())
-    strategies;
-  { x; low_ms = List.rev !low; high_ms = List.rev !high }
+(* One cell per (sweep point, strategy): [measure] seeds from the spec's
+   name and the strategy, so the flattened product fans across domains and
+   regroups by index into the same per-point assoc lists as the serial
+   nested loop would build. *)
+let run_points cfg specs =
+  let n_s = List.length strategies in
+  let cells =
+    List.concat_map (fun (_, spec) -> List.map (fun s -> (spec, s)) strategies) specs
+  in
+  let arr =
+    Array.of_list
+      (Gh_sim.Domain_pool.parallel_map ~jobs:(Config.effective_jobs cfg)
+         (fun (spec, s) -> measure cfg s spec)
+         cells)
+  in
+  List.mapi
+    (fun i (x, _) ->
+      let low = ref [] and high = ref [] in
+      List.iteri
+        (fun j strategy ->
+          match arr.((i * n_s) + j) with
+          | Some (l, h) ->
+              low := (strategy, l) :: !low;
+              high := (strategy, h) :: !high
+          | None -> ())
+        strategies;
+      { x; low_ms = List.rev !low; high_ms = List.rev !high })
+    specs
 
 let run_left cfg =
-  List.map
-    (fun fraction -> run_point cfg (100.0 *. fraction) (Microbench.fig3_left_spec fraction))
-    Microbench.fig3_left_fractions
+  run_points cfg
+    (List.map
+       (fun fraction -> (100.0 *. fraction, Microbench.fig3_left_spec fraction))
+       Microbench.fig3_left_fractions)
 
 let run_right cfg =
-  List.map
-    (fun pages -> run_point cfg (float_of_int pages) (Microbench.fig3_right_spec pages))
-    Microbench.fig3_right_sizes
+  run_points cfg
+    (List.map
+       (fun pages -> (float_of_int pages, Microbench.fig3_right_spec pages))
+       Microbench.fig3_right_sizes)
 
 let print ppf ~title ~x_label points =
   let columns =

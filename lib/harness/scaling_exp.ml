@@ -8,20 +8,37 @@ type result = {
   std_by_cores : (int * float) list;
 }
 
+(* The sweep is a triple loop (entry × cores × repeat); every iteration is
+   an independent throughput run seeded by (seed + 1000·repeat, entry,
+   cores), so the whole product flattens into one cell list for the domain
+   pool and regroups by index into the same per-entry points. *)
 let run ?(max_cores = 4) ?(repeats = 3) cfg entries =
-  List.map
-    (fun entry ->
+  let cells =
+    List.concat_map
+      (fun entry ->
+        List.concat_map
+          (fun cores -> List.init repeats (fun r -> (entry, cores, r)))
+          (List.init max_cores (fun i -> i + 1)))
+      entries
+  in
+  let samples =
+    Array.of_list
+      (Gh_sim.Domain_pool.parallel_map ~jobs:(Config.effective_jobs cfg)
+         (fun (entry, cores, r) ->
+           let cfg = { cfg with Config.seed = cfg.Config.seed + (1000 * r) } in
+           match Throughput_exp.run_one ~n_containers:cores cfg Registry.Gh entry with
+           | Some m -> Some m.Throughput_exp.tput_rps
+           | None -> None)
+         cells)
+  in
+  List.mapi
+    (fun i entry ->
       let points =
         List.filter_map
           (fun cores ->
+            let base = ((i * max_cores) + (cores - 1)) * repeats in
             let samples =
-              List.filter_map
-                (fun r ->
-                  let cfg = { cfg with Config.seed = cfg.Config.seed + (1000 * r) } in
-                  match Throughput_exp.run_one ~n_containers:cores cfg Registry.Gh entry with
-                  | Some m -> Some m.Throughput_exp.tput_rps
-                  | None -> None)
-                (List.init repeats Fun.id)
+              List.filter_map (fun r -> samples.(base + r)) (List.init repeats Fun.id)
             in
             match samples with
             | [] -> None

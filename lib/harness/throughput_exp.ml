@@ -74,10 +74,25 @@ let run_one ?n_containers cfg strategy (entry : Catalog.entry) =
       Some { strategy; tput_rps = tput; mean_cycle_ms }
   end
 
+(* Cells are pure in (cfg, entry, strategy) — [run_one] derives every RNG
+   stream from the cell's identity — so the sweep fans across domains and
+   regroups by input position for a byte-identical merge. *)
 let run ?(strategies = default_strategies) cfg entries =
-  List.map
-    (fun entry ->
-      let measurements = List.filter_map (fun s -> run_one cfg s entry) strategies in
+  let n_s = List.length strategies in
+  let cells =
+    List.concat_map (fun entry -> List.map (fun s -> (entry, s)) strategies) entries
+  in
+  let arr =
+    Array.of_list
+      (Gh_sim.Domain_pool.parallel_map ~jobs:(Config.effective_jobs cfg)
+         (fun (entry, s) -> run_one cfg s entry)
+         cells)
+  in
+  List.mapi
+    (fun i entry ->
+      let measurements =
+        List.filter_map Fun.id (List.init n_s (fun j -> arr.((i * n_s) + j)))
+      in
       { entry; measurements })
     entries
 

@@ -42,6 +42,11 @@ let make ?(fault = Gh_sim.Fault.none) ~rng spec =
           ~outcome:Intf.Hung response
       else begin
         Gh_faas.Actionloop.return_output loop acct ~output_kb:response.Fm.output_kb;
+        (* The reap frees the child's pages: recycle its clone buffers
+           into this domain's pool so the next fork reuses them instead
+           of churning the major heap. (A hung child stays mapped until
+           the platform timeout kills it, so only this path recycles.) *)
+        Process.recycle child;
         Intf.invocation ~on_path_ns:(Account.total acct)
           ~io_ns:(Gh_faas.Actionloop.io_total_ns loop - io0) ~post_ns:reap_ns
           ~isolated:true ~restore_label:"reap"

@@ -547,6 +547,12 @@ let clone_cow t =
   Array.iter (fun (v : Vma.t) -> Hashtbl.replace child.by_id v.Vma.id v) child.arr;
   child
 
+(* End of life for a discarded clone: recycle every VMA's page buffer
+   into this domain's pool. The space must never be touched again. *)
+let recycle t =
+  Array.iter Vma.recycle t.arr;
+  t.mru <- None
+
 let arm_cow_all t =
   Array.iter (fun (v : Vma.t) -> v.Vma.cow_pending <- Bitmap.copy v.Vma.present) t.arr
 

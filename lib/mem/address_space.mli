@@ -138,6 +138,11 @@ val clone_cow : t -> t
 (** Child address space: identical layout and contents; every present page
     CoW-pending and first-touch-pending. *)
 
+val recycle : t -> unit
+(** Release every VMA's page buffer into this domain's
+    {!Gh_sim.Buffer_pool}. Only for spaces nothing will touch again
+    (a reaped fork child); any later page access raises. *)
+
 val arm_cow_all : t -> unit
 (** Make every present page CoW-pending in place — the FAASM-style reset,
     where the linear memory is remapped copy-on-write onto the snapshot. *)

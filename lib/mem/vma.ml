@@ -25,7 +25,7 @@ let create ~id ~start_addr ~n_pages ~prot kind =
     n_pages;
     prot;
     kind;
-    data = Array.make n_pages 0;
+    data = Gh_sim.Buffer_pool.acquire_zeroed n_pages;
     present = Bitmap.create n_pages;
     soft_dirty = Bitmap.create n_pages;
     cow_pending = Bitmap.create n_pages;
@@ -51,8 +51,11 @@ let kind_to_string = function
 let resize t n_pages =
   if n_pages < 0 then invalid_arg "Vma.resize: negative size";
   if n_pages <> t.n_pages then begin
-    let data = Array.make n_pages 0 in
-    Array.blit t.data 0 data 0 (min t.n_pages n_pages);
+    let keep = min t.n_pages n_pages in
+    let data = Gh_sim.Buffer_pool.acquire_raw n_pages in
+    Array.blit t.data 0 data 0 keep;
+    if n_pages > keep then Array.fill data keep (n_pages - keep) 0;
+    Gh_sim.Buffer_pool.release t.data;
     t.data <- data;
     t.present <- Bitmap.resize t.present n_pages;
     t.soft_dirty <- Bitmap.resize t.soft_dirty n_pages;
@@ -62,14 +65,23 @@ let resize t n_pages =
   end
 
 let clone_cow t =
+  let data = Gh_sim.Buffer_pool.acquire_raw t.n_pages in
+  Array.blit t.data 0 data 0 t.n_pages;
   {
     t with
-    data = Array.copy t.data;
+    data;
     present = Bitmap.copy t.present;
     soft_dirty = Bitmap.copy t.soft_dirty;
     cow_pending = Bitmap.copy t.present;
     untouched = Bitmap.copy t.present;
   }
+
+(* End of life: hand the page buffer back to this domain's pool. The
+   empty replacement makes any later page access fail loudly (index out
+   of bounds) instead of silently reading recycled memory. *)
+let recycle t =
+  Gh_sim.Buffer_pool.release t.data;
+  t.data <- [||]
 
 let restore_data_from t data present =
   let n = min t.n_pages (Array.length data) in

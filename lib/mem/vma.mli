@@ -51,6 +51,11 @@ val clone_cow : t -> t
 (** Deep copy for fork: data duplicated, [cow_pending] and [untouched] set
     on every present page so the child pays CoW/first-touch faults. *)
 
+val recycle : t -> unit
+(** Release the page buffer into this domain's {!Gh_sim.Buffer_pool} and
+    replace it with an empty array. Only for VMAs that nothing will touch
+    again (a reaped fork child); any later page access raises. *)
+
 val restore_data_from : t -> int array -> Bitmap.t -> unit
 (** [restore_data_from t data present] overwrites page contents and
     presence wholesale (FAASM-style remap; the caller charges costs).

@@ -11,11 +11,13 @@ type t = {
   mutable traced : bool;
 }
 
-let next_pid = ref 1000
+(* Atomic: processes are created concurrently when experiment cells run
+   on Domain_pool workers. The pid value never feeds costs, RNG streams
+   or report output — it only has to be unique — so the allocation order
+   changing under parallelism cannot change any figure. *)
+let next_pid = Atomic.make 1000
 
-let fresh_pid () =
-  incr next_pid;
-  !next_pid
+let fresh_pid () = 1 + Atomic.fetch_and_add next_pid 1
 
 let create ?pid ?(fault = Gh_sim.Fault.none) ~mem ~n_threads () =
   if n_threads < 1 then invalid_arg "Process.create: need at least one thread";
@@ -79,6 +81,8 @@ let fork t acct =
   let child = create ~fault:t.fault ~mem:child_mem ~n_threads:1 () in
   Registers.assign (main_thread child).Thread.regs ~from:caller.Thread.regs;
   child
+
+let recycle t = As.recycle t.mem
 
 let pp ppf t =
   Format.fprintf ppf "pid=%d threads=%d pages=%d present=%d" t.pid (n_threads t)

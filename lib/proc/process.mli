@@ -49,6 +49,11 @@ val sys_brk : t -> Gh_sim.Account.t -> int -> unit
 val sys_mprotect : t -> Gh_sim.Account.t -> Gh_mem.Vma.t -> Gh_mem.Prot.t -> unit
 val sys_madvise_dontneed : t -> Gh_sim.Account.t -> Gh_mem.Vma.t -> pos:int -> len:int -> unit
 
+val recycle : t -> unit
+(** Release the process's page buffers into this domain's
+    {!Gh_sim.Buffer_pool} — the wait4-reap analog for discarded fork
+    children. The process must never be touched again. *)
+
 val fork : t -> Gh_sim.Account.t -> t
 (** fork(2): the child gets a CoW copy of the address space and {e only the
     calling thread} — the standard POSIX semantics that make fork-based

@@ -46,7 +46,9 @@ let log_uniform rng lo hi =
    mixed into the formatted name makes them collision-free; the RNG stream
    is consumed exactly as before, so every other field of a draw is
    unchanged for existing seeds. *)
-let draw_counter = ref 0
+(* Atomic: arrival schedules can be generated from Domain_pool workers.
+   Uniqueness is all that matters; the counter consumes no randomness. *)
+let draw_counter = Atomic.make 0
 
 let draw ?(profile = default_profile) rng =
   let lang = languages.(Rng.int rng (Array.length languages)) in
@@ -67,8 +69,7 @@ let draw ?(profile = default_profile) rng =
     Fm.default_spec with
     Fm.name =
       (let tag = Rng.int rng 0xFFFFFF in
-       let uniq = !draw_counter in
-       incr draw_counter;
+       let uniq = Atomic.fetch_and_add draw_counter 1 in
        Printf.sprintf "synthetic-%x-%x" tag uniq);
     lang;
     exec_ns = Time_ns.of_ms exec_ms;

@@ -100,17 +100,72 @@ let metrics_out_arg =
   let doc = "Also export a text snapshot of the metrics registry to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let series_out_arg =
+  let doc =
+    "Also collect windowed time series (counter deltas, gauge samples, latency quantile \
+     sketches) and export them to $(docv): Prometheus text exposition, or the JSON \
+     series document when $(docv) ends in .json."
+  in
+  Arg.(value & opt (some string) None & info [ "series-out" ] ~docv:"FILE" ~doc)
+
+let slo_out_arg =
+  let doc =
+    "Also evaluate the stock burn-rate SLOs (availability, p99 latency, cold-start \
+     rate) at every front door and export their state and alert history as JSON to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "slo" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
-  let run profile seed jobs gc_stats output trace_out metrics_out names =
+  let run profile seed jobs gc_stats output trace_out metrics_out series_out slo_out names
+      =
     let cfg = with_jobs (with_seed profile seed) jobs in
     (* Observability sinks are attached only on request; either way the
-       simulated runs are bit-identical (collectors only read clocks). *)
+       simulated runs are bit-identical (collectors only read clocks).
+       Export notices for the extra collectors go to stderr so an
+       instrumented `run all` keeps a byte-identical report on stdout. *)
     let spans = Gh_sim.Span.create () in
     let metrics = Gh_sim.Metrics.create () in
+    let series = Gh_sim.Timeseries.create metrics in
+    let slos = Gh_sim.Slo.standard ~metrics () in
     let cfg =
       if trace_out = None && metrics_out = None then cfg
       else { cfg with Gh_harness.Config.spans = Some spans; metrics = Some metrics }
     in
+    (* Series and SLOs roll the same registry the nodes count into, so
+       attaching either also shares the registry. *)
+    let cfg =
+      if series_out = None then cfg
+      else { cfg with Gh_harness.Config.series = Some series; metrics = Some metrics }
+    in
+    let cfg =
+      if slo_out = None then cfg
+      else { cfg with Gh_harness.Config.slos = slos; metrics = Some metrics }
+    in
+    (* An instrumented run is forced serial (the collectors are shared
+       mutable state): say so, naming the flags responsible, whenever
+       that overrides an explicit -j request. *)
+    (if
+       cfg.Gh_harness.Config.jobs > 1
+       && Gh_harness.Config.effective_jobs cfg < cfg.Gh_harness.Config.jobs
+     then
+       let reasons =
+         List.filter_map
+           (fun (passed, flag) -> if passed then Some flag else None)
+           [
+             (trace_out <> None, "--trace-out");
+             (metrics_out <> None, "--metrics-out");
+             (series_out <> None, "--series-out");
+             (slo_out <> None, "--slo");
+           ]
+       in
+       Printf.eprintf
+         "gh-bench: warning: %s %s shared observability collectors; ignoring -j %d and \
+          running serial\n\
+          %!"
+         (String.concat ", " reasons)
+         (if List.length reasons = 1 then "attaches" else "attach")
+         cfg.Gh_harness.Config.jobs);
     let with_ppf id k =
       match output with
       | None -> k Format.std_formatter
@@ -152,6 +207,35 @@ let run_cmd =
         names
     in
     export_observability ?trace_out ?metrics_out spans metrics;
+    (match series_out with
+    | None -> ()
+    | Some path ->
+        Gh_sim.Timeseries.flush series ~now:0;
+        let content =
+          if Filename.check_suffix path ".json" then
+            Gh_sim.Json.to_string (Gh_sim.Timeseries.to_json series)
+          else begin
+            let buf = Buffer.create 4096 in
+            let ppf = Format.formatter_of_buffer buf in
+            Gh_sim.Timeseries.render_prom ppf series;
+            Format.pp_print_flush ppf ();
+            Buffer.contents buf
+          end
+        in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc content);
+        Printf.eprintf "wrote %s\n%!" path);
+    (match slo_out with
+    | None -> ()
+    | Some path ->
+        let doc = Gh_sim.Json.List (List.map Gh_sim.Slo.to_json slos) in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Gh_sim.Json.to_string doc));
+        Printf.eprintf "wrote %s\n%!" path);
     if gc_stats then print_gc_stats ();
     match List.find_opt Result.is_error results with
     | Some (Error msg) -> `Error (false, msg)
@@ -162,7 +246,8 @@ let run_cmd =
     Term.(
       ret
         (const run $ profile_arg $ seed_arg $ jobs_arg $ gc_stats_arg $ output_arg
-       $ trace_out_arg $ metrics_out_arg $ experiments_arg))
+       $ trace_out_arg $ metrics_out_arg $ series_out_arg $ slo_out_arg
+       $ experiments_arg))
 
 (* -- list -- *)
 
@@ -663,6 +748,58 @@ let cluster_cmd =
   Cmd.v (Cmd.info "cluster" ~doc)
     Term.(ret (const run $ profile_arg $ seed_arg $ bench_arg $ smoke_arg $ n_arg))
 
+(* -- slo: burn-rate alerting + flight recorder under faults/overload -- *)
+
+let slo_cmd =
+  let bench_arg =
+    Arg.(
+      value & opt string "deltablue (p)"
+      & info [ "benchmark"; "b" ] ~docv:"BENCHMARK" ~doc:"Benchmark the fleet serves.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Tiny CI run: one nonzero fault rate, both load points, few requests.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 160
+      & info [ "n" ] ~doc:"Arrivals per (fault rate, load, failover) cell.")
+  in
+  let run profile seed bench smoke n =
+    let cfg = with_seed profile seed in
+    match Gh_workloads.Catalog.find bench with
+    | None -> `Error (false, Printf.sprintf "benchmark %S not in catalog" bench)
+    | Some entry ->
+        let open Gh_harness.Slo_exp in
+        let fault_rates = if smoke then [ 0.2 ] else default_fault_rates in
+        let load_factors = default_load_factors in
+        let requests = if smoke then 120 else n in
+        let points =
+          Gh_harness.Slo_exp.run cfg ~fault_rates ~load_factors ~requests entry
+        in
+        Gh_harness.Slo_exp.print Format.std_formatter entry points;
+        let violations = Gh_harness.Slo_exp.violations points in
+        if violations > 0 then
+          `Error
+            ( false,
+              Printf.sprintf
+                "OBSERVABILITY CONTRACT VIOLATION: %d breach(es) — objective left \
+                 without a prior alert, invalid or window-short flight-recorder dump, \
+                 or unclosed span tree"
+                violations )
+        else `Ok ()
+  in
+  let doc =
+    "Sweep injected fault and offered-load rates through the fleet with the full \
+     observability stack (windowed series, burn-rate SLO alerts, failure flight \
+     recorder); exits nonzero if any availability/latency breach arrives without a \
+     prior alert on the failover arm, or any flight-recorder dump fails validation."
+  in
+  Cmd.v (Cmd.info "slo" ~doc)
+    Term.(ret (const run $ profile_arg $ seed_arg $ bench_arg $ smoke_arg $ n_arg))
+
 (* -- scrub: snapshot integrity under seeded corruption -- *)
 
 let scrub_cmd =
@@ -736,6 +873,7 @@ let main =
       fault_cmd;
       overload_cmd;
       cluster_cmd;
+      slo_cmd;
       scrub_cmd;
     ]
 

@@ -40,6 +40,16 @@ done
 # serve, or cross-principal residue.
 dune exec bin/gh_bench.exe -- overload --smoke --seed 42 >/dev/null
 
+# SLO observability smoke under three fixed seeds. The subcommand exits
+# nonzero on any observability contract breach on the failover-on arm: a
+# gated objective (availability, sustained latency) breached with no
+# prior burn-rate alert, a flight-recorder dump that fails schema
+# validation or does not cover its pre-failure window, or an unclosed
+# span tree.
+for seed in 1 42 1337; do
+  dune exec bin/gh_bench.exe -- slo --smoke --seed $seed >/dev/null
+done
+
 # Engine hot-loop bench: the calendar-queue vs reference-heap group must
 # build and run (the differential ordering property itself runs under
 # `dune runtest` above), and it records the trajectory in BENCH_engine.json.
@@ -48,12 +58,18 @@ test -s BENCH_engine.json
 
 # Bit-identity gate: the quick-profile evaluation sweep must replay
 # byte-for-byte against the committed baseline — the determinism contract
-# (time, seq) event order, RNG streams, formatting — all of it. Regenerate
-# ci/runall_quick.md5 only with an intentional, reviewed behavior change.
+# (time, seq) event order, RNG streams, formatting — all of it. The run
+# collects windowed time series and SLO state on the side: observability
+# only reads the clock, so stdout must not move by a byte with the
+# collectors attached. Regenerate ci/runall_quick.md5 only with an
+# intentional, reviewed behavior change.
 dune exec bin/gh_bench.exe -- run all --seed 42 --profile quick \
+  --series-out /tmp/gh_ci_series.txt --slo /tmp/gh_ci_slo.json \
   > /tmp/gh_ci_runall_quick.txt
 md5sum /tmp/gh_ci_runall_quick.txt | awk '{print $1}' \
   | diff - ci/runall_quick.md5
+test -s /tmp/gh_ci_series.txt
+test -s /tmp/gh_ci_slo.json
 
 # Parallel bit-identity gate: the same sweep fanned across 4 domains must
 # be byte-for-byte identical to the serial run (and hence to the committed
@@ -78,5 +94,13 @@ dune exec bin/gh_bench.exe -- trace "json (n)" --seed 42 \
   >/dev/null
 dune exec bin/gh_bench.exe -- trace-validate /tmp/gh_ci_trace.json >/dev/null
 diff -u ci/metrics_baseline.txt /tmp/gh_ci_metrics.txt
+
+# Shared-collector downgrade: asking for -j with a collector attached
+# must keep the run serial and say so on stderr, naming the causing flag.
+dune exec bin/gh_bench.exe -- run all --seed 42 --profile quick -j 4 \
+  --series-out /tmp/gh_ci_series_warn.txt \
+  >/dev/null 2>/tmp/gh_ci_downgrade_warn.txt
+grep -q -- '--series-out' /tmp/gh_ci_downgrade_warn.txt
+grep -q 'ignoring -j 4' /tmp/gh_ci_downgrade_warn.txt
 
 echo "ci/check.sh: OK"

@@ -87,6 +87,16 @@ let steps t =
     ("detach", t.detach_ns);
   ]
 
+(* The nonzero steps in milliseconds, ready for per-window quantile
+   sketches: a time-series collector records one sample per step per
+   restore, so a regression in any single step shows up in its own
+   series instead of being averaged into the total. *)
+let steps_ms t =
+  List.filter_map
+    (fun (label, ns) ->
+      if ns <= 0 then None else Some (label, Gh_sim.Time_ns.to_ms ns))
+    (steps t)
+
 (* The steps as consecutive (label, start, stop) windows from [start]:
    restore.ml charges them back-to-back (each is an [Account.since] between
    contiguous marks), so laying them out sequentially reproduces the real

@@ -28,6 +28,10 @@ val scale : t -> float -> t
 val steps : t -> (string * int) list
 (** Ordered (label, ns) pairs of the nine steps — Fig. 8's stack. *)
 
+val steps_ms : t -> (string * float) list
+(** The nonzero steps as (label, milliseconds) — per-step samples for
+    windowed quantile series. *)
+
 val intervals : t -> start:int -> (string * int * int) list
 (** The nonzero steps as consecutive (label, start, stop) windows laid
     out from [start] in step order. The steps are charged back-to-back

@@ -31,6 +31,9 @@ module Span = Gh_sim.Span
 module Metrics = Gh_sim.Metrics
 module Rng = Gh_sim.Rng
 module Fault = Gh_sim.Fault
+module Timeseries = Gh_sim.Timeseries
+module Slo = Gh_sim.Slo
+module Flight_recorder = Gh_sim.Flight_recorder
 
 type placement = Round_robin | Least_loaded | Warm_aware
 
@@ -74,12 +77,20 @@ let default_config =
    the member epoch it was sent under. [a_done] flips exactly once —
    response, timeout, or successful cancellation — and decrements the
    member's inflight gauge when it does. *)
-type attempt = { a_member : int; a_epoch : int; mutable a_done : bool }
+type attempt = {
+  a_member : int;
+  a_epoch : int;
+  mutable a_done : bool;
+  a_span : Span.record option;  (* open attempt span, closed at conclusion *)
+}
 
 type rstate = {
   r_req : Request.t;
   r_name : string;
   r_respond : Request.t -> Strategy_intf.invocation -> unit;
+  r_submit : Time_ns.t;
+  r_root : Span.record option;  (* cluster-owned request root *)
+  mutable r_outcome : string;  (* root [outcome] attr, set when settled *)
   mutable r_settled : bool;  (* delivered or finally failed; at most once *)
   mutable r_dispatches : int;
   mutable r_attempts : attempt list;  (* newest first *)
@@ -108,6 +119,9 @@ type t = {
   config : config;
   trace : Trace.t option;
   spans : Span.t option;
+  series : Timeseries.t option;
+  slos : Slo.t list;
+  recorder : Flight_recorder.t option;
   metrics : Metrics.t;
   fault : Fault.t;
   rng : Rng.t option;
@@ -145,27 +159,74 @@ let lifecycle_emitf t ~what fmt =
 let node_rng t m_id =
   Option.map (fun r -> Rng.named_split r (Printf.sprintf "cluster-node-%d" m_id)) t.rng
 
+(* ---- observability ----------------------------------------------------
+   Strictly read-only on the timeline: lazy series rolls, SLO bucket
+   arithmetic and recorder snapshots all happen at call sites that
+   already hold the clock — no engine events, no RNG draws. *)
+
+let observe_served t ~now ~e2e_ms inv =
+  (match t.series with
+  | Some ts ->
+      Timeseries.tick ts ~now;
+      Timeseries.observe ts ~now "cluster.e2e_ms" e2e_ms
+  | None -> ());
+  List.iter
+    (fun slo ->
+      Slo.record_completion slo ~now ~ok:true ~e2e_ms
+        ~cold:(inv.Strategy_intf.cold_ns > 0);
+      Slo.tick slo ~now)
+    t.slos
+
+let observe_failed t ~now =
+  List.iter
+    (fun slo ->
+      Slo.record_completion slo ~now ~ok:false ~e2e_ms:Float.infinity ~cold:false;
+      Slo.tick slo ~now)
+    t.slos
+
+let record_failure_edge t ~node ~reason ~detail =
+  match t.recorder with
+  | None -> ()
+  | Some r ->
+      ignore
+        (Flight_recorder.snapshot r ~now:(Engine.now t.engine) ~node ~reason ~detail ())
+
 (* ---- request bookkeeping ---------------------------------------------- *)
 
-let conclude t a =
+let conclude ?(outcome = "done") t a =
   if not a.a_done then begin
     a.a_done <- true;
     let m = t.members.(a.a_member) in
     m.inflight <- m.inflight - 1;
-    Metrics.set m.g_inflight (float_of_int m.inflight)
+    Metrics.set m.g_inflight (float_of_int m.inflight);
+    match (t.spans, a.a_span) with
+    | Some sp, Some rec_ ->
+        Span.finish sp ~at:(Engine.now t.engine) ~attrs:[ ("outcome", outcome) ] rec_
+    | _ -> ()
   end
 
 (* Drop the table entry once nothing can reference the request again:
-   settled, and every attempt concluded. *)
+   settled, and every attempt concluded. The request root closes here —
+   the per-track watermark stretches it over attempts concluded after
+   the settle (hedge losers, late timeouts), so {!Span.check} holds. *)
 let maybe_forget t rs =
-  if rs.r_settled && List.for_all (fun a -> a.a_done) rs.r_attempts then
+  if rs.r_settled && List.for_all (fun a -> a.a_done) rs.r_attempts then begin
+    (match (t.spans, rs.r_root) with
+    | Some sp, Some _ ->
+        Span.finish_root sp ~at:(Engine.now t.engine)
+          ~attrs:[ ("outcome", rs.r_outcome) ]
+          ~req_id:rs.r_req.Request.id ()
+    | _ -> ());
     Hashtbl.remove t.requests rs.r_req.Request.id
+  end
 
 let final_fail t rs reason =
   if not rs.r_settled then begin
     rs.r_settled <- true;
+    rs.r_outcome <- "failed:" ^ reason;
     Metrics.incr t.c_failed;
     trace_emitf t ~what:"fail" "req#%d abandoned (%s)" rs.r_req.Request.id reason;
+    observe_failed t ~now:(Engine.now t.engine);
     t.on_failed rs.r_req;
     maybe_forget t rs
   end
@@ -234,13 +295,44 @@ let pick t rs ~now =
 
 (* ---- dispatch / response / failover ----------------------------------- *)
 
-let rec dispatch t rs m =
+let rec dispatch ?(hedge = false) t rs m =
   let now = Engine.now t.engine in
   if t.config.failover then Breaker.on_dispatch m.breaker ~now;
   m.inflight <- m.inflight + 1;
   Metrics.set m.g_inflight (float_of_int m.inflight);
   rs.r_dispatches <- rs.r_dispatches + 1;
-  let a = { a_member = m.m_id; a_epoch = m.epoch; a_done = false } in
+  (* The placement decision itself is an instant span under the root;
+     the attempt span then covers the dispatch until it concludes. *)
+  (match (t.spans, rs.r_root) with
+  | Some sp, Some root ->
+      ignore
+        (Span.complete sp ~start:now ~stop:now ~parent:root ~name:"place" ~cat:"cluster"
+           ~attrs:
+             [
+               ("placement", placement_name t.config.placement);
+               ("node", Printf.sprintf "n%d" m.m_id);
+               ("attempt", string_of_int rs.r_dispatches);
+               ("hedge", string_of_bool hedge);
+             ]
+           ())
+  | _ -> ());
+  let a_span =
+    match (t.spans, rs.r_root) with
+    | Some sp, Some root ->
+        Some
+          (Span.start sp ~at:now ~parent:root
+             ~name:(Printf.sprintf "attempt-%d" rs.r_dispatches)
+             ~cat:"cluster"
+             ~attrs:
+               [
+                 ("node", Printf.sprintf "n%d" m.m_id);
+                 ("epoch", string_of_int m.epoch);
+                 ("hedge", string_of_bool hedge);
+               ]
+             ())
+    | _ -> None
+  in
+  let a = { a_member = m.m_id; a_epoch = m.epoch; a_done = false; a_span } in
   rs.r_attempts <- a :: rs.r_attempts;
   trace_emitf t ~what:"dispatch" "req#%d -> n%d (attempt %d)" rs.r_req.Request.id m.m_id
     rs.r_dispatches;
@@ -284,7 +376,7 @@ and on_node_response t rs a rq inv =
           response died with it. Concluding here disarms the pending
           response timeout, so failover must happen now, not then. *)
        Metrics.incr t.c_lost;
-       conclude t a;
+       conclude ~outcome:"lost" t a;
        if t.config.failover && not rs.r_settled then begin
          if rs.r_first_fail = None then rs.r_first_fail <- Some now;
          try_redispatch t rs
@@ -293,15 +385,18 @@ and on_node_response t rs a rq inv =
      else begin
        if t.config.failover then Breaker.record_success m.breaker;
        let late = a.a_done in
-       conclude t a;
+       let outcome = if rs.r_settled then "wasted" else "win" in
+       conclude ~outcome t a;
        if rs.r_settled then Metrics.incr t.c_wasted
        else begin
          rs.r_settled <- true;
+         rs.r_outcome <- "served";
          Metrics.incr t.c_served;
          if late then Metrics.incr t.c_late_served;
          (match rs.r_first_fail with
          | Some tf -> Metrics.observe t.h_failover_ms (Time_ns.to_ms (now - tf))
          | None -> ());
+         observe_served t ~now ~e2e_ms:(Time_ns.to_ms (now - rs.r_submit)) inv;
          cancel_losers t rs;
          rs.r_respond rq inv
        end
@@ -322,14 +417,14 @@ and cancel_losers t rs =
           && Node.cancel m.node ~name:rs.r_name ~req_id:rs.r_req.Request.id
         then begin
           Metrics.incr t.c_hedge_cancelled;
-          conclude t a
+          conclude ~outcome:"cancelled" t a
         end
       end)
     rs.r_attempts
 
 and on_attempt_timeout t rs a =
   if not a.a_done then begin
-    conclude t a;
+    conclude ~outcome:"timeout" t a;
     if not rs.r_settled then begin
       let now = Engine.now t.engine in
       Metrics.incr t.c_timeouts;
@@ -375,7 +470,7 @@ and on_node_shed t m reason req =
       (match
          List.find_opt (fun a -> (not a.a_done) && a.a_member = m.m_id) rs.r_attempts
        with
-      | Some a -> conclude t a
+      | Some a -> conclude ~outcome:"shed" t a
       | None -> ());
       (if not rs.r_settled then
          match reason with
@@ -402,7 +497,8 @@ and fresh_node t m =
   let node =
     Node.create ?trace:t.trace ~metrics:t.metrics
       ~metrics_prefix:(Printf.sprintf "n%d." m.m_id)
-      ?rng:(node_rng t m.m_id) t.engine t.config.node ~make_strategy:t.make_strategy
+      ?rng:(node_rng t m.m_id) ?series:t.series ?recorder:t.recorder t.engine
+      t.config.node ~make_strategy:t.make_strategy
   in
   List.iter (fun (name, spec) -> Node.register node ~name spec) (List.rev t.fns);
   Node.set_on_shed node (fun reason req -> on_node_shed t m reason req);
@@ -447,6 +543,11 @@ let on_health_transition t m prev next =
   Metrics.set m.g_health (float_of_int (Health.state_index next));
   lifecycle_emitf t ~what:"health" "n%d %s -> %s" m.m_id (Health.state_name prev)
     (Health.state_name next);
+  if next = Health.Quarantined then
+    record_failure_edge t
+      ~node:(Printf.sprintf "n%d" m.m_id)
+      ~reason:"quarantine"
+      ~detail:(Printf.sprintf "%s -> %s" (Health.state_name prev) (Health.state_name next));
   if t.config.failover && next = Health.Quarantined && not m.restarting then begin
     m.restarting <- true;
     (* Presumed dead. If it was actually alive (hang, partition) the
@@ -461,6 +562,10 @@ let on_health_transition t m prev next =
    actually sent (its nth-occurrence rule means "the nth heartbeat"). *)
 let rec tick t ~until () =
   let now = Engine.now t.engine in
+  (* Roll the series window and re-evaluate burn rates every heartbeat,
+     so alerts fire (and clear) even while no requests complete. *)
+  (match t.series with Some ts -> Timeseries.tick ts ~now | None -> ());
+  List.iter (fun slo -> Slo.tick slo ~now) t.slos;
   Array.iter
     (fun m ->
       (* Draw for every member, dead or alive (a draw on a dead member is
@@ -495,7 +600,8 @@ let rec tick t ~until () =
 
 (* ---- construction / API ---------------------------------------------- *)
 
-let create ?trace ?spans ?metrics ?rng ?(fault = Fault.none) engine config ~make_strategy =
+let create ?trace ?spans ?series ?(slos = []) ?recorder ?metrics ?rng
+    ?(fault = Fault.none) engine config ~make_strategy =
   if config.n_nodes < 1 then invalid_arg "Cluster.create: n_nodes must be >= 1";
   if config.max_attempts < 1 then invalid_arg "Cluster.create: max_attempts must be >= 1";
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
@@ -512,7 +618,7 @@ let create ?trace ?spans ?metrics ?rng ?(fault = Fault.none) engine config ~make
             ?rng:(Option.map
                     (fun r -> Rng.named_split r (Printf.sprintf "cluster-node-%d" i))
                     rng)
-            engine config.node ~make_strategy
+            ?series ?recorder engine config.node ~make_strategy
         in
         {
           m_id = i;
@@ -537,6 +643,9 @@ let create ?trace ?spans ?metrics ?rng ?(fault = Fault.none) engine config ~make
       config;
       trace;
       spans;
+      series;
+      slos;
+      recorder;
       metrics;
       fault;
       rng;
@@ -573,7 +682,14 @@ let create ?trace ?spans ?metrics ?rng ?(fault = Fault.none) engine config ~make
       Breaker.set_on_transition m.breaker (fun prev next ->
           Metrics.set m.g_breaker (float_of_int (Breaker.state_index next));
           lifecycle_emitf t ~what:"breaker" "n%d %s -> %s" m.m_id (Breaker.state_name prev)
-            (Breaker.state_name next));
+            (Breaker.state_name next);
+          if next = Breaker.Open then
+            record_failure_edge t
+              ~node:(Printf.sprintf "n%d" m.m_id)
+              ~reason:"breaker-open"
+              ~detail:
+                (Printf.sprintf "%s -> %s" (Breaker.state_name prev)
+                   (Breaker.state_name next)));
       Metrics.set m.g_health 0.0;
       Metrics.set m.g_breaker 0.0;
       Metrics.set m.g_inflight 0.0;
@@ -594,11 +710,24 @@ let submit t ~name req ~on_response =
   if not (List.mem_assoc name t.fns) then raise Not_found;
   t.submitted <- t.submitted + 1;
   let now = Engine.now t.engine in
+  let root =
+    match t.spans with
+    | None -> None
+    | Some sp ->
+        Some
+          (Span.ensure_root sp ~at:now ~req_id:req.Request.id
+             ~attrs:
+               [ ("principal", req.Request.principal.Principal.name); ("fn", name) ]
+             ())
+  in
   let rs =
     {
       r_req = req;
       r_name = name;
       r_respond = on_response;
+      r_submit = now;
+      r_root = root;
+      r_outcome = "pending";
       r_settled = false;
       r_dispatches = 0;
       r_attempts = [];
@@ -627,7 +756,7 @@ let submit t ~name req ~on_response =
             | Some m ->
                 Metrics.incr t.c_hedges;
                 trace_emitf t ~what:"hedge" "req#%d -> n%d" rs.r_req.Request.id m.m_id;
-                dispatch t rs m
+                dispatch ~hedge:true t rs m
             | None -> ())
   | _ -> ()
 

@@ -67,6 +67,9 @@ type t
 val create :
   ?trace:Gh_sim.Trace.t ->
   ?spans:Gh_sim.Span.t ->
+  ?series:Gh_sim.Timeseries.t ->
+  ?slos:Gh_sim.Slo.t list ->
+  ?recorder:Gh_sim.Flight_recorder.t ->
   ?metrics:Gh_sim.Metrics.t ->
   ?rng:Gh_sim.Rng.t ->
   ?fault:Gh_sim.Fault.t ->
@@ -80,9 +83,24 @@ val create :
     under ["cluster."]. Counters survive restarts (find-or-create), so
     per-node counts are cumulative across incarnations. [fault] defaults
     to {!Gh_sim.Fault.none} — no draws, bit-identical to a fault-free
-    build. [spans] records only cluster-level spans (node downtime
-    windows); member nodes run without span recording so hedged
-    duplicates cannot collide on per-request phase keys.
+    build.
+
+    [spans] records cluster-level spans: one request root per submission,
+    an instant ["place"] child per placement decision (attrs [placement],
+    [node], [attempt], [hedge]), an ["attempt-k"] child per dispatch
+    closed with its outcome ([win] / [wasted] / [lost] / [timeout] /
+    [cancelled] / [shed]), plus node downtime windows. The root closes
+    once the request is settled and every attempt concluded, so
+    {!Gh_sim.Span.check} holds on drained failover-on runs. Member nodes
+    run without span recording so hedged duplicates cannot collide on
+    per-request phase keys.
+
+    [series] is shared with the member nodes (front-door [cluster.e2e_ms]
+    sketch plus the nodes' per-function series over the shared registry);
+    [slos] are evaluated at the front door only — every served or
+    abandoned request, re-ticked each heartbeat; [recorder] snapshots on
+    node quarantine and breaker-open edges and is shared with member
+    nodes for their container-level edges.
     @raise Invalid_argument if [n_nodes < 1] or [max_attempts < 1]. *)
 
 val register : t -> name:string -> Function_model.spec -> unit

@@ -2,6 +2,8 @@ module Engine = Gh_sim.Engine
 module Rng = Gh_sim.Rng
 module Span = Gh_sim.Span
 module Time_ns = Gh_sim.Time_ns
+module Timeseries = Gh_sim.Timeseries
+module Slo = Gh_sim.Slo
 
 type overhead_model = {
   base_ns : Time_ns.t;
@@ -26,6 +28,8 @@ type t = {
   engine : Engine.t;
   rng : Rng.t;
   spans : Span.t option;
+  series : Timeseries.t option;
+  slos : Slo.t list;
   sink : sink;
   overhead : overhead_model;
   ttl_ns : Time_ns.t option;
@@ -41,7 +45,8 @@ type completion = {
   invoker_ns : Time_ns.t;
 }
 
-let create_sink ?(overhead = default_overhead) ?ttl_ns ?spans engine ~rng sink =
+let create_sink ?(overhead = default_overhead) ?ttl_ns ?spans ?series ?(slos = []) engine
+    ~rng sink =
   (match ttl_ns with
   | Some ttl when ttl <= 0 -> invalid_arg "Controller.create: ttl_ns must be positive"
   | _ -> ());
@@ -49,6 +54,8 @@ let create_sink ?(overhead = default_overhead) ?ttl_ns ?spans engine ~rng sink =
     engine;
     rng = Rng.split rng;
     spans;
+    series;
+    slos;
     sink;
     overhead;
     ttl_ns;
@@ -57,8 +64,8 @@ let create_sink ?(overhead = default_overhead) ?ttl_ns ?spans engine ~rng sink =
     on_shed = ignore;
   }
 
-let create ?overhead ?ttl_ns ?spans engine ~rng invoker =
-  create_sink ?overhead ?ttl_ns ?spans engine ~rng (fun req ~on_response ->
+let create ?overhead ?ttl_ns ?spans ?series ?slos engine ~rng invoker =
+  create_sink ?overhead ?ttl_ns ?spans ?series ?slos engine ~rng (fun req ~on_response ->
       Invoker.submit invoker req ~on_response)
 
 let submit t req ~on_complete =
@@ -89,6 +96,12 @@ let submit t req ~on_complete =
          rather than ship a dead request to the invoker. *)
       if Request.expired req ~now:(Engine.now t.engine) then begin
         t.shed <- t.shed + 1;
+        let now = Engine.now t.engine in
+        List.iter
+          (fun slo ->
+            Slo.record_completion slo ~now ~ok:false ~e2e_ms:Float.infinity ~cold:false;
+            Slo.tick slo ~now)
+          t.slos;
         (match t.spans with
         | Some sp ->
             Span.finish_root sp ~at:(Engine.now t.engine)
@@ -112,6 +125,23 @@ let submit t req ~on_complete =
           Engine.schedule t.engine ~after:back (fun () ->
               t.completions <- t.completions + 1;
               let now = Engine.now t.engine in
+              let e2e_ms = Time_ns.to_ms (now - t0) in
+              (match t.series with
+              | Some ts ->
+                  Timeseries.tick ts ~now;
+                  Timeseries.observe ts ~now "controller.e2e_ms" e2e_ms
+              | None -> ());
+              let ok =
+                match invocation.Strategy_intf.outcome with
+                | Strategy_intf.Completed | Strategy_intf.Poisoned -> true
+                | Strategy_intf.Crashed | Strategy_intf.Hung -> false
+              in
+              List.iter
+                (fun slo ->
+                  Slo.record_completion slo ~now ~ok ~e2e_ms
+                    ~cold:(invocation.Strategy_intf.cold_ns > 0);
+                  Slo.tick slo ~now)
+                t.slos;
               (match t.spans with
               | Some sp ->
                   Span.finish_root sp ~at:now

@@ -32,6 +32,8 @@ val create :
   ?overhead:overhead_model ->
   ?ttl_ns:Gh_sim.Time_ns.t ->
   ?spans:Gh_sim.Span.t ->
+  ?series:Gh_sim.Timeseries.t ->
+  ?slos:Gh_sim.Slo.t list ->
   Gh_sim.Engine.t ->
   rng:Gh_sim.Rng.t ->
   Invoker.t ->
@@ -44,12 +46,20 @@ val create :
     bit-identical. [spans] opens the request's root span at arrival, wraps
     the front/return platform overheads in ["controller"] spans, and closes
     the root at client response with ["outcome"] and ["e2e_ns"]
-    attributes — timestamp reads only, zero simulated cost. *)
+    attributes — timestamp reads only, zero simulated cost.
+
+    [series] samples client-observed latency into a [controller.e2e_ms]
+    window sketch on every completion; [slos] see every completion
+    ([ok] iff the outcome is [Completed] or [Poisoned], latency = e2e)
+    and every front-door shed (a bad event). Like [spans], both read the
+    clock only — no simulated time is charged. *)
 
 val create_sink :
   ?overhead:overhead_model ->
   ?ttl_ns:Gh_sim.Time_ns.t ->
   ?spans:Gh_sim.Span.t ->
+  ?series:Gh_sim.Timeseries.t ->
+  ?slos:Gh_sim.Slo.t list ->
   Gh_sim.Engine.t ->
   rng:Gh_sim.Rng.t ->
   sink ->

@@ -4,6 +4,9 @@ module Trace = Gh_sim.Trace
 module Span = Gh_sim.Span
 module Metrics = Gh_sim.Metrics
 module Rng = Gh_sim.Rng
+module Timeseries = Gh_sim.Timeseries
+module Slo = Gh_sim.Slo
+module Flight_recorder = Gh_sim.Flight_recorder
 
 type config = {
   total_cores : int;
@@ -102,6 +105,12 @@ type t = {
   metrics : Metrics.t;
   prefix : string;
   rng : Rng.t option;
+  (* Windowed observability, all clock-read-only: series roll on ticks
+     the node already takes, SLOs classify completions, the recorder
+     freezes the pre-failure window on failure edges. *)
+  series : Timeseries.t option;
+  slos : Slo.t list;
+  recorder : Flight_recorder.t option;
   make_strategy : string -> Function_model.spec -> Strategy_intf.t;
   pools : (string, pool) Hashtbl.t;
   brownout : Brownout.t option;
@@ -117,7 +126,8 @@ type t = {
   mutable on_shed : Admission.reason -> Request.t -> unit;
 }
 
-let create ?trace ?spans ?metrics ?(metrics_prefix = "") ?rng engine config ~make_strategy =
+let create ?trace ?spans ?metrics ?(metrics_prefix = "") ?rng ?series ?(slos = []) ?recorder
+    engine config ~make_strategy =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let g name = Metrics.gauge metrics (metrics_prefix ^ "node." ^ name) in
   {
@@ -128,6 +138,9 @@ let create ?trace ?spans ?metrics ?(metrics_prefix = "") ?rng engine config ~mak
     metrics;
     prefix = metrics_prefix;
     rng;
+    series;
+    slos;
+    recorder;
     make_strategy;
     pools = Hashtbl.create 16;
     brownout = Option.map (fun cfg -> Brownout.create ?trace cfg) config.brownout;
@@ -152,6 +165,54 @@ let sync_gauges t =
   Metrics.set t.g_busy (float_of_int t.busy)
 
 let fn_metric t name field = Printf.sprintf "%snode.%s.%s" t.prefix name field
+
+(* One completion into the windowed series and the SLOs. Reads the clock
+   it is handed, schedules nothing. The per-step restore series give
+   each restore phase its own quantile window, so a regression in (say)
+   page-copy alone is visible without un-averaging the total. *)
+let observe_completion t pool ~now ~e2e_ms (inv : Strategy_intf.invocation) =
+  (match t.series with
+  | Some ts ->
+      Timeseries.tick ts ~now;
+      Timeseries.observe ts ~now (fn_metric t pool.fn_name "e2e_ms") e2e_ms;
+      (match inv.Strategy_intf.breakdown with
+      | Some b ->
+          List.iter
+            (fun (label, ms) ->
+              Timeseries.observe ts ~now
+                (fn_metric t pool.fn_name ("restore." ^ label ^ "_ms"))
+                ms)
+            (Groundhog_core.Breakdown.steps_ms b)
+      | None -> ())
+  | None -> ());
+  let ok =
+    match inv.Strategy_intf.outcome with
+    | Strategy_intf.Completed | Strategy_intf.Poisoned -> true
+    | Strategy_intf.Crashed | Strategy_intf.Hung -> false
+  in
+  List.iter
+    (fun slo ->
+      Slo.record_completion slo ~now ~ok ~e2e_ms
+        ~cold:(inv.Strategy_intf.cold_ns > 0);
+      Slo.tick slo ~now)
+    t.slos
+
+(* A request the node gave up on (shed, brownout, retry budget): bad for
+   availability and latency alike — the caller never got an answer. *)
+let observe_failure t ~now =
+  List.iter
+    (fun slo ->
+      Slo.record_completion slo ~now ~ok:false ~e2e_ms:Float.infinity ~cold:false;
+      Slo.tick slo ~now)
+    t.slos
+
+let record_failure_edge t ~reason ~detail =
+  match t.recorder with
+  | Some r ->
+      ignore
+        (Flight_recorder.snapshot r ~now:(Engine.now t.engine) ~node:t.prefix ~reason
+           ~detail ())
+  | None -> ()
 
 let register t ~name spec =
   if Hashtbl.mem t.pools name then invalid_arg "Node.register: duplicate function";
@@ -195,6 +256,7 @@ let register t ~name spec =
        Hashtbl.remove pool.attempts req.Request.id;
        trace_emitf t ~what:"shed" "%s req#%d (%s)" name req.Request.id
          (Admission.reason_name reason);
+       observe_failure t ~now:(Engine.now t.engine);
        (match t.spans with
        | Some sp ->
            let now = Engine.now t.engine in
@@ -244,8 +306,10 @@ let rec dispatch t pool slot pending =
   Container.submit ~dispatch_ns:t.config.dispatch_ns slot.container pending.req
     ~on_response:(fun rq inv ->
       let now = Engine.now t.engine in
+      let e2e_ms = Time_ns.to_ms (now - pending.submitted) in
       Metrics.incr pool.completed;
-      Metrics.observe pool.e2e (Time_ns.to_ms (now - pending.submitted));
+      Metrics.observe pool.e2e e2e_ms;
+      observe_completion t pool ~now ~e2e_ms inv;
       (match rq.Request.deadline with
       | Some d when now > d -> Metrics.incr pool.deadline_misses
       | _ -> ());
@@ -308,6 +372,7 @@ and on_slot_retired t pool slot =
   slot.alive <- false;
   pool.slots <- List.filter (fun s -> s != slot) pool.slots;
   Metrics.incr pool.quarantined;
+  record_failure_edge t ~reason:"quarantine" ~detail:pool.fn_name;
   t.used_mb <- t.used_mb - slot.memory_mb;
   t.busy <- t.busy - 1;
   sync_gauges t;
@@ -324,13 +389,15 @@ and on_slot_failure t recovery pool (_slot : slot) failure =
       (* Response already delivered; the container cold-restarts itself.
          (Counted only under a recovery config, matching the era when the
          handler was not installed without one.) *)
+      record_failure_edge t ~reason:"poisoned" ~detail:pool.fn_name;
       if recovery <> None then Metrics.incr pool.poisonings
-  | Container.Corrupt_snapshot _ ->
+  | Container.Corrupt_snapshot msg ->
       (* The idle scrubber caught a bad snapshot block before any request
          was served from it. The failing container was idle — its core was
          already handed back — but its rebuild (or retirement) runs on a
          core, so claim one; the recovery's terminal idle/retire transition
          releases it again. *)
+      record_failure_edge t ~reason:"scrub-corruption" ~detail:msg;
       Metrics.incr pool.scrub_corruptions;
       t.busy <- t.busy + 1;
       sync_gauges t
@@ -345,6 +412,7 @@ and on_slot_failure t recovery pool (_slot : slot) failure =
           if tries >= r.Invoker.max_attempts then begin
             Hashtbl.remove pool.attempts req.Request.id;
             Metrics.incr pool.failed_requests;
+            observe_failure t ~now:(Engine.now t.engine);
             trace_emitf t ~what:"give-up" "%s req#%d after %d tries" pool.fn_name
               req.Request.id tries;
             match t.spans with
@@ -484,6 +552,7 @@ let submit ?on_complete t ~name req =
     | None -> raise Not_found
   in
   let now = Engine.now t.engine in
+  (match t.series with Some ts -> Timeseries.tick ts ~now | None -> ());
   (match t.spans with
   | Some sp ->
       ignore
@@ -495,6 +564,7 @@ let submit ?on_complete t ~name req =
   | Some b when Brownout.should_shed b req.Request.principal ->
       (* Priority shed happens before the queue ever sees the request. *)
       Metrics.incr pool.brownout_shed;
+      observe_failure t ~now;
       trace_emitf t ~what:"shed" "%s req#%d (brownout, priority %d)" name req.Request.id
         (Principal.priority req.Request.principal);
       (match t.spans with

@@ -88,6 +88,9 @@ val create :
   ?metrics:Gh_sim.Metrics.t ->
   ?metrics_prefix:string ->
   ?rng:Gh_sim.Rng.t ->
+  ?series:Gh_sim.Timeseries.t ->
+  ?slos:Gh_sim.Slo.t list ->
+  ?recorder:Gh_sim.Flight_recorder.t ->
   Gh_sim.Engine.t ->
   config ->
   make_strategy:(string -> Function_model.spec -> Strategy_intf.t) ->
@@ -104,8 +107,15 @@ val create :
     registry holding every per-function counter and latency histogram
     (names [<prefix>node.<fn>.<field>]) plus node-wide gauges; a private
     registry is created when omitted, so counting behavior never changes —
-    {!stats} reads the same numbers either way. All instrumentation reads
-    the engine clock only; simulated time and RNG draws are untouched. *)
+    {!stats} reads the same numbers either way.
+
+    [series] collects windowed samples — per-function end-to-end latency
+    and per-step restore costs feed its quantile sketches, and its lazy
+    window rolls capture the registry's counters and gauges. [slos] are
+    evaluated on every completion, shed and give-up; [recorder] snapshots
+    the pre-failure window on every failure edge (container poisoned,
+    slot quarantined, scrub corruption). All instrumentation reads the
+    engine clock only; simulated time and RNG draws are untouched. *)
 
 val metrics : t -> Gh_sim.Metrics.t
 (** The registry backing {!stats} — pass it to an exporter. *)

@@ -21,7 +21,7 @@ type t = {
   rng : Gh_sim.Rng.t;
 }
 
-let deploy ?trace ?spans ?ttl_ns ?admission ?scrub config ~make_strategy =
+let deploy ?trace ?spans ?series ?slos ?ttl_ns ?admission ?scrub config ~make_strategy =
   let engine = Gh_sim.Engine.create () in
   let rng = Gh_sim.Rng.create config.seed in
   let invoker =
@@ -29,6 +29,7 @@ let deploy ?trace ?spans ?ttl_ns ?admission ?scrub config ~make_strategy =
       ~dispatch_ns:config.dispatch_ns ~make_strategy
   in
   let controller =
-    Controller.create ~overhead:config.overhead ?ttl_ns ?spans engine ~rng invoker
+    Controller.create ~overhead:config.overhead ?ttl_ns ?spans ?series ?slos engine ~rng
+      invoker
   in
   { engine; controller; invoker; services = Services.create (); rng }

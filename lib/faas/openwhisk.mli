@@ -24,6 +24,8 @@ type t = {
 val deploy :
   ?trace:Gh_sim.Trace.t ->
   ?spans:Gh_sim.Span.t ->
+  ?series:Gh_sim.Timeseries.t ->
+  ?slos:Gh_sim.Slo.t list ->
   ?ttl_ns:Gh_sim.Time_ns.t ->
   ?admission:Admission.config ->
   ?scrub:Container.scrub ->
@@ -38,5 +40,7 @@ val deploy :
     stamp deadlines (see {!Controller.create}); [admission] bounds the
     invoker queue; [scrub] enables idle-time snapshot scrubbing in every
     container (reads memory and the clock only — timings are unchanged in
-    corruption-free runs). All default to off — the uninstrumented
+    corruption-free runs). [series] / [slos] attach windowed time-series
+    collection and burn-rate objectives at the controller (see
+    {!Controller.create}). All default to off — the uninstrumented
     deployment is bit-identical to earlier revisions. *)

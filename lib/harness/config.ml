@@ -13,6 +13,8 @@ type t = {
      changes simulated behavior, only records it. *)
   spans : Gh_sim.Span.t option;
   metrics : Gh_sim.Metrics.t option;
+  series : Gh_sim.Timeseries.t option;
+  slos : Gh_sim.Slo.t list;
   jobs : int;
 }
 
@@ -29,6 +31,8 @@ let default =
     dispatch_ns = Gh_sim.Time_ns.of_us 800.0;
     spans = None;
     metrics = None;
+    series = None;
+    slos = [];
     jobs = 1;
   }
 
@@ -54,11 +58,25 @@ let quick =
     breakdown_requests = 6;
   }
 
-(* Span and Metrics collectors are plain mutable structures shared across
+(* Observability collectors are plain mutable structures shared across
    every cell of a sweep; rather than wrap each sink in a lock (distorting
    what the traces measure), an instrumented run simply stays serial. *)
-let effective_jobs t =
-  if t.spans <> None || t.metrics <> None then 1 else max 1 t.jobs
+let instrumented t =
+  t.spans <> None || t.metrics <> None || t.series <> None || t.slos <> []
+
+let effective_jobs t = if instrumented t then 1 else max 1 t.jobs
+
+(* The CLI flags responsible for the serial downgrade, for the warning
+   the driver prints when [jobs > 1] is being overridden. *)
+let downgrade_reasons t =
+  List.filter_map
+    (fun (cond, flag) -> if cond then Some flag else None)
+    [
+      (t.spans <> None, "--trace-out");
+      (t.metrics <> None, "--metrics-out");
+      (t.series <> None, "--series-out");
+      (t.slos <> [], "--slo");
+    ]
 
 let sec = 1_000_000_000
 

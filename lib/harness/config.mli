@@ -23,6 +23,12 @@ type t = {
   metrics : Gh_sim.Metrics.t option;
       (** Shared metrics registry for node-based experiments; [None]
           (default) gives each node a private registry. *)
+  series : Gh_sim.Timeseries.t option;
+      (** Windowed time-series collector threaded into every deployment
+          the experiments build; [None] (default) disables collection. *)
+  slos : Gh_sim.Slo.t list;
+      (** Burn-rate objectives evaluated at every front door; [[]]
+          (default) disables SLO evaluation. *)
   jobs : int;
       (** Domains to fan sweep cells across ({!Gh_sim.Domain_pool}).
           1 (default) keeps every sweep serial; any value produces
@@ -38,9 +44,15 @@ val quick : t
 (** Minimal counts for CI smoke runs. *)
 
 val effective_jobs : t -> int
-(** [jobs], clamped to 1 when a span or metrics sink is attached: the
-    collectors are shared mutable state, so instrumented runs serialize
-    rather than lock every record call. *)
+(** [jobs], clamped to 1 when any observability collector (spans,
+    metrics, series, SLOs) is attached: the collectors are shared mutable
+    state, so instrumented runs serialize rather than lock every record
+    call. *)
+
+val downgrade_reasons : t -> string list
+(** The CLI flags whose collectors force {!effective_jobs} to 1 —
+    empty when no collector is attached. The driver names them in the
+    warning it prints when a [-j] > 1 request is being overridden. *)
 
 val latency_requests_for : t -> Gh_faas.Function_model.spec -> int
 (** Adaptive request count by benchmark duration. *)

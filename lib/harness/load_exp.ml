@@ -22,7 +22,8 @@ let measure cfg strategy (entry : Catalog.entry) ~n_containers ~rate_rps ~n_requ
   in
   let root = Rng.create seed in
   let deployment =
-    Gh_faas.Openwhisk.deploy ?spans:cfg.Config.spans
+    Gh_faas.Openwhisk.deploy ?spans:cfg.Config.spans ?series:cfg.Config.series
+      ~slos:cfg.Config.slos
       {
         Gh_faas.Openwhisk.n_cores = n_containers;
         dispatch_ns = cfg.Config.dispatch_ns;

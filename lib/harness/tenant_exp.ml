@@ -61,6 +61,7 @@ let run_mode cfg ~memory_mb ~duration_s ~rate_rps entries mode =
   let engine = Engine.create () in
   let node =
     Node.create ?spans:cfg.Config.spans ?metrics:cfg.Config.metrics
+      ?series:cfg.Config.series ~slos:cfg.Config.slos
       ~metrics_prefix:("tenant." ^ mode_to_string mode ^ ".") engine
       {
         Node.default_config with

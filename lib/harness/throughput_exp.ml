@@ -48,7 +48,8 @@ let run_one ?n_containers cfg strategy (entry : Catalog.entry) =
            slices read snapshot memory between requests and find nothing in
            a corruption-free run, so throughput is unchanged — the point is
            that integrity checking rides along at zero simulated cost. *)
-        Gh_faas.Openwhisk.deploy ?spans:cfg.Config.spans ~scrub:Gh_faas.Container.default_scrub
+        Gh_faas.Openwhisk.deploy ?spans:cfg.Config.spans ?series:cfg.Config.series
+          ~slos:cfg.Config.slos ~scrub:Gh_faas.Container.default_scrub
           {
             Gh_faas.Openwhisk.n_cores = n_containers;
             dispatch_ns = cfg.Config.dispatch_ns;

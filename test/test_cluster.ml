@@ -18,6 +18,7 @@ module Breaker = Gh_faas.Breaker
 module Health = Gh_faas.Health
 module Node = Gh_faas.Node
 module Cluster = Gh_faas.Cluster
+module Span = Gh_sim.Span
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -323,6 +324,60 @@ let test_hedge_loser_cancelled () =
   check_int "no dangling attempts" 0 s.Cluster.inflight;
   check_int "no pending requests" 0 s.Cluster.pending_requests
 
+(* -- Spans through the cluster front door: placement decisions, failover
+   attempts and hedges all appear, every attempt carries its outcome, and
+   the whole forest closes (Span.check) even though losers conclude after
+   the request settles. -- *)
+
+let test_cluster_spans_close_and_annotate () =
+  let engine = Engine.create () in
+  let plan = Fault.create ~seed:7 in
+  Fault.set plan Fault.Node_crash ~nth:[ 1 ] ();
+  let spans = Span.create () in
+  let cluster =
+    Cluster.create ~spans ~fault:plan engine
+      (cluster_config ~n_nodes:2 ~failover:true ~hedge_after:(Some (Time_ns.of_ms 20.0))
+         ~max_attempts:3 ~admission:Admission.unbounded ())
+      ~make_strategy:(fun name _ -> scripted ~service_ns:(Time_ns.of_ms 30.0) name)
+  in
+  Cluster.register cluster ~name:"fn" spec;
+  Cluster.start cluster ~until:(Time_ns.of_sec 1.0);
+  let settled = ref 0 in
+  Cluster.set_on_failed cluster (fun _ -> incr settled);
+  for i = 1 to 4 do
+    Engine.at engine
+      ~time:(i * Time_ns.of_ms 5.0)
+      (fun () ->
+        Cluster.submit cluster ~name:"fn"
+          (Request.make ~id:i ~principal:alice ())
+          ~on_response:(fun _ _ -> incr settled))
+  done;
+  Engine.run_all engine;
+  check_int "every request settled" 4 !settled;
+  check_int "no span left open" 0 (Span.open_count spans);
+  (match Span.check spans with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "span invariants: %s" msg);
+  let records = Span.records spans in
+  let names = List.map (fun r -> r.Span.name) records in
+  check_int "one root per request" 4
+    (List.length (List.filter (fun n -> n = "request") names));
+  check_bool "placement decisions recorded" true (List.mem "place" names);
+  let is_attempt n = String.length n >= 8 && String.sub n 0 8 = "attempt-" in
+  let attempts = List.filter (fun r -> is_attempt r.Span.name) records in
+  check_bool "attempt spans recorded" true (attempts <> []);
+  check_bool "every attempt concluded with an outcome" true
+    (List.for_all (fun r -> List.mem_assoc "outcome" r.Span.attrs) attempts);
+  (* The crash forces at least one non-winning attempt. *)
+  check_bool "a failover or hedge loser is visible" true
+    (List.exists
+       (fun r -> List.assoc_opt "outcome" r.Span.attrs <> Some "win")
+       attempts);
+  check_bool "roots carry the settled outcome" true
+    (List.for_all
+       (fun r -> r.Span.name <> "request" || List.mem_assoc "outcome" r.Span.attrs)
+       records)
+
 (* -- QCheck: the exactly-once delivery contract under random node faults,
    retries and hedging. -- *)
 
@@ -430,6 +485,11 @@ let () =
             test_nth_crash_failover_deterministic;
           Alcotest.test_case "hedge loser cancelled" `Quick test_hedge_loser_cancelled;
           Alcotest.test_case "exactly-once deterministic" `Quick exactly_once_deterministic;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "close and annotate" `Quick
+            test_cluster_spans_close_and_annotate;
         ] );
       ( "exactly-once",
         [ QCheck_alcotest.to_alcotest ~verbose:false exactly_once_prop ] );
